@@ -1,0 +1,37 @@
+"""Experiment F-eps: utility versus the privacy budget epsilon.
+
+The noise term of Theorem 1 scales as 1/(eps n); the benchmark sweeps epsilon
+at fixed n and k and checks that both the theoretical bound and the measured
+error decrease (weakly, given sampling noise) as epsilon grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.tradeoffs import epsilon_tradeoff
+
+
+def test_epsilon_tradeoff_d1(benchmark, report_table):
+    rows = benchmark.pedantic(
+        epsilon_tradeoff,
+        kwargs=dict(
+            epsilons=(0.25, 0.5, 1.0, 2.0, 4.0),
+            dimension=1,
+            stream_size=4096,
+            pruning_k=8,
+            repetitions=3,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_table("Utility vs epsilon (d=1)", rows)
+
+    bounds = [row["predicted_bound"] for row in rows]
+    assert all(a >= b for a, b in zip(bounds, bounds[1:])), "bound must decrease with epsilon"
+    # Measured error at the largest epsilon should beat the smallest epsilon.
+    assert rows[-1]["wasserstein"] <= rows[0]["wasserstein"]
+    # And the overall trend should be decreasing (Spearman-style sign check).
+    errors = np.array([row["wasserstein"] for row in rows])
+    assert np.mean(np.diff(errors) <= 1e-3) >= 0.5

@@ -1,0 +1,58 @@
+"""Experiment F-mem: utility versus memory (the pruning parameter k).
+
+Theorem 1 / Corollary 1 claim an "almost smooth interpolation between space
+usage and utility" controlled by k.  The benchmark sweeps k at fixed n and
+epsilon on a Zipf-skewed workload, recording the measured Wasserstein error,
+the words of state held, and the theoretical bound.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tradeoffs import memory_tradeoff
+
+
+def test_memory_tradeoff_d1(benchmark, report_table):
+    rows = benchmark.pedantic(
+        memory_tradeoff,
+        kwargs=dict(
+            pruning_values=(2, 4, 8, 16, 32),
+            dimension=1,
+            stream_size=4096,
+            epsilon=1.0,
+            repetitions=2,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_table("Utility vs memory (d=1, Zipf workload)", rows)
+
+    memories = [row["memory_words"] for row in rows]
+    # Memory grows with k up to a small boundary artefact: once L* reaches the
+    # full depth the sketches disappear, which can shave a few hundred words
+    # off the very largest k.  Allow a 10% tolerance on the monotone growth.
+    assert all(later >= 0.9 * earlier for earlier, later in zip(memories, memories[1:])), (
+        "memory must grow (within tolerance) with k"
+    )
+    assert max(memories) >= 4 * min(memories), "the sweep should span a real memory range"
+    # The largest memory budget should not be less accurate than the smallest
+    # by any meaningful margin (utility improves, or at worst saturates).
+    assert rows[-1]["wasserstein"] <= rows[0]["wasserstein"] + 0.02
+
+
+def test_memory_tradeoff_d2(benchmark, report_table):
+    rows = benchmark.pedantic(
+        memory_tradeoff,
+        kwargs=dict(
+            pruning_values=(4, 16),
+            dimension=2,
+            stream_size=2048,
+            epsilon=1.0,
+            repetitions=2,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_table("Utility vs memory (d=2, Zipf workload)", rows)
+    assert rows[1]["memory_words"] >= rows[0]["memory_words"]

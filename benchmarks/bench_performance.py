@@ -1,0 +1,61 @@
+"""Experiment F-perf: update throughput and memory growth (Corollary 1).
+
+Corollary 1 claims O(log(eps n)) update time and M = O(k log^2 n) memory; the
+generator is produced in O(M log n) time.  The benchmark measures per-item
+update latency, finalize latency and the words held across stream lengths, and
+separately times single updates with pytest-benchmark's timer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PrivHPConfig
+from repro.core.privhp import PrivHP
+from repro.domain.interval import UnitInterval
+from repro.experiments.performance import throughput_experiment
+
+
+def test_throughput_and_memory_growth(benchmark, report_table):
+    rows = benchmark.pedantic(
+        throughput_experiment,
+        kwargs=dict(
+            stream_sizes=(1024, 2048, 4096, 8192),
+            dimension=1,
+            epsilon=1.0,
+            pruning_k=8,
+            synthetic_size=1024,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_table("Throughput and memory vs stream length", rows)
+
+    # Memory stays within a constant factor of the k log^2 n prediction.
+    for row in rows:
+        assert row["memory_words"] <= 12 * row["memory_bound_k_log2n"]
+    # Update latency grows slowly (roughly with L = log(eps n)), so the
+    # largest stream is at most a few times slower per item than the smallest.
+    assert rows[-1]["seconds_per_update"] <= 6 * rows[0]["seconds_per_update"] + 1e-4
+
+
+def test_single_update_latency(benchmark):
+    """Micro-benchmark of PrivHP.update (the O(log eps n) path)."""
+    domain = UnitInterval()
+    config = PrivHPConfig.from_stream_size(stream_size=8192, epsilon=1.0, pruning_k=8, seed=0)
+    algorithm = PrivHP(domain, config, rng=0)
+    values = iter(np.random.default_rng(1).random(1_000_000))
+
+    benchmark(lambda: algorithm.update(next(values)))
+
+
+def test_sampling_latency(benchmark):
+    """Micro-benchmark of drawing one synthetic point from a finalized generator."""
+    domain = UnitInterval()
+    config = PrivHPConfig.from_stream_size(stream_size=4096, epsilon=1.0, pruning_k=8, seed=0)
+    algorithm = PrivHP(domain, config, rng=0)
+    algorithm.process(np.random.default_rng(2).random(4096))
+    generator = algorithm.finalize()
+
+    benchmark(lambda: generator.sample_one())

@@ -1,0 +1,35 @@
+"""Experiment F-n: utility and memory versus the stream length n.
+
+Corollary 1: error shrinks roughly like 1/(eps n) plus the tail term, while
+memory grows only as k log^2 n.  The benchmark sweeps n, recording both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tradeoffs import stream_length_tradeoff
+
+
+def test_stream_length_sweep_d1(benchmark, report_table):
+    rows = benchmark.pedantic(
+        stream_length_tradeoff,
+        kwargs=dict(
+            stream_sizes=(512, 1024, 2048, 4096, 8192),
+            dimension=1,
+            epsilon=1.0,
+            pruning_k=8,
+            repetitions=2,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_table("Utility and memory vs stream length (d=1)", rows)
+
+    # Error at the largest n should beat error at the smallest n.
+    assert rows[-1]["wasserstein"] <= rows[0]["wasserstein"]
+    # Memory grows, but dramatically slower than the 16x data growth.
+    memory_growth = rows[-1]["memory_words"] / rows[0]["memory_words"]
+    assert 1.0 <= memory_growth < 8.0
+    # Predicted bounds shrink monotonically with n.
+    bounds = [row["predicted_bound"] for row in rows]
+    assert all(a >= b for a, b in zip(bounds, bounds[1:]))

@@ -1,0 +1,53 @@
+"""Experiment T1: empirical reproduction of the paper's Table 1.
+
+Compares Smooth, SRRW, PMM and PrivHP (plus the non-private floor) on the same
+workload for d = 1 and d = 2, reporting the measured 1-Wasserstein error and
+the memory footprint next to the theoretical bounds.  The claim reproduced is
+the *shape*: PMM/SRRW most accurate with Theta(eps n) / Theta(d n) memory,
+Smooth least accurate, PrivHP within a small factor of PMM while holding an
+order of magnitude less state.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import format_table
+from repro.experiments.table1 import run_table1
+
+
+def _run_and_report(dimension: int, stream_size: int, report_table) -> dict:
+    report = run_table1(
+        dimension=dimension,
+        stream_size=stream_size,
+        epsilon=1.0,
+        pruning_k=8,
+        repetitions=2,
+        seed=0,
+    )
+    print(f"\npredicted bounds (d={dimension}, no leading constants):")
+    print(format_table(report["predicted"]))
+    report_table(f"Table 1 measured, d={dimension}, n={stream_size}", report["measured"])
+    return report
+
+
+def test_table1_d1(benchmark, report_table):
+    """Table 1, Omega = [0, 1]."""
+    report = benchmark.pedantic(
+        _run_and_report, args=(1, 4096, report_table), rounds=1, iterations=1
+    )
+    measured = {row["method"]: row for row in report["measured"]}
+    # Qualitative Table-1 shape: every private method beats no structure at
+    # all, PMM is the most accurate private method, and PrivHP holds far less
+    # memory than PMM while staying within a small factor in accuracy.
+    assert measured["PrivHP"]["memory_words"] < measured["PMM"]["memory_words"]
+    assert measured["PMM"]["wasserstein"] <= measured["Smooth"]["wasserstein"] * 1.5
+    assert measured["PrivHP"]["wasserstein"] <= 10 * measured["PMM"]["wasserstein"] + 0.02
+
+
+def test_table1_d2(benchmark, report_table):
+    """Table 1, Omega = [0, 1]^2."""
+    report = benchmark.pedantic(
+        _run_and_report, args=(2, 2048, report_table), rounds=1, iterations=1
+    )
+    measured = {row["method"]: row for row in report["measured"]}
+    assert measured["PrivHP"]["memory_words"] < measured["PMM"]["memory_words"]
+    assert measured["PrivHP"]["wasserstein"] <= 1.0

@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The project deliberately ships a ``setup.py`` + ``setup.cfg`` pair instead of
+a ``pyproject.toml`` build-system table so that ``pip install -e .`` works in
+fully offline environments: PEP 517 editable builds require downloading
+``wheel`` into an isolated build environment, whereas the legacy path below
+only needs the setuptools already present on the machine.
+"""
+
+from setuptools import setup
+
+setup()

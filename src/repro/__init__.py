@@ -1,0 +1,53 @@
+"""repro: a reproduction of "Private Synthetic Data Generation in Bounded Memory".
+
+The package implements PrivHP -- a one-pass, bounded-memory, epsilon-
+differentially-private synthetic data generator over arbitrary metric-space
+domains -- together with every substrate it depends on (private sketches, the
+partition tree, consistency enforcement, budget allocation), the baselines it
+is compared against (PMM, SRRW, Smooth, PrivTree, DP quantiles), utility
+metrics (1-Wasserstein distances, tail norms) and the experiment harness that
+regenerates the paper's Table 1 and trade-off analyses.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PrivHP, PrivHPConfig, UnitInterval
+
+    data = np.random.default_rng(0).beta(2, 5, size=5000)
+    config = PrivHPConfig.from_stream_size(len(data), epsilon=1.0, pruning_k=8, seed=0)
+    generator = PrivHP(UnitInterval(), config).process(data).finalize()
+    synthetic = generator.sample(5000)
+"""
+
+from repro.core.config import PrivHPConfig
+from repro.core.privhp import PrivHP
+from repro.core.sampler import SyntheticDataGenerator
+from repro.core.tree import PartitionTree
+from repro.domain import (
+    DiscreteDomain,
+    Domain,
+    GeoDomain,
+    Hypercube,
+    IPv4Domain,
+    UnitInterval,
+)
+from repro.metrics.wasserstein import empirical_wasserstein
+from repro.metrics.tail import tail_norm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiscreteDomain",
+    "Domain",
+    "GeoDomain",
+    "Hypercube",
+    "IPv4Domain",
+    "PartitionTree",
+    "PrivHP",
+    "PrivHPConfig",
+    "SyntheticDataGenerator",
+    "UnitInterval",
+    "empirical_wasserstein",
+    "tail_norm",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Error-decomposition diagnostics following the Theorem-3 proof pipeline.
+
+Section 7 of the paper analyses PrivHP through a sequence of intermediate
+trees: the fully exact tree, the exactly-pruned tree ``T_exact`` (Step 1,
+quantifying the pure pruning cost), and the final noisy tree ``T_PrivHP``
+(Steps 2-3, adding approximate pruning, noise and consistency errors).  This
+package reconstructs those intermediate objects from the raw data so that the
+measured error can be attributed to its sources, mirroring the
+``Delta_noise + Delta_approx`` split of the bound.
+"""
+
+from repro.analysis.decomposition import (
+    build_exact_pruned_tree,
+    decompose_error,
+)
+
+__all__ = ["build_exact_pruned_tree", "decompose_error"]

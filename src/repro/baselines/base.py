@@ -1,0 +1,99 @@
+"""Common protocol for synthetic-data methods plus the PrivHP adapter.
+
+A method owns its parameters; :meth:`SyntheticDataMethod.fit` consumes a
+dataset (or stream) and returns a sampler object exposing ``sample(size)``.
+After fitting, :meth:`SyntheticDataMethod.memory_words` reports the words of
+state the *summary* occupies -- for PrivHP that is the tree plus sketches; for
+the static baselines it is whatever structure they must hold to sample, which
+is what Table 1's memory column compares.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.config import PrivHPConfig
+from repro.core.privhp import PrivHP
+from repro.core.sampler import SyntheticDataGenerator
+from repro.domain.base import Domain
+
+__all__ = ["SyntheticDataMethod", "PrivHPMethod"]
+
+
+class SyntheticDataMethod(ABC):
+    """Protocol shared by PrivHP and every baseline."""
+
+    #: Human-readable name used in result tables.
+    name: str = "method"
+
+    @abstractmethod
+    def fit(self, data, rng: np.random.Generator | int | None = None):
+        """Build the private summary from ``data`` and return a sampler.
+
+        The returned object must expose ``sample(size) -> array``.
+        """
+
+    @abstractmethod
+    def memory_words(self) -> int:
+        """Words of memory held by the fitted summary (0 before fitting)."""
+
+    @property
+    def epsilon(self) -> float:
+        """Privacy budget of the method; ``inf`` for non-private baselines."""
+        return getattr(self, "_epsilon", float("inf"))
+
+
+class PrivHPMethod(SyntheticDataMethod):
+    """Adapter running PrivHP through the common method protocol.
+
+    Parameters mirror :meth:`repro.core.config.PrivHPConfig.from_stream_size`;
+    any keyword accepted there can be overridden through ``config_overrides``.
+    """
+
+    name = "PrivHP"
+
+    def __init__(
+        self,
+        domain: Domain,
+        epsilon: float,
+        pruning_k: int,
+        config: PrivHPConfig | None = None,
+        **config_overrides,
+    ) -> None:
+        self.domain = domain
+        self._epsilon = float(epsilon)
+        self.pruning_k = int(pruning_k)
+        self._explicit_config = config
+        self._config_overrides = config_overrides
+        self._last: PrivHP | None = None
+
+    def build_config(self, stream_size: int) -> PrivHPConfig:
+        """Resolve the configuration for a stream of the given size."""
+        if self._explicit_config is not None:
+            return self._explicit_config
+        return PrivHPConfig.from_stream_size(
+            stream_size=stream_size,
+            epsilon=self._epsilon,
+            pruning_k=self.pruning_k,
+            **self._config_overrides,
+        )
+
+    def fit(self, data, rng: np.random.Generator | int | None = None) -> SyntheticDataGenerator:
+        data = list(data)
+        config = self.build_config(len(data))
+        algorithm = PrivHP(self.domain, config, rng=rng)
+        algorithm.process(data)
+        self._last = algorithm
+        return algorithm.finalize()
+
+    def memory_words(self) -> int:
+        if self._last is None:
+            return 0
+        return self._last.memory_words()
+
+    @property
+    def last_run(self) -> PrivHP | None:
+        """The PrivHP instance from the most recent fit (for introspection)."""
+        return self._last

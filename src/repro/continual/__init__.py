@@ -1,0 +1,28 @@
+"""Continual-observation extension of PrivHP.
+
+The paper focuses on the 1-pass model (the release happens once, after the
+stream) but notes that "our method can be adapted to continual observation by
+replacing the counters and sketches with their continual observation
+counterparts" (Section 3.1).  This package implements that adaptation:
+
+* :class:`BinaryMechanismCounter` -- the classic binary-tree (Chan-Shi-Song /
+  Dwork et al.) counter releasing a running count at every step under
+  epsilon-DP for the whole stream.
+* :class:`ContinualPrivateCountMinSketch` -- a Count-Min sketch whose cells
+  are binary-mechanism counters, so frequency estimates can be read at any
+  time during the stream.
+* :class:`PrivHPContinual` -- PrivHP with those primitives substituted in;
+  :meth:`~repro.continual.privhp.PrivHPContinual.snapshot` can be called at
+  any point (and repeatedly) to obtain a synthetic generator for the prefix of
+  the stream seen so far, without spending additional budget.
+"""
+
+from repro.continual.counter import BinaryMechanismCounter
+from repro.continual.sketch import ContinualPrivateCountMinSketch
+from repro.continual.privhp import PrivHPContinual
+
+__all__ = [
+    "BinaryMechanismCounter",
+    "ContinualPrivateCountMinSketch",
+    "PrivHPContinual",
+]

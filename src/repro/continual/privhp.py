@@ -1,0 +1,156 @@
+"""PrivHP under continual observation.
+
+The 1-pass algorithm releases its partition once, after the stream.  Replacing
+the per-node Laplace counters with binary-mechanism counters and the private
+sketches with their continual counterparts (as Section 3.1 of the paper
+suggests) yields a variant whose internal state is private *at every point of
+the stream*, so a synthetic generator for the prefix seen so far can be
+snapshot at any time -- and arbitrarily often -- without additional privacy
+cost (each snapshot is post-processing of the continually-private state).
+
+The trade-offs are the standard ones for continual observation: an extra
+``O(log n)`` factor in both the per-release noise and the memory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.budget import allocate_budgets
+from repro.core.config import PrivHPConfig
+from repro.core.partition import grow_partition
+from repro.core.sampler import SyntheticDataGenerator
+from repro.core.tree import PartitionTree
+from repro.continual.counter import BinaryMechanismCounter
+from repro.continual.sketch import ContinualPrivateCountMinSketch
+from repro.domain.base import Cell, Domain
+from repro.privacy.accountant import BudgetAccountant
+
+__all__ = ["PrivHPContinual"]
+
+
+class PrivHPContinual:
+    """PrivHP whose state is differentially private under continual observation."""
+
+    def __init__(
+        self,
+        domain: Domain,
+        config: PrivHPConfig,
+        horizon: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be at least 1, got {horizon}")
+        self.domain = domain
+        self.config = config
+        self.horizon = int(horizon)
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(
+            rng if rng is not None else config.seed
+        )
+        self._items_processed = 0
+
+        self.level_budgets = allocate_budgets(
+            domain=domain,
+            epsilon=config.epsilon,
+            depth=config.depth,
+            level_cutoff=config.level_cutoff,
+            pruning_k=config.pruning_k,
+            sketch_depth=config.sketch_depth,
+            method=config.budget_allocation,
+        )
+        self.accountant = BudgetAccountant(total_budget=config.epsilon)
+
+        # One continual counter per exact-tree node.
+        self._counters: dict[Cell, BinaryMechanismCounter] = {}
+        skeleton = PartitionTree.complete(config.level_cutoff)
+        for theta in skeleton:
+            sigma = self.level_budgets[len(theta)]
+            self._counters[theta] = BinaryMechanismCounter(sigma, self.horizon, rng=self._rng)
+        for level in range(config.level_cutoff + 1):
+            self.accountant.spend(self.level_budgets[level], label=f"continual tree level {level}")
+
+        # One continual sketch per deep level.
+        self._sketches: dict[int, ContinualPrivateCountMinSketch] = {}
+        base_seed = config.seed if config.seed is not None else 0
+        for level in range(config.level_cutoff + 1, config.depth + 1):
+            sigma = self.level_budgets[level]
+            self._sketches[level] = ContinualPrivateCountMinSketch(
+                width=config.sketch_width,
+                depth=config.sketch_depth,
+                epsilon=sigma,
+                horizon=self.horizon,
+                seed=base_seed + level,
+                rng=self._rng,
+            )
+            self.accountant.spend(sigma, label=f"continual sketch level {level}")
+        self.accountant.assert_within_budget()
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+    def update(self, point) -> None:
+        """Process one stream item; state remains private after every update."""
+        if self._items_processed >= self.horizon:
+            raise RuntimeError(
+                f"stream horizon of {self.horizon} items exhausted; "
+                "construct PrivHPContinual with a larger horizon"
+            )
+        path = self.domain.locate(point, self.config.depth)
+        for level in range(self.config.depth + 1):
+            theta = path[:level]
+            if level <= self.config.level_cutoff:
+                self._counters[theta].step(1.0)
+            else:
+                self._sketches[level].update(theta, 1.0)
+        self._items_processed += 1
+
+    def process(self, stream: Iterable) -> "PrivHPContinual":
+        """Process an iterable of items; returns ``self`` for chaining."""
+        for point in stream:
+            self.update(point)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> SyntheticDataGenerator:
+        """A synthetic generator for the stream prefix seen so far.
+
+        May be called any number of times (including mid-stream); each call is
+        post-processing of the continually-private counters and sketches, so
+        no extra privacy budget is consumed.
+        """
+        tree = PartitionTree()
+        for theta, counter in self._counters.items():
+            tree.add_node(theta, counter.query())
+        grow_partition(
+            tree=tree,
+            sketches=self._sketches,
+            pruning_k=self.config.pruning_k,
+            level_cutoff=self.config.level_cutoff,
+            depth=self.config.depth,
+            apply_consistency=self.config.apply_consistency,
+        )
+        return SyntheticDataGenerator(tree, self.domain, rng=self._rng)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def items_processed(self) -> int:
+        """Number of stream items consumed so far."""
+        return self._items_processed
+
+    def memory_words(self) -> int:
+        """Words held by all continual counters and sketches."""
+        counter_words = sum(counter.memory_words() for counter in self._counters.values())
+        sketch_words = sum(sketch.memory_words() for sketch in self._sketches.values())
+        return counter_words + sketch_words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"PrivHPContinual(epsilon={self.config.epsilon}, k={self.config.pruning_k}, "
+            f"items={self._items_processed}/{self.horizon})"
+        )

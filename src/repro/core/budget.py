@@ -1,0 +1,113 @@
+"""Per-level privacy budget allocation.
+
+Theorem 2 proves epsilon-DP for *any* split ``epsilon = sum_{l=0}^{L} sigma_l``.
+Lemma 5 derives the split that minimises the noise term of the utility bound
+via Lagrange multipliers:
+
+* ``sigma_l proportional to sqrt(Gamma_{l-1})`` for the exact levels
+  ``l <= L*`` (``Gamma_{-1}`` is read as ``Gamma_0 = diam(Omega)``), and
+* ``sigma_l proportional to sqrt(j * k * gamma_{l-1})`` for the sketch levels.
+
+A uniform split is provided as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.domain.base import Domain
+
+__all__ = ["allocate_budgets", "optimal_budgets", "uniform_budgets"]
+
+
+def _gamma(domain: Domain, level: int) -> float:
+    """``gamma_{level}`` with the convention ``gamma_{-1} = diam(Omega)``."""
+    if level < 0:
+        return domain.diameter()
+    return domain.level_max_diameter(level)
+
+
+def _big_gamma(domain: Domain, level: int) -> float:
+    """``Gamma_{level}`` with the convention ``Gamma_{-1} = Gamma_0``."""
+    if level < 0:
+        return domain.level_total_diameter(0)
+    return domain.level_total_diameter(level)
+
+
+def uniform_budgets(epsilon: float, depth: int) -> list[float]:
+    """Split epsilon evenly across levels ``0 .. depth``."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+    per_level = epsilon / (depth + 1)
+    return [per_level] * (depth + 1)
+
+
+def optimal_budgets(
+    domain: Domain,
+    epsilon: float,
+    depth: int,
+    level_cutoff: int,
+    pruning_k: int,
+    sketch_depth: int,
+) -> list[float]:
+    """The Lemma-5 allocation ``{sigma_l}`` for levels ``0 .. depth``.
+
+    Parameters mirror :class:`~repro.core.config.PrivHPConfig`: ``depth`` is
+    ``L``, ``level_cutoff`` is ``L*``, ``pruning_k`` is ``k`` and
+    ``sketch_depth`` is ``j``.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+    if not 0 <= level_cutoff <= depth:
+        raise ValueError(
+            f"level_cutoff must lie in [0, depth]; got {level_cutoff} with depth {depth}"
+        )
+    if pruning_k < 1:
+        raise ValueError(f"pruning_k must be at least 1, got {pruning_k}")
+    if sketch_depth < 1:
+        raise ValueError(f"sketch_depth must be at least 1, got {sketch_depth}")
+
+    weights: list[float] = []
+    for level in range(depth + 1):
+        if level <= level_cutoff:
+            weight = math.sqrt(_big_gamma(domain, level - 1))
+        else:
+            weight = math.sqrt(sketch_depth * pruning_k * _gamma(domain, level - 1))
+        weights.append(weight)
+
+    normaliser = sum(weights)
+    if normaliser <= 0:
+        # Degenerate geometry (all diameters zero); fall back to uniform.
+        return uniform_budgets(epsilon, depth)
+    return [epsilon * weight / normaliser for weight in weights]
+
+
+def allocate_budgets(
+    domain: Domain,
+    epsilon: float,
+    depth: int,
+    level_cutoff: int,
+    pruning_k: int,
+    sketch_depth: int,
+    method: str = "optimal",
+) -> list[float]:
+    """Dispatch to the requested allocation strategy.
+
+    Returns a list ``[sigma_0, ..., sigma_L]`` whose entries are strictly
+    positive and sum to ``epsilon`` (up to floating point), so the result can
+    be fed directly to the Laplace mechanisms of Algorithm 1.
+    """
+    if method == "optimal":
+        budgets = optimal_budgets(domain, epsilon, depth, level_cutoff, pruning_k, sketch_depth)
+    elif method == "uniform":
+        budgets = uniform_budgets(epsilon, depth)
+    else:
+        raise ValueError(f"unknown budget allocation method: {method!r}")
+
+    if any(sigma <= 0 for sigma in budgets):
+        raise RuntimeError("budget allocation produced a non-positive level budget")
+    return budgets

@@ -1,0 +1,94 @@
+"""Consistency enforcement between parent and child counts (Algorithm 3).
+
+After noise injection the tree violates two invariants that the sampler
+relies on: counts can be negative, and the children of a node no longer sum
+to their parent.  Algorithm 3 repairs both by evenly redistributing the
+surplus/deficit ``Lambda`` between the two children, with two correction
+steps:
+
+* **Type 1** -- clamp negative child counts to zero before redistribution.
+* **Type 2** -- if the even redistribution would itself push a child below
+  zero, give the smaller child zero and the larger child the full parent
+  count.
+
+Both corrections only ever *reduce* the error in the child counts (Lemma 6's
+case analysis), which is why the utility bound may assume the plain even
+split.
+"""
+
+from __future__ import annotations
+
+from repro.core.tree import PartitionTree
+from repro.domain.base import Cell
+
+__all__ = ["enforce_consistency", "enforce_subtree_consistency"]
+
+
+def enforce_consistency(tree: PartitionTree, theta: Cell) -> None:
+    """Make the two children of ``theta`` consistent with their parent.
+
+    Mirrors Algorithm 3 exactly.  Both children must already be stored in the
+    tree; the parent's count is treated as authoritative (it was made
+    consistent with *its* parent in an earlier call).
+    """
+    theta = tuple(theta)
+    left, right = theta + (0,), theta + (1,)
+    if left not in tree or right not in tree:
+        raise KeyError(f"both children of {theta} must be present to enforce consistency")
+
+    parent_count = tree.count(theta)
+
+    # Error correction type 1: child counts must be non-negative beforehand.
+    for child in (left, right):
+        if tree.count(child) < 0:
+            tree.set_count(child, 0.0)
+
+    left_count = tree.count(left)
+    right_count = tree.count(right)
+    surplus = left_count + right_count - parent_count
+
+    if min(left_count - surplus / 2.0, right_count - surplus / 2.0) < 0:
+        # Error correction type 2: an even split would go negative, so the
+        # smaller child gets zero and the larger child inherits the parent.
+        if left_count <= right_count:
+            smaller, larger = left, right
+        else:
+            smaller, larger = right, left
+        tree.set_count(smaller, 0.0)
+        tree.set_count(larger, parent_count)
+    else:
+        tree.set_count(left, left_count - surplus / 2.0)
+        tree.set_count(right, right_count - surplus / 2.0)
+
+
+def enforce_subtree_consistency(tree: PartitionTree, root: Cell = ()) -> None:
+    """Apply Algorithm 3 to every internal node below ``root`` in depth-first order.
+
+    This is the pre-growth pass of Algorithm 2 (line 2): the exact-counter
+    portion of the tree is made consistent from the root downwards so that
+    every parent count is already consistent before its children are
+    adjusted.  A non-negative root is enforced first because the root has no
+    parent to inherit a correction from.
+    """
+    root = tuple(root)
+    if root not in tree:
+        raise KeyError(f"root {root} is not in the tree")
+    if root == () and tree.count(root) < 0:
+        tree.set_count(root, 0.0)
+
+    stack: list[Cell] = [root]
+    while stack:
+        theta = stack.pop()
+        left, right = theta + (0,), theta + (1,)
+        left_present = left in tree
+        right_present = right in tree
+        if left_present and right_present:
+            enforce_consistency(tree, theta)
+            # Depth-first: children are processed after their own counts have
+            # been fixed relative to this node.
+            stack.append(right)
+            stack.append(left)
+        elif left_present or right_present:
+            # The tree only ever stores both children or neither (PrivHP adds
+            # them in pairs); a half-present pair indicates a construction bug.
+            raise ValueError(f"node {theta} has exactly one stored child; the tree is malformed")

@@ -1,0 +1,105 @@
+"""Growing the pruned partition from the level-wise sketches (Algorithm 2).
+
+After the stream has been processed, the exact-counter tree covers levels
+``0 .. L*`` and each deeper level ``l`` is summarised by a private sketch.
+GrowPartition extends the tree one level at a time: the current hot nodes are
+branched into their two children, the children's counts are read from the
+level's sketch, consistency is enforced locally, and the ``k`` largest new
+counts become the next generation of hot nodes.
+
+Everything here is deterministic given its (already private) inputs, so the
+output partition is private by post-processing (Lemma 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.consistency import enforce_consistency, enforce_subtree_consistency
+from repro.core.tree import PartitionTree
+from repro.domain.base import Cell
+
+__all__ = ["grow_partition", "select_top_k"]
+
+
+def select_top_k(counts: dict[Cell, float], k: int) -> list[Cell]:
+    """The ``k`` cells with the largest counts, ties broken by cell index.
+
+    Deterministic tie-breaking keeps the whole pipeline reproducible, which
+    matters because the grown structure feeds directly into the sampler.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return [theta for theta, _ in ordered[:k]]
+
+
+def grow_partition(
+    tree: PartitionTree,
+    sketches: dict[int, object],
+    pruning_k: int,
+    level_cutoff: int,
+    depth: int,
+    apply_consistency: bool = True,
+) -> PartitionTree:
+    """Grow ``tree`` from level ``level_cutoff`` down to ``depth`` using the sketches.
+
+    Parameters
+    ----------
+    tree:
+        The exact-counter tree produced by the parsing phase; modified in
+        place and also returned.
+    sketches:
+        Mapping ``level -> sketch`` for each level in
+        ``level_cutoff+1 .. depth``.  Only ``sketch.query(theta)`` is used.
+    pruning_k:
+        Number of hot branches retained per level (the paper's ``k``).
+    level_cutoff:
+        ``L*``, the deepest exact-counter level.
+    depth:
+        ``L``, the final hierarchy depth.  The paper's pseudocode stops the
+        loop at ``L - 1``; we grow through level ``L`` so that every
+        initialised sketch informs the partition, which matches the proof
+        pipeline (the leaves of ``T_exact`` sit at level ``L``).
+    apply_consistency:
+        Whether Algorithm 3 runs while growing (disabled only by the
+        consistency ablation).
+    """
+    if pruning_k < 1:
+        raise ValueError(f"pruning_k must be at least 1, got {pruning_k}")
+    if not 0 <= level_cutoff <= depth:
+        raise ValueError(
+            f"level_cutoff must lie in [0, depth]; got {level_cutoff} with depth {depth}"
+        )
+    for level in range(level_cutoff + 1, depth + 1):
+        if level not in sketches:
+            raise KeyError(f"no sketch provided for level {level}")
+
+    # Line 2: make the exact-counter portion of the tree internally consistent.
+    if apply_consistency:
+        enforce_subtree_consistency(tree, ())
+    elif tree.root_count < 0:
+        # Even without consistency the sampler needs a non-negative total mass.
+        tree.set_count((), 0.0)
+
+    # Line 3: the initial hot set is every node at the cutoff level.
+    hot: list[Cell] = tree.nodes_at_level(level_cutoff)
+
+    for level in range(level_cutoff + 1, depth + 1):
+        sketch = sketches[level]
+        for theta in hot:
+            for child in (theta + (0,), theta + (1,)):
+                estimate = float(sketch.query(child))
+                if child in tree:
+                    tree.set_count(child, estimate)
+                else:
+                    tree.add_node(child, estimate)
+            if apply_consistency:
+                enforce_consistency(tree, theta)
+        # Line 10: the next hot set is the top-k of the counts just created.
+        level_counts = {
+            theta + (bit,): tree.count(theta + (bit,))
+            for theta in hot
+            for bit in (0, 1)
+        }
+        hot = select_top_k(level_counts, pruning_k)
+
+    return tree

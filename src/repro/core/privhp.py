@@ -1,0 +1,197 @@
+"""PrivHP: the one-pass bounded-memory private synthetic data generator.
+
+This module implements Algorithm 1 of the paper end to end:
+
+1. **Initialisation** -- build a complete binary partition tree of depth
+   ``L*`` whose counters are pre-loaded with ``Laplace(1/sigma_l)`` noise, and
+   one private Count-Min sketch per level ``L*+1 .. L`` pre-loaded with
+   ``Laplace(j/sigma_l)`` noise per cell.
+2. **Parsing** -- each stream item performs a root-to-leaf walk, incrementing
+   the exact counter at levels ``<= L*`` and updating the level sketch below.
+3. **Growing** -- after the stream, :func:`repro.core.partition.grow_partition`
+   (Algorithm 2) extends the tree to depth ``L`` keeping ``k`` hot branches
+   per level, and the result is wrapped in a
+   :class:`~repro.core.sampler.SyntheticDataGenerator`.
+
+The privacy argument (Theorem 2) is baked into the structure: all noise is
+injected during initialisation with per-level budgets summing to ``epsilon``,
+and everything that happens after the stream is deterministic post-processing
+of those noisy statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.budget import allocate_budgets
+from repro.core.config import PrivHPConfig
+from repro.core.partition import grow_partition
+from repro.core.sampler import SyntheticDataGenerator
+from repro.core.tree import PartitionTree
+from repro.domain.base import Domain
+from repro.privacy.accountant import BudgetAccountant
+from repro.sketch.private import PrivateCountMinSketch
+
+__all__ = ["PrivHP"]
+
+
+class PrivHP:
+    """The PrivHP streaming synthetic data generator (Algorithm 1)."""
+
+    def __init__(
+        self,
+        domain: Domain,
+        config: PrivHPConfig,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.domain = domain
+        self.config = config
+        seed = config.seed if rng is None else None
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(
+            rng if rng is not None else seed
+        )
+        self._finalized = False
+        self._items_processed = 0
+
+        # Per-level privacy budgets (Theorem 2 / Lemma 5).
+        self.level_budgets = allocate_budgets(
+            domain=domain,
+            epsilon=config.epsilon,
+            depth=config.depth,
+            level_cutoff=config.level_cutoff,
+            pruning_k=config.pruning_k,
+            sketch_depth=config.sketch_depth,
+            method=config.budget_allocation,
+        )
+        self.accountant = BudgetAccountant(total_budget=config.epsilon)
+
+        self._tree = self._initialize_tree()
+        self._sketches = self._initialize_sketches()
+        self.accountant.assert_within_budget()
+
+    # ------------------------------------------------------------------ #
+    # initialisation (Algorithm 1, lines 2-8)
+    # ------------------------------------------------------------------ #
+    def _initialize_tree(self) -> PartitionTree:
+        """Complete tree of depth ``L*`` with Laplace noise in every counter."""
+        tree = PartitionTree.complete(self.config.level_cutoff, initial_count=0.0)
+        for level in range(self.config.level_cutoff + 1):
+            sigma = self.level_budgets[level]
+            scale = 1.0 / sigma
+            for theta in tree.nodes_at_level(level):
+                tree.set_count(theta, float(self._rng.laplace(0.0, scale)))
+            self.accountant.spend(sigma, label=f"tree level {level}")
+        return tree
+
+    def _initialize_sketches(self) -> dict[int, PrivateCountMinSketch]:
+        """One private Count-Min sketch per level ``L*+1 .. L``."""
+        sketches: dict[int, PrivateCountMinSketch] = {}
+        base_seed = self.config.seed if self.config.seed is not None else 0
+        for level in range(self.config.level_cutoff + 1, self.config.depth + 1):
+            sigma = self.level_budgets[level]
+            sketches[level] = PrivateCountMinSketch(
+                width=self.config.sketch_width,
+                depth=self.config.sketch_depth,
+                epsilon=sigma,
+                seed=base_seed + level,
+                rng=self._rng,
+            )
+            self.accountant.spend(sigma, label=f"sketch level {level}")
+        return sketches
+
+    # ------------------------------------------------------------------ #
+    # parsing the stream (Algorithm 1, lines 9-15)
+    # ------------------------------------------------------------------ #
+    def update(self, point) -> None:
+        """Process one stream item in ``O(L * j)`` time and O(1) extra space."""
+        if self._finalized:
+            raise RuntimeError("PrivHP has been finalized; no further updates are allowed")
+        path = self.domain.locate(point, self.config.depth)
+        for level in range(self.config.depth + 1):
+            theta = path[:level]
+            if level <= self.config.level_cutoff:
+                self._tree.increment(theta, 1.0)
+            else:
+                self._sketches[level].update(theta, 1.0)
+        self._items_processed += 1
+
+    def process(self, stream: Iterable) -> "PrivHP":
+        """Process an entire stream (single pass); returns ``self`` for chaining."""
+        for point in stream:
+            self.update(point)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # growing and releasing (Algorithm 1, line 16)
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> SyntheticDataGenerator:
+        """Grow the pruned partition and return the synthetic data generator.
+
+        May be called exactly once; the internal sketches are retained (they
+        are part of the released private state) but no further stream updates
+        are accepted afterwards.
+        """
+        if self._finalized:
+            raise RuntimeError("PrivHP has already been finalized")
+        self._finalized = True
+        grow_partition(
+            tree=self._tree,
+            sketches=self._sketches,
+            pruning_k=self.config.pruning_k,
+            level_cutoff=self.config.level_cutoff,
+            depth=self.config.depth,
+            apply_consistency=self.config.apply_consistency,
+        )
+        return SyntheticDataGenerator(self._tree, self.domain, rng=self._rng)
+
+    def generate(self, stream: Iterable, size: int) -> np.ndarray:
+        """Convenience wrapper: process the stream, finalize, and sample ``size`` points."""
+        self.process(stream)
+        generator = self.finalize()
+        return generator.sample(size)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def epsilon(self) -> float:
+        """Total privacy budget of the release."""
+        return self.config.epsilon
+
+    @property
+    def items_processed(self) -> int:
+        """Number of stream items consumed so far."""
+        return self._items_processed
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has been called."""
+        return self._finalized
+
+    @property
+    def tree(self) -> PartitionTree:
+        """The internal partition tree (noisy counts; private state)."""
+        return self._tree
+
+    @property
+    def sketches(self) -> dict[int, PrivateCountMinSketch]:
+        """The per-level private sketches (noisy tables; private state)."""
+        return dict(self._sketches)
+
+    def memory_words(self) -> int:
+        """Words of memory held by the tree and all sketches right now."""
+        sketch_words = sum(sketch.memory_words() for sketch in self._sketches.values())
+        return self._tree.memory_words() + sketch_words
+
+    def privacy_summary(self) -> str:
+        """Human-readable ledger of the per-level budget spends."""
+        return self.accountant.summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"PrivHP(epsilon={self.config.epsilon}, k={self.config.pruning_k}, "
+            f"L={self.config.depth}, L*={self.config.level_cutoff}, "
+            f"items={self._items_processed}, finalized={self._finalized})"
+        )

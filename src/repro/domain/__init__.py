@@ -1,0 +1,35 @@
+"""Metric-space input domains with binary hierarchical decompositions.
+
+PrivHP works over any metric space equipped with an a-priori fixed binary
+hierarchical decomposition (Section 4).  A :class:`~repro.domain.base.Domain`
+owns the geometry: how cells split, each cell's diameter, how to locate a
+point's cell at a given level, and how to sample uniformly inside a cell.
+
+Concrete domains provided:
+
+* :class:`UnitInterval` -- ``[0, 1]`` with dyadic splits (the d=1 case).
+* :class:`Hypercube` -- ``[0, 1]^d`` with the l-infinity metric and
+  coordinate-cycling splits (Corollary 1's setting).
+* :class:`IPv4Domain` -- the 32-bit address space split on address bits, used
+  by the network-traffic example.
+* :class:`GeoDomain` -- a latitude/longitude rectangle, used by the check-in
+  example.
+* :class:`DiscreteDomain` -- a finite ordered universe ``{0..N-1}``.
+"""
+
+from repro.domain.base import Cell, Domain
+from repro.domain.interval import UnitInterval
+from repro.domain.hypercube import Hypercube
+from repro.domain.ipv4 import IPv4Domain
+from repro.domain.geo import GeoDomain
+from repro.domain.discrete import DiscreteDomain
+
+__all__ = [
+    "Cell",
+    "DiscreteDomain",
+    "Domain",
+    "GeoDomain",
+    "Hypercube",
+    "IPv4Domain",
+    "UnitInterval",
+]

@@ -1,0 +1,150 @@
+"""Abstract metric-space domain with a fixed binary hierarchical decomposition.
+
+Cells are indexed by bit tuples ``theta in {0,1}^l``; the empty tuple is the
+whole space.  The decomposition is fixed a priori (Section 4.1 of the paper):
+the same split rule is applied regardless of the data, which is what makes the
+partition-tree counters well-defined linear statistics of the stream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Cell", "Domain"]
+
+Cell = tuple[int, ...]
+
+
+def validate_cell(theta: Cell) -> Cell:
+    """Check that ``theta`` is a tuple of bits, returning it unchanged."""
+    theta = tuple(int(bit) for bit in theta)
+    for bit in theta:
+        if bit not in (0, 1):
+            raise ValueError(f"cell index must consist of bits, got {theta}")
+    return theta
+
+
+class Domain(ABC):
+    """A metric space plus an a-priori binary hierarchical decomposition.
+
+    Subclasses define the geometry; all tree-growing and sampling code in
+    :mod:`repro.core` is written against this interface only, which is what
+    lets PrivHP run unchanged on intervals, hypercubes, IP address spaces and
+    geographic rectangles.
+    """
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def diameter(self) -> float:
+        """Diameter of the whole space under the domain's metric."""
+
+    @abstractmethod
+    def cell_diameter(self, theta: Cell) -> float:
+        """Diameter of the cell ``Omega_theta``."""
+
+    @abstractmethod
+    def distance(self, point_a, point_b) -> float:
+        """Metric distance between two points of the domain."""
+
+    @abstractmethod
+    def locate(self, point, level: int) -> Cell:
+        """The unique ``theta in {0,1}^level`` whose cell contains ``point``."""
+
+    @abstractmethod
+    def sample_cell(self, theta: Cell, rng: np.random.Generator):
+        """A uniform random point from the cell ``Omega_theta``."""
+
+    @abstractmethod
+    def contains(self, point) -> bool:
+        """Whether ``point`` lies in the domain."""
+
+    # ------------------------------------------------------------------ #
+    # derived quantities used by the analysis and the budget allocator
+    # ------------------------------------------------------------------ #
+    def level_max_diameter(self, level: int) -> float:
+        """``gamma_l``: the maximum cell diameter at ``level``.
+
+        The default implementation assumes all cells at a level share the same
+        diameter (true for every concrete domain here) and inspects the
+        all-zeros cell.
+        """
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        return self.cell_diameter((0,) * level)
+
+    def level_total_diameter(self, level: int) -> float:
+        """``Gamma_l``: the sum of cell diameters across level ``level``."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        return (2.0**level) * self.level_max_diameter(level)
+
+    # ------------------------------------------------------------------ #
+    # cell algebra
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def root_cell() -> Cell:
+        """The index of the whole space."""
+        return ()
+
+    @staticmethod
+    def children(theta: Cell) -> tuple[Cell, Cell]:
+        """The two child cells of ``theta``."""
+        theta = validate_cell(theta)
+        return theta + (0,), theta + (1,)
+
+    @staticmethod
+    def parent(theta: Cell) -> Cell:
+        """The parent cell of ``theta`` (the root has no parent)."""
+        theta = validate_cell(theta)
+        if not theta:
+            raise ValueError("the root cell has no parent")
+        return theta[:-1]
+
+    @staticmethod
+    def level_of(theta: Cell) -> int:
+        """The level (depth) of a cell, i.e. the length of its index."""
+        return len(theta)
+
+    def cells_at_level(self, level: int) -> Iterable[Cell]:
+        """Iterate over every cell index at ``level`` (2^level of them)."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        for code in range(2**level):
+            yield tuple((code >> (level - 1 - position)) & 1 for position in range(level))
+
+    # ------------------------------------------------------------------ #
+    # bulk helpers shared by the algorithms
+    # ------------------------------------------------------------------ #
+    def locate_path(self, point, depth: int) -> list[Cell]:
+        """The root-to-depth path of cells containing ``point``.
+
+        Returns cells for levels ``0..depth`` inclusive.  The default
+        implementation locates the deepest cell once and takes prefixes, which
+        is valid because the decomposition is nested.
+        """
+        deepest = self.locate(point, depth)
+        return [deepest[:level] for level in range(depth + 1)]
+
+    def level_frequencies(self, data, level: int) -> dict[Cell, int]:
+        """Exact subdomain frequencies ``C_l`` for a dataset at ``level``.
+
+        Used by the evaluation harness and the exact-pruning analysis; PrivHP
+        itself never calls this on the stream (it would require a second
+        pass).
+        """
+        counts: dict[Cell, int] = {}
+        for point in data:
+            theta = self.locate(point, level)
+            counts[theta] = counts.get(theta, 0) + 1
+        return counts
+
+    def validate_points(self, data) -> None:
+        """Raise ``ValueError`` if any point lies outside the domain."""
+        for index, point in enumerate(data):
+            if not self.contains(point):
+                raise ValueError(f"point at position {index} is outside the domain: {point!r}")

@@ -1,0 +1,112 @@
+"""A finite ordered domain ``{0, 1, ..., size-1}``.
+
+This is the setting of the bounded-space DP quantile baseline (Alabi et al.),
+which "only works for finite and ordered input domains" (Section 2.2).  The
+decomposition splits the index range in half at each level; the metric is the
+normalised index difference, giving the whole domain diameter 1 so that
+Wasserstein distances are comparable with the continuous domains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domain.base import Cell, Domain, validate_cell
+
+__all__ = ["DiscreteDomain"]
+
+
+class DiscreteDomain(Domain):
+    """Finite ordered universe with dyadic range splits."""
+
+    def __init__(self, size: int) -> None:
+        if size < 2:
+            raise ValueError(f"domain size must be at least 2, got {size}")
+        self.size = int(size)
+        # Number of binary splits needed until every cell is a single item.
+        self.max_depth = int(np.ceil(np.log2(self.size)))
+
+    # ------------------------------------------------------------------ #
+    # Domain interface
+    # ------------------------------------------------------------------ #
+    def diameter(self) -> float:
+        """Normalised diameter of the universe."""
+        return 1.0
+
+    def distance(self, point_a, point_b) -> float:
+        """Normalised absolute index difference."""
+        return abs(int(point_a) - int(point_b)) / max(self.size - 1, 1)
+
+    def cell_range(self, theta: Cell) -> tuple[int, int]:
+        """Inclusive item range ``[low, high]`` covered by a cell.
+
+        Ranges are split as evenly as possible; empty halves can occur for
+        non-power-of-two sizes at deep levels, in which case the empty child
+        covers an empty range and reports diameter 0.
+        """
+        theta = validate_cell(theta)
+        low, high = 0, self.size - 1
+        for bit in theta:
+            if low > high:
+                break
+            mid = (low + high) // 2
+            if bit == 0:
+                high = mid
+            else:
+                low = mid + 1
+        return low, high
+
+    def cell_diameter(self, theta: Cell) -> float:
+        """Normalised width of the cell's item range."""
+        low, high = self.cell_range(theta)
+        if low > high:
+            return 0.0
+        return (high - low) / max(self.size - 1, 1)
+
+    def level_max_diameter(self, level: int) -> float:
+        """Maximum cell diameter at ``level`` (left-most cells are largest)."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        return self.cell_diameter((0,) * min(level, self.max_depth))
+
+    def contains(self, point) -> bool:
+        """Whether the point is an index inside the universe."""
+        try:
+            value = int(point)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= value < self.size
+
+    def locate(self, point, level: int) -> Cell:
+        """Bit index of the level-``level`` range containing ``point``."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        value = int(point)
+        if not 0 <= value < self.size:
+            raise ValueError(f"item {value} outside the universe of size {self.size}")
+        low, high = 0, self.size - 1
+        bits: list[int] = []
+        for _ in range(level):
+            if low >= high:
+                # The cell is a single item; descend into the left child by
+                # convention so the path stays well-defined at any depth.
+                bits.append(0)
+                continue
+            mid = (low + high) // 2
+            if value <= mid:
+                bits.append(0)
+                high = mid
+            else:
+                bits.append(1)
+                low = mid + 1
+        return tuple(bits)
+
+    def sample_cell(self, theta: Cell, rng: np.random.Generator) -> int:
+        """Uniform random item within the cell's range."""
+        low, high = self.cell_range(theta)
+        if low > high:
+            raise ValueError(f"cell {theta} covers an empty range")
+        return int(rng.integers(low, high + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"DiscreteDomain(size={self.size})"

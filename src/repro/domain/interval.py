@@ -1,0 +1,90 @@
+"""The unit interval ``[0, 1]`` with dyadic splits (the paper's d=1 case).
+
+Implemented directly (rather than as ``Hypercube(1)``) so points can be plain
+floats, which keeps the d=1 experiments and the quantile/SRRW baselines free
+of array boilerplate; the decomposition is identical to ``Hypercube(1)`` and a
+test asserts that the two agree cell-by-cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domain.base import Cell, Domain, validate_cell
+
+__all__ = ["UnitInterval"]
+
+
+class UnitInterval(Domain):
+    """``[0,1]`` with absolute-difference metric and dyadic binary splits."""
+
+    dimension = 1
+
+    def diameter(self) -> float:
+        """Length of the interval."""
+        return 1.0
+
+    def distance(self, point_a, point_b) -> float:
+        """Absolute difference."""
+        return float(abs(float(point_a) - float(point_b)))
+
+    def cell_bounds(self, theta: Cell) -> tuple[float, float]:
+        """Endpoints of the dyadic interval indexed by ``theta``."""
+        theta = validate_cell(theta)
+        lower, upper = 0.0, 1.0
+        for bit in theta:
+            mid = 0.5 * (lower + upper)
+            if bit == 0:
+                upper = mid
+            else:
+                lower = mid
+        return lower, upper
+
+    def cell_diameter(self, theta: Cell) -> float:
+        """Length ``2^{-level}`` of the dyadic cell."""
+        return 2.0 ** (-len(validate_cell(theta)))
+
+    def level_max_diameter(self, level: int) -> float:
+        """``gamma_l = 2^{-l}``."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        return 2.0 ** (-level)
+
+    def contains(self, point) -> bool:
+        """Whether the scalar lies in ``[0, 1]``."""
+        try:
+            value = float(point)
+        except (TypeError, ValueError):
+            return False
+        return 0.0 <= value <= 1.0
+
+    def locate(self, point, level: int) -> Cell:
+        """Bit index of the level-``level`` dyadic interval containing ``point``."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        value = float(point)
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"point {value} lies outside [0, 1]")
+        lower, upper = 0.0, 1.0
+        bits: list[int] = []
+        for _ in range(level):
+            mid = 0.5 * (lower + upper)
+            if value >= mid:
+                bits.append(1)
+                lower = mid
+            else:
+                bits.append(0)
+                upper = mid
+        return tuple(bits)
+
+    def sample_cell(self, theta: Cell, rng: np.random.Generator) -> float:
+        """Uniform random point inside the dyadic cell."""
+        lower, upper = self.cell_bounds(theta)
+        return float(lower + (upper - lower) * rng.random())
+
+    def sample_uniform(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random points over ``[0,1]`` (helper for workloads)."""
+        return rng.random(size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "UnitInterval()"

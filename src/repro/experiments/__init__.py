@@ -1,0 +1,37 @@
+"""Experiment harness: the code that regenerates the paper's tables and figures.
+
+Each module corresponds to one experiment family from DESIGN.md's index and is
+driven by the benchmarks under ``benchmarks/`` (and runnable directly, e.g.
+``python -m repro.experiments.table1``).  Functions return plain lists of row
+dictionaries so benchmarks, tests and examples can all consume them.
+"""
+
+from repro.experiments.harness import format_table, run_methods, seeded_rng
+from repro.experiments.table1 import run_table1
+from repro.experiments.tradeoffs import (
+    epsilon_tradeoff,
+    memory_tradeoff,
+    stream_length_tradeoff,
+)
+from repro.experiments.skew import skew_experiment
+from repro.experiments.performance import throughput_experiment
+from repro.experiments.ablations import (
+    budget_ablation,
+    consistency_ablation,
+    sketch_ablation,
+)
+
+__all__ = [
+    "budget_ablation",
+    "consistency_ablation",
+    "epsilon_tradeoff",
+    "format_table",
+    "memory_tradeoff",
+    "run_methods",
+    "run_table1",
+    "seeded_rng",
+    "sketch_ablation",
+    "skew_experiment",
+    "stream_length_tradeoff",
+    "throughput_experiment",
+]

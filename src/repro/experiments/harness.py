@@ -1,0 +1,81 @@
+"""Shared plumbing for the experiment modules.
+
+Provides deterministic RNG plumbing, a generic "evaluate this list of methods
+on this dataset" loop, and plain-text table formatting so every experiment
+prints results in the same shape the paper's tables use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domain.base import Domain
+from repro.metrics.evaluation import EvaluationResult, evaluate_method
+
+__all__ = ["seeded_rng", "run_methods", "format_table", "rows_from_results"]
+
+
+def seeded_rng(seed: int | None) -> np.random.Generator:
+    """A fresh generator from a seed (or OS entropy when ``seed`` is None)."""
+    return np.random.default_rng(seed)
+
+
+def run_methods(
+    methods,
+    data,
+    domain: Domain,
+    synthetic_size: int | None = None,
+    repetitions: int = 3,
+    seed: int | None = 0,
+    parameters: dict | None = None,
+) -> list[EvaluationResult]:
+    """Evaluate every method on the same dataset with a shared seed stream."""
+    rng = seeded_rng(seed)
+    results = []
+    for method in methods:
+        results.append(
+            evaluate_method(
+                method,
+                data,
+                domain,
+                synthetic_size=synthetic_size,
+                repetitions=repetitions,
+                rng=np.random.default_rng(rng.integers(0, 2**32 - 1)),
+                parameters=parameters,
+            )
+        )
+    return results
+
+
+def rows_from_results(results: list[EvaluationResult]) -> list[dict]:
+    """Convert evaluation results into flat row dictionaries."""
+    return [result.as_row() for result in results]
+
+
+def format_table(rows: list[dict], float_format: str = "{:.5g}") -> str:
+    """Render a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])

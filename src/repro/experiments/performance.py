@@ -1,0 +1,74 @@
+"""Experiment F-perf: update throughput and memory growth (Corollary 1).
+
+Corollary 1 claims ``O(log(eps n))`` update time and ``M = O(k log^2 n)``
+memory.  The experiment streams workloads of increasing length through PrivHP,
+measuring (a) per-item update latency, (b) the words of state held, and
+(c) the time to grow the partition and draw synthetic data, and reports the
+``k log^2 n`` prediction next to the measured words so the growth rates can be
+compared.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import PrivHPConfig
+from repro.core.privhp import PrivHP
+from repro.domain.hypercube import Hypercube
+from repro.domain.interval import UnitInterval
+from repro.memory.accounting import measure_privhp
+from repro.stream.generators import gaussian_mixture_stream
+from repro.stream.stream import DataStream
+from repro.theory.bounds import memory_words_bound
+
+__all__ = ["throughput_experiment"]
+
+
+def throughput_experiment(
+    stream_sizes=(1024, 2048, 4096, 8192),
+    dimension: int = 1,
+    epsilon: float = 1.0,
+    pruning_k: int = 8,
+    synthetic_size: int = 1024,
+    seed: int = 0,
+) -> list[dict]:
+    """Measure update latency, finalize latency and memory across stream lengths."""
+    domain = UnitInterval() if dimension == 1 else Hypercube(dimension)
+
+    rows = []
+    for stream_size in stream_sizes:
+        rng = np.random.default_rng(seed)
+        data = gaussian_mixture_stream(int(stream_size), dimension=dimension, rng=rng)
+        config = PrivHPConfig.from_stream_size(
+            stream_size=int(stream_size), epsilon=epsilon, pruning_k=pruning_k, seed=seed
+        )
+        algorithm = PrivHP(domain, config, rng=np.random.default_rng(seed))
+
+        stream = DataStream(data, name=f"n={stream_size}")
+        stats = stream.feed(algorithm)
+
+        start = time.perf_counter()
+        generator = algorithm.finalize()
+        finalize_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        generator.sample(synthetic_size)
+        sample_seconds = time.perf_counter() - start
+
+        report = measure_privhp(algorithm)
+        rows.append(
+            {
+                "n": int(stream_size),
+                "updates_per_second": stats.items_per_second,
+                "seconds_per_update": stats.seconds_per_item,
+                "finalize_seconds": finalize_seconds,
+                "sample_seconds": sample_seconds,
+                "memory_words": report.total_words,
+                "memory_bound_k_log2n": memory_words_bound(int(stream_size), pruning_k),
+                "depth_L": config.depth,
+                "cutoff_L_star": config.level_cutoff,
+            }
+        )
+    return rows

@@ -1,0 +1,137 @@
+"""Experiments F-mem, F-eps, F-n: the trade-off curves behind Theorem 1.
+
+* :func:`memory_tradeoff` sweeps the pruning parameter ``k`` (and therefore
+  the memory budget ``M ~ k log^2 n``) at fixed ``n, epsilon`` and records the
+  measured Wasserstein error -- the paper's "almost smooth interpolation
+  between space usage and utility".
+* :func:`epsilon_tradeoff` sweeps the privacy budget and checks the
+  ``1/(eps n)`` behaviour of the noise term.
+* :func:`stream_length_tradeoff` sweeps the stream length and records both the
+  error and the memory held, verifying the ``O(k log^2 n)`` memory growth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import PrivHPMethod
+from repro.domain.hypercube import Hypercube
+from repro.domain.interval import UnitInterval
+from repro.metrics.evaluation import evaluate_method
+from repro.metrics.tail import tail_norm
+from repro.stream.generators import gaussian_mixture_stream, zipf_cell_stream
+from repro.theory.bounds import corollary1_bound
+
+__all__ = ["memory_tradeoff", "epsilon_tradeoff", "stream_length_tradeoff"]
+
+
+def _make_domain(dimension: int):
+    if dimension == 1:
+        return UnitInterval()
+    return Hypercube(dimension)
+
+
+def memory_tradeoff(
+    pruning_values=(2, 4, 8, 16, 32),
+    dimension: int = 1,
+    stream_size: int = 4096,
+    epsilon: float = 1.0,
+    repetitions: int = 3,
+    seed: int = 0,
+    workload: str = "zipf",
+) -> list[dict]:
+    """Utility as a function of the pruning parameter ``k`` (memory knob)."""
+    domain = _make_domain(dimension)
+    rng = np.random.default_rng(seed)
+    if workload == "zipf":
+        data = zipf_cell_stream(stream_size, dimension=dimension, exponent=1.2, rng=rng)
+    else:
+        data = gaussian_mixture_stream(stream_size, dimension=dimension, rng=rng)
+
+    rows = []
+    for pruning_k in pruning_values:
+        method = PrivHPMethod(domain, epsilon=epsilon, pruning_k=int(pruning_k), seed=seed)
+        result = evaluate_method(
+            method,
+            data,
+            domain,
+            repetitions=repetitions,
+            rng=np.random.default_rng(seed + int(pruning_k)),
+            parameters={"k": int(pruning_k)},
+        )
+        tail = tail_norm(data, domain, level=min(12, 2 + int(np.log2(stream_size))), k=int(pruning_k))
+        row = result.as_row()
+        row["predicted_bound"] = corollary1_bound(
+            dimension, stream_size, epsilon, int(pruning_k), tail
+        )
+        row["tail_norm"] = tail
+        rows.append(row)
+    return rows
+
+
+def epsilon_tradeoff(
+    epsilons=(0.25, 0.5, 1.0, 2.0, 4.0),
+    dimension: int = 1,
+    stream_size: int = 4096,
+    pruning_k: int = 8,
+    repetitions: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Utility as a function of the privacy budget epsilon."""
+    domain = _make_domain(dimension)
+    rng = np.random.default_rng(seed)
+    data = gaussian_mixture_stream(stream_size, dimension=dimension, rng=rng)
+
+    rows = []
+    for epsilon in epsilons:
+        method = PrivHPMethod(domain, epsilon=float(epsilon), pruning_k=pruning_k, seed=seed)
+        result = evaluate_method(
+            method,
+            data,
+            domain,
+            repetitions=repetitions,
+            rng=np.random.default_rng(seed + int(epsilon * 100)),
+            parameters={"epsilon": float(epsilon)},
+        )
+        tail = tail_norm(data, domain, level=min(12, 2 + int(np.log2(stream_size))), k=pruning_k)
+        row = result.as_row()
+        row["predicted_bound"] = corollary1_bound(
+            dimension, stream_size, float(epsilon), pruning_k, tail
+        )
+        rows.append(row)
+    return rows
+
+
+def stream_length_tradeoff(
+    stream_sizes=(512, 1024, 2048, 4096, 8192),
+    dimension: int = 1,
+    epsilon: float = 1.0,
+    pruning_k: int = 8,
+    repetitions: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Utility and memory as functions of the stream length ``n``."""
+    domain = _make_domain(dimension)
+
+    rows = []
+    for stream_size in stream_sizes:
+        rng = np.random.default_rng(seed)
+        data = gaussian_mixture_stream(int(stream_size), dimension=dimension, rng=rng)
+        method = PrivHPMethod(domain, epsilon=epsilon, pruning_k=pruning_k, seed=seed)
+        result = evaluate_method(
+            method,
+            data,
+            domain,
+            repetitions=repetitions,
+            rng=np.random.default_rng(seed + int(stream_size)),
+            parameters={"n": int(stream_size)},
+        )
+        tail = tail_norm(
+            data, domain, level=min(12, 2 + int(np.log2(stream_size))), k=pruning_k
+        )
+        row = result.as_row()
+        row["predicted_bound"] = corollary1_bound(
+            dimension, int(stream_size), epsilon, pruning_k, tail
+        )
+        rows.append(row)
+    return rows

@@ -1,0 +1,26 @@
+"""Persistence for released PrivHP artefacts.
+
+Because the released partition tree is already epsilon-differentially private,
+it can be written to disk, shared and reloaded freely (post-processing).  This
+package provides a stable JSON format for trees, configurations and complete
+generators, which the CLI uses to separate the "summarise the sensitive
+stream" step from the "generate / query synthetic data" step.
+"""
+
+from repro.io.serialization import (
+    generator_from_dict,
+    generator_to_dict,
+    load_generator,
+    save_generator,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+__all__ = [
+    "generator_from_dict",
+    "generator_to_dict",
+    "load_generator",
+    "save_generator",
+    "tree_from_dict",
+    "tree_to_dict",
+]

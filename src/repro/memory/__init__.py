@@ -1,0 +1,13 @@
+"""Memory accounting utilities.
+
+Corollary 1's headline claim is about *memory*, so the experiments must be
+able to report how many machine words each method actually holds.  The
+accounting here is structural (counters, sketch cells, tree nodes) rather than
+byte-accurate Python ``sys.getsizeof`` measurements, because the paper's
+bounds are stated in words and Python object overhead would only add noise to
+the comparison.
+"""
+
+from repro.memory.accounting import MemoryReport, measure_privhp, measure_method
+
+__all__ = ["MemoryReport", "measure_method", "measure_privhp"]

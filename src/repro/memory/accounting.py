@@ -1,0 +1,45 @@
+"""Word-level memory accounting for PrivHP and the baseline methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.privhp import PrivHP
+
+__all__ = ["MemoryReport", "measure_privhp", "measure_method"]
+
+
+@dataclass
+class MemoryReport:
+    """Breakdown of the words held by a fitted synthetic-data method."""
+
+    method: str
+    total_words: int
+    components: dict[str, int] = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        """Flat representation for tabular printing."""
+        row = {"method": self.method, "total_words": self.total_words}
+        row.update({f"words_{name}": value for name, value in self.components.items()})
+        return row
+
+
+def measure_privhp(algorithm: PrivHP) -> MemoryReport:
+    """Break a PrivHP instance's memory into tree and per-level sketch words."""
+    components = {"tree": algorithm.tree.memory_words()}
+    for level, sketch in algorithm.sketches.items():
+        components[f"sketch_level_{level}"] = sketch.memory_words()
+    return MemoryReport(
+        method="PrivHP",
+        total_words=algorithm.memory_words(),
+        components=components,
+    )
+
+
+def measure_method(method) -> MemoryReport:
+    """Memory report for any object following the method protocol."""
+    return MemoryReport(
+        method=getattr(method, "name", type(method).__name__),
+        total_words=method.memory_words(),
+        components={},
+    )

@@ -1,0 +1,35 @@
+"""Differential privacy substrate used by PrivHP and the baselines.
+
+The package exposes:
+
+* :mod:`repro.privacy.definitions` -- neighbouring relations and sensitivity
+  helpers used to reason about the privacy of linear statistics.
+* :mod:`repro.privacy.mechanisms` -- the Laplace and geometric mechanisms and
+  vector-valued noise helpers.
+* :mod:`repro.privacy.accountant` -- a simple basic-composition budget
+  accountant used to track the per-level budgets ``{sigma_l}`` spent by the
+  hierarchical decomposition.
+"""
+
+from repro.privacy.definitions import (
+    l1_sensitivity,
+    linf_sensitivity,
+    neighbouring,
+)
+from repro.privacy.mechanisms import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    laplace_noise,
+)
+from repro.privacy.accountant import BudgetAccountant, PrivacySpend
+
+__all__ = [
+    "BudgetAccountant",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "PrivacySpend",
+    "l1_sensitivity",
+    "laplace_noise",
+    "linf_sensitivity",
+    "neighbouring",
+]

@@ -1,0 +1,111 @@
+"""Privacy budget accounting via basic composition (Lemma 3).
+
+PrivHP spends its total budget ``epsilon = sum_l sigma_l`` across the levels
+of the hierarchy: a Laplace counter per node on the exact levels and a private
+sketch per approximate level.  The accountant tracks each spend, enforces that
+the total never exceeds the configured budget, and produces an auditable
+ledger that the tests and the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PrivacySpend", "BudgetAccountant", "BudgetExceededError"]
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a spend would push the ledger past the total budget."""
+
+
+@dataclass(frozen=True)
+class PrivacySpend:
+    """A single entry in the privacy ledger."""
+
+    epsilon: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon spent must be non-negative, got {self.epsilon}")
+
+
+@dataclass
+class BudgetAccountant:
+    """Tracks cumulative epsilon under basic (sequential) composition.
+
+    Parameters
+    ----------
+    total_budget:
+        The overall epsilon the mechanism is allowed to spend.  ``None`` means
+        unlimited (useful for non-private ablations).
+    tolerance:
+        Numerical slack applied when checking the budget, so that an optimal
+        allocation that sums to epsilon up to floating-point error is not
+        rejected.
+    """
+
+    total_budget: float | None = None
+    tolerance: float = 1e-9
+    _spends: list[PrivacySpend] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_budget is not None and self.total_budget <= 0:
+            raise ValueError(
+                f"total_budget must be positive or None, got {self.total_budget}"
+            )
+
+    @property
+    def spent(self) -> float:
+        """Total epsilon spent so far."""
+        return float(sum(entry.epsilon for entry in self._spends))
+
+    @property
+    def remaining(self) -> float:
+        """Remaining budget; ``inf`` when the accountant is unbounded."""
+        if self.total_budget is None:
+            return float("inf")
+        return self.total_budget - self.spent
+
+    @property
+    def ledger(self) -> tuple[PrivacySpend, ...]:
+        """Immutable view of all recorded spends."""
+        return tuple(self._spends)
+
+    def spend(self, epsilon: float, label: str = "") -> PrivacySpend:
+        """Record a spend, raising :class:`BudgetExceededError` if over budget."""
+        entry = PrivacySpend(epsilon=epsilon, label=label)
+        if (
+            self.total_budget is not None
+            and self.spent + epsilon > self.total_budget + self.tolerance
+        ):
+            raise BudgetExceededError(
+                f"spending {epsilon} for {label!r} exceeds remaining budget "
+                f"{self.remaining:.6g} (total {self.total_budget})"
+            )
+        self._spends.append(entry)
+        return entry
+
+    def can_spend(self, epsilon: float) -> bool:
+        """Return True when a spend of ``epsilon`` would stay within budget."""
+        if self.total_budget is None:
+            return True
+        return self.spent + epsilon <= self.total_budget + self.tolerance
+
+    def assert_within_budget(self) -> None:
+        """Raise if the ledger exceeds the configured budget."""
+        if self.total_budget is None:
+            return
+        if self.spent > self.total_budget + self.tolerance:
+            raise BudgetExceededError(
+                f"ledger total {self.spent:.6g} exceeds budget {self.total_budget}"
+            )
+
+    def summary(self) -> str:
+        """Human-readable multi-line ledger summary."""
+        lines = ["privacy ledger:"]
+        for entry in self._spends:
+            lines.append(f"  {entry.label or '<unlabelled>'}: epsilon={entry.epsilon:.6g}")
+        total = f"{self.total_budget:.6g}" if self.total_budget is not None else "unbounded"
+        lines.append(f"  spent={self.spent:.6g} / budget={total}")
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Query answering on top of the private synthetic generator.
+
+The paper's motivation for synthetic data over special-purpose private data
+structures is query *flexibility*: "this synthetic data can be used for any
+downstream task without additional privacy costs" (Section 1).  This package
+makes that concrete by answering standard analytic queries directly from the
+released partition tree (equivalently, from the synthetic distribution):
+
+* :mod:`repro.queries.range_queries` -- mass / count of axis-aligned boxes,
+  intervals, CIDR blocks and index ranges.
+* :mod:`repro.queries.quantiles` -- quantile and CDF functions on ordered
+  (one-dimensional) domains.
+* :mod:`repro.queries.workload` -- random query workloads and error
+  evaluation against the true data, used by the range-query benchmark.
+
+All answers are post-processing of the epsilon-DP release, so they consume no
+additional privacy budget.
+"""
+
+from repro.queries.range_queries import RangeQueryEngine
+from repro.queries.quantiles import QuantileEngine
+from repro.queries.workload import (
+    RangeQuery,
+    evaluate_range_workload,
+    random_range_queries,
+)
+
+__all__ = [
+    "QuantileEngine",
+    "RangeQuery",
+    "RangeQueryEngine",
+    "evaluate_range_workload",
+    "random_range_queries",
+]

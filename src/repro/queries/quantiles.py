@@ -1,0 +1,88 @@
+"""Quantile and inverse-CDF queries on ordered domains.
+
+The private tree encodes a monotone CDF over any one-dimensional ordered
+domain ([0,1], IPv4 addresses, finite universes), so quantiles can be read off
+directly by a root-to-leaf descent: at each node, branch left when the
+requested probability mass fits in the left child, otherwise subtract it and
+branch right.  This is the query-side counterpart of the sampling procedure of
+Section 5 and is again pure post-processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import PartitionTree
+from repro.domain.base import Cell, Domain
+from repro.domain.discrete import DiscreteDomain
+from repro.domain.interval import UnitInterval
+from repro.domain.ipv4 import IPv4Domain
+
+__all__ = ["QuantileEngine"]
+
+
+class QuantileEngine:
+    """Quantile function derived from a partition tree on an ordered domain."""
+
+    def __init__(self, tree: PartitionTree, domain: Domain) -> None:
+        if not isinstance(domain, (UnitInterval, IPv4Domain, DiscreteDomain)):
+            raise TypeError("quantile queries require a one-dimensional ordered domain")
+        self.tree = tree
+        self.domain = domain
+
+    def _cell_upper_point(self, theta: Cell):
+        """The largest point of a cell (used as the quantile representative)."""
+        if isinstance(self.domain, UnitInterval):
+            _, upper = self.domain.cell_bounds(theta)
+            return float(upper)
+        _, upper = self.domain.cell_range(theta)
+        return int(upper)
+
+    def _cell_interpolated_point(self, theta: Cell, fraction: float):
+        """A point ``fraction`` of the way through the cell (linear interpolation)."""
+        fraction = min(max(fraction, 0.0), 1.0)
+        if isinstance(self.domain, UnitInterval):
+            lower, upper = self.domain.cell_bounds(theta)
+            return float(lower + fraction * (upper - lower))
+        lower, upper = self.domain.cell_range(theta)
+        if lower > upper:
+            return int(lower)
+        return int(round(lower + fraction * (upper - lower)))
+
+    def quantile(self, probability: float):
+        """The ``probability``-quantile of the released distribution."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {probability}")
+        total = max(self.tree.root_count, 0.0)
+        if total <= 0:
+            # Degenerate release: fall back to the quantile of the uniform law.
+            return self._cell_interpolated_point((), probability)
+
+        remaining = probability * total
+        theta: Cell = ()
+        while self.tree.has_children(theta):
+            left, right = theta + (0,), theta + (1,)
+            left_count = max(self.tree.get(left, 0.0), 0.0)
+            if left_count >= remaining:
+                theta = left
+            else:
+                remaining -= left_count
+                theta = right
+        leaf_count = max(self.tree.get(theta, 0.0), 0.0)
+        if leaf_count <= 0:
+            return self._cell_upper_point(theta)
+        return self._cell_interpolated_point(theta, remaining / leaf_count)
+
+    def quantiles(self, probabilities) -> np.ndarray:
+        """Vectorised quantile evaluation."""
+        return np.asarray([self.quantile(float(p)) for p in probabilities])
+
+    def median(self):
+        """The released distribution's median."""
+        return self.quantile(0.5)
+
+    def interquartile_range(self) -> float:
+        """Q3 - Q1 of the released distribution, in the domain's raw units."""
+        q1 = self.quantile(0.25)
+        q3 = self.quantile(0.75)
+        return float(q3 - q1)

@@ -1,0 +1,130 @@
+"""Seeded hash families for sketching.
+
+The paper's error analysis (Lemma 4) assumes fully random hash functions, but
+its privacy guarantee does not.  In the implementation we use seeded
+polynomial hashing over a Mersenne prime, which is the standard practical
+substitute: it is deterministic given the seed (so sketches are reproducible
+and mergeable) and behaves like a random function on the bit-string keys used
+by the hierarchy.
+
+Keys are arbitrary hashable Python objects; bit-tuples (the ``theta`` indices
+of hierarchy cells) and integers are the common cases, and both are converted
+to a canonical byte representation before hashing so that equal keys always
+collide with themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MERSENNE_PRIME", "canonical_key", "PairwiseHash", "SignedHash", "HashFamily"]
+
+# 2^61 - 1: large Mersenne prime that still fits comfortably in 64-bit ints.
+MERSENNE_PRIME = (1 << 61) - 1
+
+
+def canonical_key(key) -> int:
+    """Map an arbitrary key to a non-negative integer deterministically.
+
+    Bit tuples (the hierarchy's ``theta`` indices) are packed as
+    ``1 b_0 b_1 ... b_{l-1}`` so that tuples of different lengths never
+    collide by construction.  Integers map to themselves (offset to be
+    non-negative), strings and bytes are hashed via a simple polynomial over
+    their bytes.  The mapping must be stable across processes, so Python's
+    built-in randomised ``hash`` is deliberately avoided.
+    """
+    if isinstance(key, (tuple, list)):
+        value = 1
+        for element in key:
+            if isinstance(element, (int, np.integer)) and int(element) in (0, 1):
+                value = ((value << 1) | int(element)) % MERSENNE_PRIME
+            else:
+                # General tuples: fold each element recursively.
+                value = (value * 1_000_003 + canonical_key(element)) % MERSENNE_PRIME
+        return value % MERSENNE_PRIME
+    if isinstance(key, (int, np.integer)):
+        return int(key) % MERSENNE_PRIME
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray)):
+        value = 0
+        for byte in key:
+            value = (value * 257 + byte + 1) % MERSENNE_PRIME
+        return value
+    raise TypeError(f"unsupported sketch key type: {type(key)!r}")
+
+
+@dataclass(frozen=True)
+class PairwiseHash:
+    """A single pairwise-independent hash ``h(x) = ((a x + b) mod p) mod width``."""
+
+    a: int
+    b: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"hash width must be positive, got {self.width}")
+        if not (1 <= self.a < MERSENNE_PRIME):
+            raise ValueError("hash coefficient a must be in [1, p)")
+        if not (0 <= self.b < MERSENNE_PRIME):
+            raise ValueError("hash coefficient b must be in [0, p)")
+
+    def __call__(self, key) -> int:
+        value = canonical_key(key)
+        return int(((self.a * value + self.b) % MERSENNE_PRIME) % self.width)
+
+
+@dataclass(frozen=True)
+class SignedHash:
+    """A +/-1 valued hash used by Count-Sketch."""
+
+    a: int
+    b: int
+
+    def __call__(self, key) -> int:
+        value = canonical_key(key)
+        bit = ((self.a * value + self.b) % MERSENNE_PRIME) & 1
+        return 1 if bit else -1
+
+
+class HashFamily:
+    """A reproducible family of ``depth`` row hashes (and optional sign hashes)."""
+
+    def __init__(self, depth: int, width: int, seed: int | None = None) -> None:
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.depth = depth
+        self.width = width
+        rng = np.random.default_rng(seed)
+        self._row_hashes = [
+            PairwiseHash(
+                a=int(rng.integers(1, MERSENNE_PRIME)),
+                b=int(rng.integers(0, MERSENNE_PRIME)),
+                width=width,
+            )
+            for _ in range(depth)
+        ]
+        self._sign_hashes = [
+            SignedHash(
+                a=int(rng.integers(1, MERSENNE_PRIME)),
+                b=int(rng.integers(0, MERSENNE_PRIME)),
+            )
+            for _ in range(depth)
+        ]
+
+    def bucket(self, row: int, key) -> int:
+        """Bucket index of ``key`` in ``row``."""
+        return self._row_hashes[row](key)
+
+    def sign(self, row: int, key) -> int:
+        """Sign (+1/-1) of ``key`` in ``row`` (used by Count-Sketch only)."""
+        return self._sign_hashes[row](key)
+
+    def buckets(self, key) -> list[int]:
+        """Bucket indices of ``key`` for every row."""
+        return [h(key) for h in self._row_hashes]

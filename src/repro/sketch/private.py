@@ -1,0 +1,150 @@
+"""Private (oblivious-noise) sketch release, Section 3.4 of the paper.
+
+Sketches are linear maps, so on neighbouring inputs a sketch differs by the
+sketch of a single unit vector: one bucket per row changes by one, giving L1
+sensitivity equal to the number of rows ``j``.  Adding
+``Laplace(j / epsilon)`` noise independently to every cell therefore yields an
+epsilon-differentially private release of the whole table, and every query
+answered from the noisy table is private by post-processing.
+
+PrivHP adds the noise *at initialisation* (Algorithm 1, line 8), which is
+equivalent to adding it at release time because addition commutes; doing it up
+front keeps GrowPartition purely deterministic post-processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.privacy.mechanisms import laplace_noise
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
+
+__all__ = ["privatize_sketch_array", "PrivateCountMinSketch", "PrivateCountSketch"]
+
+
+def privatize_sketch_array(
+    table: np.ndarray,
+    epsilon: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Return ``table + Laplace(depth/epsilon)`` noise, the oblivious release.
+
+    ``table`` must be the raw ``depth x width`` counter matrix; the number of
+    rows determines the sensitivity.
+    """
+    table = np.asarray(table, dtype=float)
+    if table.ndim != 2:
+        raise ValueError(f"sketch table must be 2-dimensional, got shape {table.shape}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    depth = table.shape[0]
+    scale = depth / epsilon
+    noise = laplace_noise(scale, size=table.shape, rng=rng)
+    return table + noise
+
+
+class _PrivateSketchMixin:
+    """Shared wiring for private sketch wrappers."""
+
+    def __init__(self, sketch, epsilon: float, rng: np.random.Generator | int | None) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self._sketch = sketch
+        self.epsilon = float(epsilon)
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._noise_applied = False
+        self._apply_initial_noise()
+
+    def _apply_initial_noise(self) -> None:
+        scale = self._sketch.depth / self.epsilon
+        noise = self._rng.laplace(0.0, scale, size=(self._sketch.depth, self._sketch.width))
+        self._sketch.add_noise_matrix(noise)
+        self._noise_applied = True
+
+    # Delegate the sketch interface -------------------------------------------------
+    def update(self, key, count: float = 1.0) -> None:
+        """Add an item to the underlying sketch (stream-side, pre-release)."""
+        self._sketch.update(key, count)
+
+    def update_many(self, keys, counts=None) -> None:
+        """Bulk update of the underlying sketch."""
+        self._sketch.update_many(keys, counts)
+
+    def query(self, key) -> float:
+        """Noisy frequency estimate (private by post-processing)."""
+        return self._sketch.query(key)
+
+    def query_many(self, keys) -> np.ndarray:
+        """Vector of noisy frequency estimates."""
+        return self._sketch.query_many(keys)
+
+    @property
+    def width(self) -> int:
+        """Buckets per row of the wrapped sketch."""
+        return self._sketch.width
+
+    @property
+    def depth(self) -> int:
+        """Rows of the wrapped sketch (equals the L1 sensitivity)."""
+        return self._sketch.depth
+
+    @property
+    def noise_applied(self) -> bool:
+        """True once the oblivious noise matrix has been added."""
+        return self._noise_applied
+
+    @property
+    def sensitivity(self) -> float:
+        """L1 sensitivity of the sketch table on neighbouring streams."""
+        return float(self._sketch.depth)
+
+    @property
+    def noise_scale(self) -> float:
+        """Scale of the per-cell Laplace noise, ``depth / epsilon``."""
+        return self._sketch.depth / self.epsilon
+
+    def memory_words(self) -> int:
+        """Words used by the sketch table."""
+        return self._sketch.memory_words()
+
+    @property
+    def table(self) -> np.ndarray:
+        """Copy of the (noisy) counter matrix."""
+        return self._sketch.table
+
+
+class PrivateCountMinSketch(_PrivateSketchMixin):
+    """Count-Min sketch with oblivious Laplace noise (the paper's choice)."""
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        epsilon: float,
+        seed: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        sketch = CountMinSketch(width=width, depth=depth, seed=seed, conservative=False)
+        super().__init__(sketch, epsilon, rng)
+
+    def error_bound(self, tail_norm: float, total_norm: float) -> float:
+        """Lemma 4 error plus the expected noise magnitude at the minimum."""
+        sketch_error = self._sketch.error_bound(tail_norm, total_norm)
+        noise_error = self.noise_scale
+        return sketch_error + noise_error
+
+
+class PrivateCountSketch(_PrivateSketchMixin):
+    """Count-Sketch with oblivious Laplace noise (alternative primitive)."""
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        epsilon: float,
+        seed: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        sketch = CountSketch(width=width, depth=depth, seed=seed)
+        super().__init__(sketch, epsilon, rng)

@@ -1,0 +1,37 @@
+"""Stream substrate: one-pass iteration, workload generators and datasets.
+
+PrivHP is a data-stream algorithm, so the experiments need (a) a stream
+abstraction that enforces single-pass access and measures throughput, and
+(b) workloads whose skew -- the quantity ``||tail_k||_1`` that drives the
+paper's approximation term -- is controllable.  Real sensitive traces are not
+available offline, so :mod:`repro.stream.datasets` synthesises realistic
+stand-ins (IPv4 traffic with heavy-hitter structure, clustered geo check-ins,
+heavy-tailed transaction amounts); DESIGN.md records the substitution.
+"""
+
+from repro.stream.stream import DataStream, StreamStats
+from repro.stream.generators import (
+    beta_stream,
+    gaussian_mixture_stream,
+    sparse_cluster_stream,
+    uniform_stream,
+    zipf_cell_stream,
+)
+from repro.stream.datasets import (
+    geo_checkin_stream,
+    ipv4_traffic_stream,
+    transaction_amount_stream,
+)
+
+__all__ = [
+    "DataStream",
+    "StreamStats",
+    "beta_stream",
+    "gaussian_mixture_stream",
+    "geo_checkin_stream",
+    "ipv4_traffic_stream",
+    "sparse_cluster_stream",
+    "transaction_amount_stream",
+    "uniform_stream",
+    "zipf_cell_stream",
+]

@@ -1,0 +1,87 @@
+"""Single-pass stream wrapper with throughput accounting.
+
+The wrapper enforces the streaming contract PrivHP is analysed under: items
+can be consumed exactly once, in order, and nothing is retained.  It also
+times the consumer so the performance benchmark can report update throughput
+(Corollary 1 claims ``O(log(eps n))`` update time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+__all__ = ["StreamStats", "DataStream"]
+
+
+@dataclass
+class StreamStats:
+    """Throughput statistics collected while a stream was consumed."""
+
+    items: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def items_per_second(self) -> float:
+        """Average consumption rate (0 when nothing was consumed)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.items / self.elapsed_seconds
+
+    @property
+    def seconds_per_item(self) -> float:
+        """Average per-item latency (0 when nothing was consumed)."""
+        if self.items == 0:
+            return 0.0
+        return self.elapsed_seconds / self.items
+
+
+class DataStream:
+    """A strictly single-pass, order-preserving view over a data source."""
+
+    def __init__(self, source: Iterable, name: str = "stream") -> None:
+        self._iterator: Iterator | None = iter(source)
+        self.name = name
+        self.stats = StreamStats()
+        self._consumed = False
+
+    def __iter__(self) -> Iterator:
+        if self._consumed:
+            raise RuntimeError(
+                f"stream {self.name!r} has already been consumed; "
+                "a data stream can only be read once"
+            )
+        self._consumed = True
+        iterator = self._iterator
+        self._iterator = None
+        assert iterator is not None
+        start = time.perf_counter()
+        for item in iterator:
+            self.stats.items += 1
+            yield item
+        self.stats.elapsed_seconds = time.perf_counter() - start
+
+    @property
+    def consumed(self) -> bool:
+        """Whether iteration has started (and therefore no second pass exists)."""
+        return self._consumed
+
+    def feed(self, consumer) -> StreamStats:
+        """Push the stream into an object exposing ``update(item)`` and time it.
+
+        This is the canonical way the benchmarks drive PrivHP: it measures the
+        consumer's update cost, not just the iteration cost.
+        """
+        if self._consumed:
+            raise RuntimeError(f"stream {self.name!r} has already been consumed")
+        self._consumed = True
+        iterator = self._iterator
+        self._iterator = None
+        assert iterator is not None
+        start = time.perf_counter()
+        for item in iterator:
+            consumer.update(item)
+            self.stats.items += 1
+        self.stats.elapsed_seconds = time.perf_counter() - start
+        return self.stats

@@ -1,0 +1,30 @@
+"""Closed-form evaluators for the paper's theoretical bounds.
+
+These functions compute the right-hand sides of Theorem 3, Lemma 5 and
+Corollary 1 (and the Table-1 rows for the baselines) for concrete parameter
+settings.  They are used by the benchmarks to print the predicted scaling next
+to the measured one, and by tests that verify qualitative properties of the
+bounds (monotonicity in memory, the claimed crossovers, etc.).
+"""
+
+from repro.theory.bounds import (
+    corollary1_bound,
+    memory_words_bound,
+    pmm_bound,
+    privhp_noise_term,
+    smooth_bound,
+    srrw_bound,
+    theorem3_bound,
+)
+from repro.theory.comparison import table1_rows
+
+__all__ = [
+    "corollary1_bound",
+    "memory_words_bound",
+    "pmm_bound",
+    "privhp_noise_term",
+    "smooth_bound",
+    "srrw_bound",
+    "table1_rows",
+    "theorem3_bound",
+]

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+# Fallback so the tests run from a source checkout even when the package has
+# not been pip-installed (e.g. a fully offline environment).
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.domain.discrete import DiscreteDomain  # noqa: E402
+from repro.domain.geo import GeoDomain  # noqa: E402
+from repro.domain.hypercube import Hypercube  # noqa: E402
+from repro.domain.interval import UnitInterval  # noqa: E402
+from repro.domain.ipv4 import IPv4Domain  # noqa: E402
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def interval() -> UnitInterval:
+    """The [0, 1] domain."""
+    return UnitInterval()
+
+
+@pytest.fixture
+def square() -> Hypercube:
+    """The [0, 1]^2 domain."""
+    return Hypercube(2)
+
+
+@pytest.fixture
+def cube() -> Hypercube:
+    """The [0, 1]^3 domain."""
+    return Hypercube(3)
+
+
+@pytest.fixture
+def ipv4() -> IPv4Domain:
+    """The IPv4 address-space domain."""
+    return IPv4Domain()
+
+
+@pytest.fixture
+def geo() -> GeoDomain:
+    """A continental-US style bounding box."""
+    return GeoDomain(lat_min=24.0, lat_max=49.0, lon_min=-125.0, lon_max=-66.0)
+
+
+@pytest.fixture
+def discrete() -> DiscreteDomain:
+    """A small finite ordered domain."""
+    return DiscreteDomain(size=100)
+
+
+@pytest.fixture
+def small_beta_data(rng) -> np.ndarray:
+    """A small skewed scalar dataset."""
+    return rng.beta(2.0, 5.0, size=600)
+
+
+@pytest.fixture
+def small_square_data(rng) -> np.ndarray:
+    """A small two-dimensional clustered dataset."""
+    centres = np.array([[0.25, 0.25], [0.75, 0.7]])
+    labels = rng.integers(0, 2, size=500)
+    points = centres[labels] + rng.normal(0.0, 0.05, size=(500, 2))
+    return np.clip(points, 0.0, 1.0)

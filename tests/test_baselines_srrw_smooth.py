@@ -1,0 +1,118 @@
+"""Tests for the SRRW and Smooth baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.smooth import GridDensitySampler, SmoothMethod
+from repro.baselines.srrw import SRRWMethod
+from repro.domain.ipv4 import IPv4Domain
+from repro.metrics.wasserstein import wasserstein1_1d
+
+
+class TestSRRW:
+    def test_fit_and_sample(self, interval, rng):
+        method = SRRWMethod(interval, epsilon=1.0, max_depth=8)
+        sampler = method.fit(rng.random(300), rng=0)
+        samples = sampler.sample(100)
+        assert np.all((samples >= 0) & (samples <= 1))
+
+    def test_high_budget_low_error(self, interval, rng):
+        data = rng.beta(2, 6, size=2000)
+        method = SRRWMethod(interval, epsilon=500.0, max_depth=12)
+        sampler = method.fit(data, rng=0)
+        assert wasserstein1_1d(data, sampler.sample(2000)) < 0.02
+
+    def test_memory_proportional_to_full_tree(self, interval, rng):
+        method = SRRWMethod(interval, epsilon=1.0, max_depth=9)
+        method.fit(rng.random(500), rng=0)
+        depth = method._resolve_depth(500)
+        assert method.memory_words() == 2 * (2 ** (depth + 1) - 1)
+
+    def test_consistency_enforced_by_default(self, interval, rng):
+        method = SRRWMethod(interval, epsilon=1.0, max_depth=7)
+        method.fit(rng.random(200), rng=0)
+        assert method._tree.is_consistent()
+
+    def test_two_dimensional_support(self, square, rng):
+        method = SRRWMethod(square, epsilon=2.0, max_depth=8)
+        sampler = method.fit(rng.random((200, 2)), rng=0)
+        assert sampler.sample(40).shape == (40, 2)
+
+    def test_invalid_epsilon(self, interval):
+        with pytest.raises(ValueError):
+            SRRWMethod(interval, epsilon=-1.0)
+
+    def test_empty_data_rejected(self, interval):
+        with pytest.raises(ValueError):
+            SRRWMethod(interval, epsilon=1.0).fit([], rng=0)
+
+
+class TestGridDensitySampler:
+    def test_negative_density_clamped(self, rng):
+        density = np.array([-1.0, 2.0, 1.0])
+        sampler = GridDensitySampler(density, rng=rng, scalar_output=True)
+        samples = sampler.sample(500)
+        # No sample should land in the first third (its density was clamped to 0).
+        assert np.mean(samples < 1 / 3) == pytest.approx(0.0, abs=0.01)
+
+    def test_all_zero_density_falls_back_to_uniform(self, rng):
+        sampler = GridDensitySampler(np.zeros(8), rng=rng, scalar_output=True)
+        samples = sampler.sample(400)
+        assert 0.3 < np.mean(samples < 0.5) < 0.7
+
+    def test_two_dimensional_output(self, rng):
+        sampler = GridDensitySampler(np.ones((4, 4)), rng=rng, scalar_output=False)
+        assert sampler.sample(10).shape == (10, 2)
+
+    def test_negative_size_rejected(self, rng):
+        sampler = GridDensitySampler(np.ones(4), rng=rng, scalar_output=True)
+        with pytest.raises(ValueError):
+            sampler.sample(-1)
+
+
+class TestSmooth:
+    def test_fit_and_sample_interval(self, interval, rng):
+        method = SmoothMethod(interval, epsilon=2.0, order=6, grid_size=64)
+        sampler = method.fit(rng.beta(2, 5, size=1000), rng=0)
+        samples = sampler.sample(300)
+        assert np.all((samples >= 0) & (samples <= 1))
+
+    def test_high_budget_captures_shape(self, interval, rng):
+        data = rng.beta(2, 8, size=4000)
+        method = SmoothMethod(interval, epsilon=200.0, order=10, grid_size=128)
+        sampler = method.fit(data, rng=0)
+        error = wasserstein1_1d(data, sampler.sample(4000))
+        uniform_error = wasserstein1_1d(data, rng.random(4000))
+        assert error < uniform_error
+
+    def test_two_dimensional_support(self, square, rng):
+        method = SmoothMethod(square, epsilon=5.0, order=3, grid_size=16)
+        sampler = method.fit(rng.random((500, 2)), rng=0)
+        assert sampler.sample(50).shape == (50, 2)
+
+    def test_memory_reported_after_fit(self, interval, rng):
+        method = SmoothMethod(interval, epsilon=1.0, order=4, grid_size=32)
+        assert method.memory_words() == 0
+        method.fit(rng.random(200), rng=0)
+        assert method.memory_words() > 0
+
+    def test_rejects_non_hypercube_domain(self):
+        with pytest.raises(TypeError):
+            SmoothMethod(IPv4Domain(), epsilon=1.0)
+
+    def test_invalid_parameters(self, interval):
+        with pytest.raises(ValueError):
+            SmoothMethod(interval, epsilon=0.0)
+        with pytest.raises(ValueError):
+            SmoothMethod(interval, epsilon=1.0, order=0)
+        with pytest.raises(ValueError):
+            SmoothMethod(interval, epsilon=1.0, grid_size=1)
+
+    def test_dimension_mismatch_rejected(self, square, rng):
+        method = SmoothMethod(square, epsilon=1.0, order=2, grid_size=8)
+        with pytest.raises(ValueError):
+            method.fit(rng.random(100), rng=0)
+
+    def test_empty_data_rejected(self, interval):
+        with pytest.raises(ValueError):
+            SmoothMethod(interval, epsilon=1.0).fit([], rng=0)

@@ -1,0 +1,141 @@
+"""Tests for the continual-observation extension."""
+
+import numpy as np
+import pytest
+
+from repro.continual.counter import BinaryMechanismCounter
+from repro.continual.privhp import PrivHPContinual
+from repro.continual.sketch import ContinualPrivateCountMinSketch
+from repro.core.config import PrivHPConfig
+from repro.metrics.wasserstein import wasserstein1_1d
+
+
+class TestBinaryMechanismCounter:
+    def test_tracks_true_count_with_large_budget(self, rng):
+        counter = BinaryMechanismCounter(epsilon=200.0, horizon=256, rng=rng)
+        for step in range(1, 101):
+            estimate = counter.step(1.0)
+            assert estimate == pytest.approx(step, abs=2.0)
+
+    def test_true_count_exact(self, rng):
+        counter = BinaryMechanismCounter(epsilon=1.0, horizon=64, rng=rng)
+        for _ in range(37):
+            counter.step(1.0)
+        assert counter.true_count == pytest.approx(37.0)
+
+    def test_weighted_steps(self, rng):
+        counter = BinaryMechanismCounter(epsilon=500.0, horizon=32, rng=rng)
+        counter.step(2.5)
+        counter.step(1.5)
+        assert counter.query() == pytest.approx(4.0, abs=1.0)
+
+    def test_query_before_any_step_is_zero(self, rng):
+        counter = BinaryMechanismCounter(epsilon=1.0, horizon=8, rng=rng)
+        assert counter.query() == 0.0
+
+    def test_horizon_enforced(self, rng):
+        counter = BinaryMechanismCounter(epsilon=1.0, horizon=4, rng=rng)
+        for _ in range(4):
+            counter.step()
+        with pytest.raises(RuntimeError):
+            counter.step()
+
+    def test_error_grows_with_smaller_epsilon(self, rng):
+        def mean_error(epsilon):
+            errors = []
+            for seed in range(20):
+                counter = BinaryMechanismCounter(epsilon=epsilon, horizon=128,
+                                                 rng=np.random.default_rng(seed))
+                for _ in range(100):
+                    counter.step()
+                errors.append(abs(counter.query() - 100))
+            return float(np.mean(errors))
+
+        assert mean_error(10.0) < mean_error(0.1)
+
+    def test_memory_logarithmic_in_horizon(self):
+        small = BinaryMechanismCounter(epsilon=1.0, horizon=2**6).memory_words()
+        large = BinaryMechanismCounter(epsilon=1.0, horizon=2**16).memory_words()
+        assert large < 4 * small
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BinaryMechanismCounter(epsilon=0.0, horizon=8)
+        with pytest.raises(ValueError):
+            BinaryMechanismCounter(epsilon=1.0, horizon=0)
+
+
+class TestContinualSketch:
+    def test_estimates_track_counts_with_large_budget(self, rng):
+        sketch = ContinualPrivateCountMinSketch(width=64, depth=3, epsilon=300.0,
+                                                horizon=512, seed=0, rng=rng)
+        for _ in range(50):
+            sketch.update("hot")
+        assert sketch.query("hot") == pytest.approx(50, abs=8)
+
+    def test_queries_available_mid_stream(self, rng):
+        sketch = ContinualPrivateCountMinSketch(width=32, depth=2, epsilon=100.0,
+                                                horizon=256, seed=1, rng=rng)
+        estimates = []
+        for step in range(1, 41):
+            sketch.update("key")
+            estimates.append(sketch.query("key"))
+        # Estimates should grow roughly linearly with the updates.
+        assert estimates[-1] > estimates[9]
+
+    def test_memory_words_positive(self, rng):
+        sketch = ContinualPrivateCountMinSketch(width=8, depth=2, epsilon=1.0,
+                                                horizon=64, rng=rng)
+        assert sketch.memory_words() >= 8 * 2 * 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ContinualPrivateCountMinSketch(width=0, depth=2, epsilon=1.0, horizon=8)
+        with pytest.raises(ValueError):
+            ContinualPrivateCountMinSketch(width=2, depth=2, epsilon=0.0, horizon=8)
+
+
+class TestPrivHPContinual:
+    def make_config(self, n, epsilon=50.0, seed=0):
+        return PrivHPConfig.from_stream_size(n, epsilon=epsilon, pruning_k=4, seed=seed,
+                                             depth=8, level_cutoff=4, sketch_depth=4)
+
+    def test_snapshot_mid_stream_and_at_end(self, interval, rng):
+        data = rng.beta(2, 6, size=600)
+        model = PrivHPContinual(interval, self.make_config(600), horizon=600, rng=0)
+        model.process(data[:300])
+        mid_generator = model.snapshot()
+        mid_samples = mid_generator.sample(200)
+        assert np.all((mid_samples >= 0) & (mid_samples <= 1))
+
+        model.process(data[300:])
+        end_generator = model.snapshot()
+        error = wasserstein1_1d(data, end_generator.sample(600))
+        assert error < 0.15
+
+    def test_multiple_snapshots_allowed(self, interval, rng):
+        model = PrivHPContinual(interval, self.make_config(200), horizon=200, rng=0)
+        model.process(rng.random(100))
+        first = model.snapshot()
+        second = model.snapshot()
+        assert first.total_mass == pytest.approx(second.total_mass)
+
+    def test_budget_ledger_sums_to_epsilon(self, interval):
+        config = self.make_config(100, epsilon=2.0)
+        model = PrivHPContinual(interval, config, horizon=100, rng=0)
+        assert model.accountant.spent == pytest.approx(2.0)
+
+    def test_horizon_enforced(self, interval, rng):
+        model = PrivHPContinual(interval, self.make_config(50), horizon=10, rng=0)
+        model.process(rng.random(10))
+        with pytest.raises(RuntimeError):
+            model.update(0.5)
+
+    def test_memory_reported(self, interval, rng):
+        model = PrivHPContinual(interval, self.make_config(100), horizon=100, rng=0)
+        model.process(rng.random(50))
+        assert model.memory_words() > 0
+
+    def test_invalid_horizon(self, interval):
+        with pytest.raises(ValueError):
+            PrivHPContinual(interval, self.make_config(10), horizon=0)

@@ -1,0 +1,94 @@
+"""Tests for the per-level privacy budget allocation (Lemma 5)."""
+
+import math
+
+import pytest
+
+from repro.core.budget import allocate_budgets, optimal_budgets, uniform_budgets
+
+
+class TestUniformBudgets:
+    def test_sums_to_epsilon(self):
+        budgets = uniform_budgets(1.0, depth=9)
+        assert len(budgets) == 10
+        assert sum(budgets) == pytest.approx(1.0)
+
+    def test_all_levels_equal(self):
+        budgets = uniform_budgets(2.0, depth=4)
+        assert all(b == pytest.approx(budgets[0]) for b in budgets)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            uniform_budgets(0.0, 3)
+        with pytest.raises(ValueError):
+            uniform_budgets(1.0, -1)
+
+
+class TestOptimalBudgets:
+    def test_sums_to_epsilon(self, interval):
+        budgets = optimal_budgets(interval, 1.0, depth=10, level_cutoff=6, pruning_k=4, sketch_depth=8)
+        assert sum(budgets) == pytest.approx(1.0)
+        assert len(budgets) == 11
+
+    def test_all_positive(self, square):
+        budgets = optimal_budgets(square, 0.5, depth=12, level_cutoff=8, pruning_k=8, sketch_depth=10)
+        assert all(b > 0 for b in budgets)
+
+    def test_exact_levels_follow_sqrt_gamma_on_interval(self, interval):
+        """On [0,1], Gamma_l = 1 for every level, so exact-level budgets are equal."""
+        budgets = optimal_budgets(interval, 1.0, depth=8, level_cutoff=4, pruning_k=2, sketch_depth=4)
+        exact = budgets[: 4 + 1]
+        assert all(b == pytest.approx(exact[0]) for b in exact)
+
+    def test_sketch_levels_decay_with_cell_diameter(self, interval):
+        """Sketch-level budgets scale like sqrt(gamma_{l-1}) = 2^{-(l-1)/2} on [0,1]."""
+        budgets = optimal_budgets(interval, 1.0, depth=10, level_cutoff=2, pruning_k=4, sketch_depth=6)
+        for level in range(4, 10):
+            ratio = budgets[level + 1] / budgets[level]
+            assert ratio == pytest.approx(1.0 / math.sqrt(2.0), rel=1e-6)
+
+    def test_hypercube_exact_levels_grow_with_gamma(self, square):
+        """On [0,1]^d, Gamma_l grows with l so deeper exact levels get more budget."""
+        budgets = optimal_budgets(square, 1.0, depth=10, level_cutoff=6, pruning_k=4, sketch_depth=6)
+        exact = budgets[: 6 + 1]
+        assert exact[-1] > exact[1]
+
+    def test_invalid_inputs(self, interval):
+        with pytest.raises(ValueError):
+            optimal_budgets(interval, 1.0, depth=4, level_cutoff=6, pruning_k=2, sketch_depth=2)
+        with pytest.raises(ValueError):
+            optimal_budgets(interval, 1.0, depth=4, level_cutoff=2, pruning_k=0, sketch_depth=2)
+        with pytest.raises(ValueError):
+            optimal_budgets(interval, -1.0, depth=4, level_cutoff=2, pruning_k=2, sketch_depth=2)
+
+
+class TestAllocateDispatch:
+    def test_optimal_dispatch(self, interval):
+        budgets = allocate_budgets(interval, 1.0, 6, 3, 2, 4, method="optimal")
+        assert sum(budgets) == pytest.approx(1.0)
+
+    def test_uniform_dispatch(self, interval):
+        budgets = allocate_budgets(interval, 1.0, 6, 3, 2, 4, method="uniform")
+        assert budgets == uniform_budgets(1.0, 6)
+
+    def test_unknown_method_rejected(self, interval):
+        with pytest.raises(ValueError):
+            allocate_budgets(interval, 1.0, 6, 3, 2, 4, method="magic")
+
+    def test_optimal_noise_cost_not_worse_than_uniform(self, interval):
+        """The Lemma-5 allocation minimises sum(weight_l / sigma_l)."""
+        depth, cutoff, k, j = 10, 5, 4, 8
+        optimal = allocate_budgets(interval, 1.0, depth, cutoff, k, j, method="optimal")
+        uniform = allocate_budgets(interval, 1.0, depth, cutoff, k, j, method="uniform")
+
+        def noise_cost(budgets):
+            cost = 0.0
+            for level in range(depth + 1):
+                if level <= cutoff:
+                    weight = interval.level_total_diameter(max(level - 1, 0))
+                else:
+                    weight = j * k * interval.level_max_diameter(level - 1)
+                cost += weight / budgets[level]
+            return cost
+
+        assert noise_cost(optimal) <= noise_cost(uniform) + 1e-9

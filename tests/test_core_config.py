@@ -1,0 +1,109 @@
+"""Tests for the PrivHP configuration container."""
+
+import math
+
+import pytest
+
+from repro.core.config import PrivHPConfig
+
+
+class TestValidation:
+    def test_valid_config(self):
+        config = PrivHPConfig(
+            epsilon=1.0, pruning_k=4, depth=10, level_cutoff=6, sketch_width=8, sketch_depth=5
+        )
+        assert config.num_sketch_levels == 4
+
+    def test_epsilon_positive(self):
+        with pytest.raises(ValueError):
+            PrivHPConfig(epsilon=0.0, pruning_k=4, depth=10, level_cutoff=6,
+                         sketch_width=8, sketch_depth=5)
+
+    def test_cutoff_within_depth(self):
+        with pytest.raises(ValueError):
+            PrivHPConfig(epsilon=1.0, pruning_k=4, depth=5, level_cutoff=6,
+                         sketch_width=8, sketch_depth=5)
+
+    def test_pruning_k_positive(self):
+        with pytest.raises(ValueError):
+            PrivHPConfig(epsilon=1.0, pruning_k=0, depth=5, level_cutoff=3,
+                         sketch_width=8, sketch_depth=5)
+
+    def test_budget_allocation_values(self):
+        with pytest.raises(ValueError):
+            PrivHPConfig(epsilon=1.0, pruning_k=1, depth=5, level_cutoff=3,
+                         sketch_width=8, sketch_depth=5, budget_allocation="greedy")
+
+
+class TestDerivedQuantities:
+    def test_exact_tree_nodes(self):
+        config = PrivHPConfig(epsilon=1.0, pruning_k=2, depth=8, level_cutoff=4,
+                              sketch_width=4, sketch_depth=4)
+        assert config.exact_tree_nodes == 2**5 - 1
+
+    def test_memory_budget_words(self):
+        config = PrivHPConfig(epsilon=1.0, pruning_k=2, depth=6, level_cutoff=3,
+                              sketch_width=4, sketch_depth=2)
+        expected = 2 * (2**4 - 1) + 3 * 4 * 2
+        assert config.memory_budget_words() == expected
+
+    def test_with_overrides(self):
+        config = PrivHPConfig(epsilon=1.0, pruning_k=2, depth=6, level_cutoff=3,
+                              sketch_width=4, sketch_depth=2)
+        modified = config.with_overrides(epsilon=2.0)
+        assert modified.epsilon == 2.0
+        assert modified.depth == config.depth
+
+
+class TestFromStreamSize:
+    def test_paper_defaults(self):
+        config = PrivHPConfig.from_stream_size(stream_size=4096, epsilon=1.0, pruning_k=8)
+        assert config.depth == math.ceil(math.log2(4096))
+        assert config.sketch_depth == math.ceil(math.log2(4096))
+        assert config.sketch_width == 16
+        assert 0 <= config.level_cutoff <= config.depth
+
+    def test_cutoff_respects_lemma10_lower_bound(self):
+        config = PrivHPConfig.from_stream_size(stream_size=1 << 14, epsilon=1.0, pruning_k=32)
+        assert config.level_cutoff >= math.ceil(math.log2(32))
+
+    def test_cutoff_capped_at_depth_for_tiny_streams(self):
+        config = PrivHPConfig.from_stream_size(stream_size=8, epsilon=1.0, pruning_k=4)
+        assert config.level_cutoff <= config.depth
+
+    def test_epsilon_scales_depth(self):
+        low = PrivHPConfig.from_stream_size(stream_size=4096, epsilon=0.25, pruning_k=4)
+        high = PrivHPConfig.from_stream_size(stream_size=4096, epsilon=4.0, pruning_k=4)
+        assert high.depth > low.depth
+
+    def test_explicit_overrides_win(self):
+        config = PrivHPConfig.from_stream_size(
+            stream_size=4096, epsilon=1.0, pruning_k=8, depth=20, sketch_depth=3, sketch_width=64
+        )
+        assert config.depth == 20
+        assert config.sketch_depth == 3
+        assert config.sketch_width == 64
+
+    def test_memory_grows_with_k(self):
+        small = PrivHPConfig.from_stream_size(stream_size=1 << 14, epsilon=1.0, pruning_k=2)
+        large = PrivHPConfig.from_stream_size(stream_size=1 << 14, epsilon=1.0, pruning_k=64)
+        assert large.memory_budget_words() > small.memory_budget_words()
+
+    def test_memory_polylogarithmic_in_n(self):
+        """Doubling n many times should grow memory far slower than n."""
+        small = PrivHPConfig.from_stream_size(stream_size=1 << 10, epsilon=1.0, pruning_k=8)
+        large = PrivHPConfig.from_stream_size(stream_size=1 << 20, epsilon=1.0, pruning_k=8)
+        growth = large.memory_budget_words() / small.memory_budget_words()
+        assert growth < 2**10 / 8  # vastly sublinear in the 1024x data growth
+
+    def test_metadata_records_hint(self):
+        config = PrivHPConfig.from_stream_size(stream_size=100, epsilon=1.0, pruning_k=2)
+        assert config.metadata["stream_size_hint"] == 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            PrivHPConfig.from_stream_size(stream_size=0, epsilon=1.0, pruning_k=1)
+        with pytest.raises(ValueError):
+            PrivHPConfig.from_stream_size(stream_size=10, epsilon=-1.0, pruning_k=1)
+        with pytest.raises(ValueError):
+            PrivHPConfig.from_stream_size(stream_size=10, epsilon=1.0, pruning_k=0)

@@ -1,0 +1,127 @@
+"""Tests for Algorithm 3 (consistency enforcement)."""
+
+import pytest
+
+from repro.core.consistency import enforce_consistency, enforce_subtree_consistency
+from repro.core.tree import PartitionTree
+
+
+def make_node(parent, left, right):
+    """A three-node tree with the given counts."""
+    tree = PartitionTree()
+    tree.add_node((), parent)
+    tree.add_node((0,), left)
+    tree.add_node((1,), right)
+    return tree
+
+
+class TestEvenRedistribution:
+    def test_surplus_split_evenly(self):
+        tree = make_node(10.0, 7.0, 5.0)
+        enforce_consistency(tree, ())
+        # Lambda = 2, each child loses 1.
+        assert tree.count((0,)) == pytest.approx(6.0)
+        assert tree.count((1,)) == pytest.approx(4.0)
+        assert tree.is_consistent()
+
+    def test_deficit_split_evenly(self):
+        tree = make_node(10.0, 3.0, 5.0)
+        enforce_consistency(tree, ())
+        assert tree.count((0,)) == pytest.approx(4.0)
+        assert tree.count((1,)) == pytest.approx(6.0)
+        assert tree.is_consistent()
+
+    def test_already_consistent_unchanged(self):
+        tree = make_node(8.0, 3.0, 5.0)
+        enforce_consistency(tree, ())
+        assert tree.count((0,)) == pytest.approx(3.0)
+        assert tree.count((1,)) == pytest.approx(5.0)
+
+    def test_paper_example_figure_3(self):
+        """The worked Example 6.1: counts (4.6, 3.5, 3.7) -> (4.6, 2.2, 2.4)."""
+        tree = make_node(4.6, 3.5, 3.7)
+        enforce_consistency(tree, ())
+        assert tree.count((0,)) == pytest.approx(2.2)
+        assert tree.count((1,)) == pytest.approx(2.4)
+
+
+class TestCorrections:
+    def test_type1_negative_child_clamped(self):
+        tree = make_node(5.0, -2.0, 4.0)
+        enforce_consistency(tree, ())
+        assert tree.count((0,)) >= 0.0
+        assert tree.count((1,)) >= 0.0
+        assert tree.count((0,)) + tree.count((1,)) == pytest.approx(5.0)
+
+    def test_type2_smaller_child_zeroed(self):
+        # After the even split one child would go negative: parent 10, children 0.5 and 20.
+        tree = make_node(10.0, 0.5, 20.0)
+        enforce_consistency(tree, ())
+        assert tree.count((0,)) == pytest.approx(0.0)
+        assert tree.count((1,)) == pytest.approx(10.0)
+
+    def test_children_sum_to_parent_in_all_cases(self, rng):
+        for _ in range(200):
+            parent = float(rng.uniform(0, 10))
+            left = float(rng.normal(parent / 2, 3))
+            right = float(rng.normal(parent / 2, 3))
+            tree = make_node(parent, left, right)
+            enforce_consistency(tree, ())
+            assert tree.count((0,)) + tree.count((1,)) == pytest.approx(parent, abs=1e-9)
+            assert tree.count((0,)) >= -1e-12
+            assert tree.count((1,)) >= -1e-12
+
+    def test_missing_child_raises(self):
+        tree = PartitionTree()
+        tree.add_node((), 1.0)
+        tree.add_node((0,), 1.0)
+        with pytest.raises(KeyError):
+            enforce_consistency(tree, ())
+
+
+class TestSubtreeConsistency:
+    def test_full_tree_becomes_consistent(self, rng):
+        tree = PartitionTree.complete(4, initial_count=0.0)
+        for theta in tree:
+            tree.set_count(theta, float(rng.normal(5.0, 3.0)))
+        # The root must be non-negative before redistribution makes sense.
+        enforce_subtree_consistency(tree, ())
+        assert tree.is_consistent()
+
+    def test_negative_root_clamped(self):
+        tree = PartitionTree.complete(1, initial_count=0.0)
+        tree.set_count((), -3.0)
+        tree.set_count((0,), 1.0)
+        tree.set_count((1,), 1.0)
+        enforce_subtree_consistency(tree, ())
+        assert tree.root_count == 0.0
+        assert tree.is_consistent()
+
+    def test_partial_tree_with_leaf_subtrees(self):
+        tree = PartitionTree()
+        tree.add_node((), 6.0)
+        tree.add_node((0,), 4.0)
+        tree.add_node((1,), 4.0)
+        tree.add_node((0, 0), 1.0)
+        tree.add_node((0, 1), 1.0)
+        enforce_subtree_consistency(tree, ())
+        assert tree.is_consistent()
+
+    def test_malformed_tree_detected(self):
+        tree = PartitionTree()
+        tree.add_node((), 2.0)
+        tree.add_node((0,), 2.0)
+        with pytest.raises(ValueError):
+            enforce_subtree_consistency(tree, ())
+
+    def test_missing_root_raises(self):
+        with pytest.raises(KeyError):
+            enforce_subtree_consistency(PartitionTree(), ())
+
+    def test_total_mass_preserved(self, rng):
+        tree = PartitionTree.complete(3, initial_count=0.0)
+        for theta in tree:
+            tree.set_count(theta, float(abs(rng.normal(4.0, 1.0))))
+        root_before = tree.count(())
+        enforce_subtree_consistency(tree, ())
+        assert tree.count(()) == pytest.approx(root_before)

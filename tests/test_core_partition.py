@@ -1,0 +1,134 @@
+"""Tests for GrowPartition (Algorithm 2)."""
+
+import pytest
+
+from repro.core.partition import grow_partition, select_top_k
+from repro.core.tree import PartitionTree
+
+
+class ExactSketch:
+    """A stand-in sketch that returns exact counts from a dictionary."""
+
+    def __init__(self, counts):
+        self.counts = dict(counts)
+
+    def query(self, theta):
+        return float(self.counts.get(tuple(theta), 0.0))
+
+
+class TestSelectTopK:
+    def test_selects_largest(self):
+        counts = {(0,): 5.0, (1,): 9.0, (0, 0): 1.0}
+        assert select_top_k(counts, 2) == [(1,), (0,)]
+
+    def test_deterministic_tie_break(self):
+        counts = {(1,): 3.0, (0,): 3.0}
+        assert select_top_k(counts, 1) == [(0,)]
+
+    def test_k_larger_than_population(self):
+        counts = {(0,): 1.0}
+        assert select_top_k(counts, 5) == [(0,)]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            select_top_k({}, -1)
+
+
+class TestGrowPartition:
+    def make_initial_tree(self):
+        """Exact-counter tree of depth 1 holding 100 points: 70 left, 30 right."""
+        tree = PartitionTree()
+        tree.add_node((), 100.0)
+        tree.add_node((0,), 70.0)
+        tree.add_node((1,), 30.0)
+        return tree
+
+    def make_sketches(self):
+        """Exact level-2 and level-3 counts consistent with the depth-1 tree."""
+        level2 = ExactSketch({(0, 0): 50.0, (0, 1): 20.0, (1, 0): 25.0, (1, 1): 5.0})
+        level3 = ExactSketch(
+            {
+                (0, 0, 0): 40.0,
+                (0, 0, 1): 10.0,
+                (0, 1, 0): 15.0,
+                (0, 1, 1): 5.0,
+                (1, 0, 0): 20.0,
+                (1, 0, 1): 5.0,
+                (1, 1, 0): 3.0,
+                (1, 1, 1): 2.0,
+            }
+        )
+        return {2: level2, 3: level3}
+
+    def test_grows_to_requested_depth(self):
+        tree = grow_partition(
+            self.make_initial_tree(), self.make_sketches(), pruning_k=2, level_cutoff=1, depth=3
+        )
+        assert tree.depth() == 3
+
+    def test_keeps_only_hot_branches(self):
+        tree = grow_partition(
+            self.make_initial_tree(), self.make_sketches(), pruning_k=2, level_cutoff=1, depth=3
+        )
+        # Level 2 contains all four children (both level-1 nodes are expanded),
+        # but level 3 only contains children of the top-2 level-2 nodes.
+        assert len(tree.nodes_at_level(2)) == 4
+        assert len(tree.nodes_at_level(3)) == 4
+        level3 = set(tree.nodes_at_level(3))
+        assert level3 == {(0, 0, 0), (0, 0, 1), (1, 0, 0), (1, 0, 1)}
+
+    def test_result_is_consistent(self):
+        tree = grow_partition(
+            self.make_initial_tree(), self.make_sketches(), pruning_k=2, level_cutoff=1, depth=3
+        )
+        assert tree.is_consistent()
+
+    def test_total_mass_preserved(self):
+        tree = grow_partition(
+            self.make_initial_tree(), self.make_sketches(), pruning_k=2, level_cutoff=1, depth=3
+        )
+        assert tree.root_count == pytest.approx(100.0)
+
+    def test_exact_counts_pass_through_unchanged(self):
+        """With exact sketches and consistent inputs, counts stay exact."""
+        tree = grow_partition(
+            self.make_initial_tree(), self.make_sketches(), pruning_k=2, level_cutoff=1, depth=3
+        )
+        assert tree.count((0, 0)) == pytest.approx(50.0)
+        assert tree.count((1, 0)) == pytest.approx(25.0)
+        assert tree.count((0, 0, 0)) == pytest.approx(40.0)
+
+    def test_consistency_disabled_keeps_raw_estimates(self):
+        noisy = {2: ExactSketch({(0, 0): 45.0, (0, 1): 30.0, (1, 0): 20.0, (1, 1): 4.0})}
+        tree = grow_partition(
+            self.make_initial_tree(), noisy, pruning_k=2, level_cutoff=1, depth=2,
+            apply_consistency=False,
+        )
+        # Raw estimates are stored without being reconciled with the parents.
+        assert tree.count((0, 0)) == pytest.approx(45.0)
+        assert tree.count((0, 1)) == pytest.approx(30.0)
+        assert not tree.is_consistent()
+
+    def test_missing_sketch_level_raises(self):
+        with pytest.raises(KeyError):
+            grow_partition(self.make_initial_tree(), {}, pruning_k=2, level_cutoff=1, depth=2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            grow_partition(self.make_initial_tree(), {}, pruning_k=0, level_cutoff=1, depth=2)
+        with pytest.raises(ValueError):
+            grow_partition(self.make_initial_tree(), {}, pruning_k=1, level_cutoff=4, depth=2)
+
+    def test_degenerate_no_sketch_levels(self):
+        """When L* = L the function only runs the consistency pass."""
+        tree = grow_partition(self.make_initial_tree(), {}, pruning_k=2, level_cutoff=1, depth=1)
+        assert tree.depth() == 1
+        assert tree.is_consistent()
+
+    def test_negative_sketch_estimates_are_repaired(self):
+        noisy = {2: ExactSketch({(0, 0): -5.0, (0, 1): 80.0, (1, 0): 10.0, (1, 1): 25.0})}
+        tree = grow_partition(
+            self.make_initial_tree(), noisy, pruning_k=2, level_cutoff=1, depth=2
+        )
+        assert tree.is_consistent()
+        assert tree.count((0, 0)) >= 0.0

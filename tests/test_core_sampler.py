@@ -1,0 +1,124 @@
+"""Tests for the synthetic data generator (Section 5 sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import SyntheticDataGenerator
+from repro.core.tree import PartitionTree
+
+
+def weighted_tree():
+    """A depth-2 tree putting 3/4 of the mass in the left half."""
+    tree = PartitionTree()
+    tree.add_node((), 100.0)
+    tree.add_node((0,), 75.0)
+    tree.add_node((1,), 25.0)
+    tree.add_node((0, 0), 50.0)
+    tree.add_node((0, 1), 25.0)
+    tree.add_node((1, 0), 25.0)
+    tree.add_node((1, 1), 0.0)
+    return tree
+
+
+class TestSampling:
+    def test_samples_lie_in_domain(self, interval, rng):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=rng)
+        samples = generator.sample(500)
+        assert samples.shape == (500,)
+        assert np.all(samples >= 0.0)
+        assert np.all(samples <= 1.0)
+
+    def test_sample_size_zero(self, interval, rng):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=rng)
+        assert generator.sample(0).shape[0] == 0
+
+    def test_negative_size_rejected(self, interval, rng):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=rng)
+        with pytest.raises(ValueError):
+            generator.sample(-1)
+
+    def test_leaf_frequencies_match_counts(self, interval):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=0)
+        samples = generator.sample(8000)
+        # Leaf (0,0) covers [0, 0.25) and holds half the mass.
+        fraction_first_quarter = np.mean(samples < 0.25)
+        assert fraction_first_quarter == pytest.approx(0.5, abs=0.03)
+        # Leaf (1,1) covers [0.75, 1] and holds no mass.
+        assert np.mean(samples >= 0.75) == pytest.approx(0.0, abs=0.01)
+
+    def test_two_dimensional_output_shape(self, square, rng):
+        tree = PartitionTree()
+        tree.add_node((), 10.0)
+        tree.add_node((0,), 10.0)
+        tree.add_node((1,), 0.0)
+        generator = SyntheticDataGenerator(tree, square, rng=rng)
+        samples = generator.sample(50)
+        assert samples.shape == (50, 2)
+        # All the mass sits in the x < 0.5 half.
+        assert np.all(samples[:, 0] <= 0.5)
+
+    def test_empty_tree_falls_back_to_uniform(self, interval, rng):
+        tree = PartitionTree()
+        tree.add_node((), 0.0)
+        generator = SyntheticDataGenerator(tree, interval, rng=rng)
+        samples = generator.sample(200)
+        assert np.all((samples >= 0.0) & (samples <= 1.0))
+        # Roughly uniform: both halves occupied.
+        assert 0.3 < np.mean(samples < 0.5) < 0.7
+
+    def test_reproducible_with_seed(self, interval):
+        first = SyntheticDataGenerator(weighted_tree(), interval, rng=42).sample(20)
+        second = SyntheticDataGenerator(weighted_tree(), interval, rng=42).sample(20)
+        np.testing.assert_allclose(first, second)
+
+
+class TestLeafProbabilities:
+    def test_probabilities_sum_to_one(self, interval):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=0)
+        probabilities = generator.leaf_probabilities()
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_probabilities_proportional_to_counts(self, interval):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=0)
+        probabilities = generator.leaf_probabilities()
+        assert probabilities[(0, 0)] == pytest.approx(0.5)
+        assert probabilities[(1, 1)] == pytest.approx(0.0)
+
+    def test_negative_counts_clamped(self, interval):
+        tree = weighted_tree()
+        tree.set_count((1, 0), -10.0)
+        generator = SyntheticDataGenerator(tree, interval, rng=0)
+        probabilities = generator.leaf_probabilities()
+        assert probabilities[(1, 0)] == 0.0
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_leaf_probability_of_point(self, interval):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=0)
+        assert generator.leaf_probability_of_point(0.1) == pytest.approx(0.5)
+        assert generator.leaf_probability_of_point(0.9) == pytest.approx(0.0)
+
+    def test_degenerate_tree_probability(self, interval):
+        tree = PartitionTree()
+        tree.add_node((), 0.0)
+        generator = SyntheticDataGenerator(tree, interval, rng=0)
+        assert generator.leaf_probabilities() == {(): 1.0}
+        assert generator.leaf_probability_of_point(0.4) == 1.0
+
+
+class TestUtilities:
+    def test_expected_value_estimates_mean(self, interval):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=0)
+        estimate = generator.expected_value(lambda x: float(x), num_samples=4000)
+        # Mass: 0.5 on [0,0.25), 0.25 on [0.25,0.5), 0.25 on [0.5,0.75).
+        expected = 0.5 * 0.125 + 0.25 * 0.375 + 0.25 * 0.625
+        assert estimate == pytest.approx(expected, abs=0.02)
+
+    def test_expected_value_requires_positive_samples(self, interval):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=0)
+        with pytest.raises(ValueError):
+            generator.expected_value(lambda x: x, num_samples=0)
+
+    def test_total_mass_and_memory(self, interval):
+        generator = SyntheticDataGenerator(weighted_tree(), interval, rng=0)
+        assert generator.total_mass == pytest.approx(100.0)
+        assert generator.memory_words() == 2 * 7

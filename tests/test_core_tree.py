@@ -1,0 +1,130 @@
+"""Tests for the partition tree container."""
+
+import pytest
+
+from repro.core.tree import PartitionTree
+
+
+class TestConstruction:
+    def test_complete_tree_node_count(self):
+        tree = PartitionTree.complete(3)
+        assert len(tree) == 2**4 - 1
+
+    def test_complete_tree_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionTree.complete(-1)
+
+    def test_complete_tree_initial_count(self):
+        tree = PartitionTree.complete(2, initial_count=1.5)
+        assert all(count == 1.5 for _, count in tree.nodes())
+
+    def test_add_and_remove_node(self):
+        tree = PartitionTree()
+        tree.add_node((), 1.0)
+        tree.add_node((0,), 0.5)
+        assert (0,) in tree
+        tree.remove_node((0,))
+        assert (0,) not in tree
+
+    def test_add_node_validates_bits(self):
+        tree = PartitionTree()
+        with pytest.raises(ValueError):
+            tree.add_node((0, 2), 1.0)
+
+
+class TestCounts:
+    def test_increment_and_get(self):
+        tree = PartitionTree.complete(1)
+        tree.increment((0,), 2.0)
+        tree.increment((0,), 3.0)
+        assert tree.count((0,)) == pytest.approx(5.0)
+        assert tree.get((1, 1), default=-1.0) == -1.0
+
+    def test_set_count_requires_existing_node(self):
+        tree = PartitionTree()
+        with pytest.raises(KeyError):
+            tree.set_count((0,), 1.0)
+
+    def test_increment_requires_existing_node(self):
+        tree = PartitionTree()
+        with pytest.raises(KeyError):
+            tree.increment((1,))
+
+    def test_root_count_default_zero(self):
+        assert PartitionTree().root_count == 0.0
+
+
+class TestStructure:
+    def test_leaves_of_complete_tree(self):
+        tree = PartitionTree.complete(2)
+        leaves = tree.leaves()
+        assert len(leaves) == 4
+        assert all(len(theta) == 2 for theta in leaves)
+
+    def test_internal_nodes(self):
+        tree = PartitionTree.complete(2)
+        internal = tree.internal_nodes()
+        assert len(internal) == 3
+
+    def test_is_leaf_and_has_children(self):
+        tree = PartitionTree.complete(1)
+        assert tree.is_leaf((0,))
+        assert not tree.is_leaf(())
+        assert tree.has_children(())
+
+    def test_nodes_at_level_sorted(self):
+        tree = PartitionTree.complete(2)
+        assert tree.nodes_at_level(2) == sorted(tree.nodes_at_level(2))
+
+    def test_depth(self):
+        tree = PartitionTree.complete(4)
+        assert tree.depth() == 4
+        assert PartitionTree().depth() == 0
+
+    def test_children_present(self):
+        tree = PartitionTree()
+        tree.add_node(())
+        tree.add_node((0,))
+        assert tree.children_present(()) == (True, False)
+
+    def test_level_counts_restricted(self):
+        tree = PartitionTree.complete(2, initial_count=1.0)
+        level = tree.level_counts(1)
+        assert set(level) == {(0,), (1,)}
+
+
+class TestInvariantsAndExport:
+    def test_consistent_tree_detected(self):
+        tree = PartitionTree()
+        tree.add_node((), 4.0)
+        tree.add_node((0,), 1.0)
+        tree.add_node((1,), 3.0)
+        assert tree.is_consistent()
+
+    def test_inconsistent_sum_detected(self):
+        tree = PartitionTree()
+        tree.add_node((), 4.0)
+        tree.add_node((0,), 1.0)
+        tree.add_node((1,), 1.0)
+        assert not tree.is_consistent()
+
+    def test_negative_count_detected(self):
+        tree = PartitionTree()
+        tree.add_node((), -1.0)
+        assert not tree.is_consistent()
+
+    def test_memory_words_scales_with_nodes(self):
+        tree = PartitionTree.complete(3)
+        assert tree.memory_words() == 2 * len(tree)
+
+    def test_copy_is_independent(self):
+        tree = PartitionTree.complete(1, initial_count=1.0)
+        clone = tree.copy()
+        clone.set_count((), 9.0)
+        assert tree.count(()) == 1.0
+
+    def test_as_dict_snapshot(self):
+        tree = PartitionTree.complete(1, initial_count=2.0)
+        snapshot = tree.as_dict()
+        assert snapshot[()] == 2.0
+        assert len(snapshot) == 3

@@ -1,0 +1,73 @@
+"""Tests for the finite ordered domain."""
+
+import pytest
+
+from repro.domain.discrete import DiscreteDomain
+
+
+class TestConstruction:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            DiscreteDomain(size=1)
+
+    def test_max_depth_covers_universe(self):
+        domain = DiscreteDomain(size=100)
+        assert 2**domain.max_depth >= 100
+
+
+class TestGeometry:
+    def test_diameter(self, discrete):
+        assert discrete.diameter() == 1.0
+
+    def test_distance_normalised(self, discrete):
+        assert discrete.distance(0, 99) == pytest.approx(1.0)
+        assert discrete.distance(10, 10) == 0.0
+
+    def test_cell_range_root_covers_everything(self, discrete):
+        assert discrete.cell_range(()) == (0, 99)
+
+    def test_cell_ranges_partition(self, discrete):
+        low0, high0 = discrete.cell_range((0,))
+        low1, high1 = discrete.cell_range((1,))
+        assert low0 == 0
+        assert high1 == 99
+        assert high0 + 1 == low1
+
+    def test_cell_diameter_shrinks(self, discrete):
+        assert discrete.cell_diameter(()) > discrete.cell_diameter((0,)) > discrete.cell_diameter((0, 0))
+
+
+class TestLocateAndSample:
+    def test_locate_respects_ranges(self, discrete):
+        for item in (0, 17, 49, 50, 99):
+            for level in (1, 3, 5):
+                theta = discrete.locate(item, level)
+                low, high = discrete.cell_range(theta)
+                assert low <= item <= high
+
+    def test_locate_beyond_max_depth_is_well_defined(self, discrete):
+        theta = discrete.locate(42, discrete.max_depth + 3)
+        assert len(theta) == discrete.max_depth + 3
+
+    def test_locate_rejects_out_of_universe(self, discrete):
+        with pytest.raises(ValueError):
+            discrete.locate(100, 2)
+
+    def test_sample_cell_inside_range(self, discrete, rng):
+        theta = discrete.locate(25, 3)
+        low, high = discrete.cell_range(theta)
+        for _ in range(50):
+            assert low <= discrete.sample_cell(theta, rng) <= high
+
+    def test_sample_empty_cell_raises(self):
+        domain = DiscreteDomain(size=3)
+        deep = (1, 1, 1, 1)
+        if domain.cell_range(deep)[0] > domain.cell_range(deep)[1]:
+            with pytest.raises(ValueError):
+                domain.sample_cell(deep, __import__("numpy").random.default_rng(0))
+
+    def test_contains(self, discrete):
+        assert discrete.contains(0)
+        assert discrete.contains(99)
+        assert not discrete.contains(100)
+        assert not discrete.contains("x")

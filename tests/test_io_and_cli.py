@@ -1,0 +1,163 @@
+"""Tests for serialisation and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import PrivHPConfig
+from repro.core.privhp import PrivHP
+from repro.core.tree import PartitionTree
+from repro.domain.geo import GeoDomain
+from repro.domain.hypercube import Hypercube
+from repro.domain.interval import UnitInterval
+from repro.io.serialization import (
+    domain_from_dict,
+    domain_to_dict,
+    generator_from_dict,
+    generator_to_dict,
+    load_generator,
+    save_generator,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+def fitted_generator(domain, data, seed=0):
+    config = PrivHPConfig.from_stream_size(len(data), epsilon=1.0, pruning_k=4, seed=seed)
+    algorithm = PrivHP(domain, config, rng=seed)
+    algorithm.process(data)
+    return algorithm.finalize()
+
+
+class TestTreeSerialization:
+    def test_round_trip_preserves_counts(self):
+        tree = PartitionTree()
+        tree.add_node((), 10.0)
+        tree.add_node((0,), 4.0)
+        tree.add_node((1,), 6.0)
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert restored.as_dict() == tree.as_dict()
+
+    def test_root_key_is_empty_string(self):
+        tree = PartitionTree()
+        tree.add_node((), 1.0)
+        assert tree_to_dict(tree) == {"": 1.0}
+
+    def test_invalid_keys_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from_dict({"01x": 1.0})
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from_dict({"0": 1.0})
+
+
+class TestDomainSerialization:
+    @pytest.mark.parametrize(
+        "domain",
+        [
+            UnitInterval(),
+            Hypercube(3),
+            GeoDomain(lat_min=24.0, lat_max=49.0, lon_min=-125.0, lon_max=-66.0),
+        ],
+    )
+    def test_round_trip(self, domain):
+        restored = domain_from_dict(domain_to_dict(domain))
+        assert type(restored) is type(domain)
+        assert restored.diameter() == domain.diameter()
+
+    def test_hypercube_dimension_preserved(self):
+        assert domain_from_dict(domain_to_dict(Hypercube(5))).dimension == 5
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            domain_from_dict({"type": "Banach"})
+
+
+class TestGeneratorSerialization:
+    def test_round_trip_preserves_distribution(self, interval, rng):
+        generator = fitted_generator(interval, rng.beta(2, 5, 1500))
+        restored = generator_from_dict(generator_to_dict(generator), seed=0)
+        original = generator.leaf_probabilities()
+        recovered = restored.leaf_probabilities()
+        assert set(original) == set(recovered)
+        for theta, probability in original.items():
+            assert recovered[theta] == pytest.approx(probability)
+
+    def test_save_and_load_file(self, tmp_path, interval, rng):
+        generator = fitted_generator(interval, rng.random(800))
+        path = save_generator(generator, tmp_path / "release.json", metadata={"epsilon": 1.0})
+        document = json.loads(path.read_text())
+        assert document["format"] == "privhp-generator"
+        assert document["metadata"]["epsilon"] == 1.0
+        restored = load_generator(path, seed=1)
+        samples = restored.sample(100)
+        assert np.all((samples >= 0) & (samples <= 1))
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            generator_from_dict({"format": "something-else", "version": 1})
+
+    def test_future_version_rejected(self, interval, rng):
+        generator = fitted_generator(interval, rng.random(200))
+        document = generator_to_dict(generator)
+        document["version"] = 99
+        with pytest.raises(ValueError):
+            generator_from_dict(document)
+
+    def test_two_dimensional_round_trip(self, square, rng):
+        generator = fitted_generator(square, rng.random((600, 2)))
+        restored = generator_from_dict(generator_to_dict(generator), seed=0)
+        assert restored.sample(20).shape == (20, 2)
+
+
+class TestCLI:
+    def test_summarize_generate_evaluate_pipeline(self, tmp_path, rng, capsys):
+        data = rng.beta(2, 6, size=1500)
+        input_path = tmp_path / "values.csv"
+        np.savetxt(input_path, data, delimiter=",")
+        release_path = tmp_path / "release.json"
+        output_path = tmp_path / "synthetic.csv"
+
+        assert cli_main([
+            "summarize", "--input", str(input_path), "--output", str(release_path),
+            "--epsilon", "1.0", "--k", "8", "--seed", "0",
+        ]) == 0
+        assert release_path.exists()
+
+        assert cli_main([
+            "generate", "--release", str(release_path), "--output", str(output_path),
+            "--size", "500", "--seed", "1",
+        ]) == 0
+        synthetic = np.loadtxt(output_path, delimiter=",")
+        assert synthetic.shape == (500,)
+        assert np.all((synthetic >= 0) & (synthetic <= 1))
+
+        assert cli_main([
+            "evaluate", "--input", str(input_path), "--epsilon", "1.0", "--k", "8",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "W1(data, synth)" in captured.out
+
+    def test_cli_two_dimensional_input(self, tmp_path, rng):
+        data = rng.random((400, 2))
+        input_path = tmp_path / "points.csv"
+        np.savetxt(input_path, data, delimiter=",")
+        release_path = tmp_path / "release2d.json"
+        output_path = tmp_path / "synthetic2d.csv"
+
+        assert cli_main([
+            "summarize", "--input", str(input_path), "--output", str(release_path),
+        ]) == 0
+        assert cli_main([
+            "generate", "--release", str(release_path), "--output", str(output_path),
+            "--size", "100",
+        ]) == 0
+        synthetic = np.loadtxt(output_path, delimiter=",")
+        assert synthetic.shape == (100, 2)
+
+    def test_cli_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli_main([])

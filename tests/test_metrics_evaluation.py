@@ -1,0 +1,68 @@
+"""Tests for the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nonprivate import NonPrivateHistogramMethod
+from repro.baselines.base import PrivHPMethod
+from repro.metrics.evaluation import EvaluationResult, evaluate_method
+
+
+class TestEvaluateMethod:
+    def test_result_fields_populated(self, interval, rng):
+        method = NonPrivateHistogramMethod(interval, max_depth=8)
+        result = evaluate_method(method, rng.random(400), interval,
+                                 repetitions=2, rng=0)
+        assert result.method == "NonPrivate"
+        assert result.wasserstein_mean >= 0
+        assert len(result.wasserstein_runs) == 2
+        assert result.memory_words > 0
+        assert result.fit_seconds >= 0
+        assert result.sample_seconds >= 0
+
+    def test_nonprivate_method_has_small_error(self, interval, rng):
+        method = NonPrivateHistogramMethod(interval, max_depth=10)
+        result = evaluate_method(method, rng.beta(2, 5, 1500), interval,
+                                 repetitions=2, rng=0)
+        assert result.wasserstein_mean < 0.02
+
+    def test_privhp_error_between_floor_and_uniform(self, interval, rng):
+        data = rng.beta(2, 5, 1500)
+        method = PrivHPMethod(interval, epsilon=1.0, pruning_k=8, seed=0)
+        result = evaluate_method(method, data, interval, repetitions=2, rng=0)
+        uniform_distance = float(np.abs(np.sort(data) - np.sort(rng.random(1500))).mean())
+        assert 0.0 < result.wasserstein_mean < uniform_distance
+
+    def test_parameters_recorded_in_row(self, interval, rng):
+        method = NonPrivateHistogramMethod(interval, max_depth=6)
+        result = evaluate_method(method, rng.random(200), interval, repetitions=1,
+                                 rng=0, parameters={"sweep": 42})
+        row = result.as_row()
+        assert row["sweep"] == 42
+        assert row["method"] == "NonPrivate"
+
+    def test_synthetic_size_override(self, interval, rng):
+        method = NonPrivateHistogramMethod(interval, max_depth=6)
+        result = evaluate_method(method, rng.random(300), interval,
+                                 synthetic_size=50, repetitions=1, rng=0)
+        assert result.wasserstein_mean >= 0
+
+    def test_invalid_inputs(self, interval, rng):
+        method = NonPrivateHistogramMethod(interval)
+        with pytest.raises(ValueError):
+            evaluate_method(method, [], interval)
+        with pytest.raises(ValueError):
+            evaluate_method(method, rng.random(10), interval, repetitions=0)
+
+    def test_two_dimensional_evaluation(self, square, small_square_data):
+        method = NonPrivateHistogramMethod(square, max_depth=10)
+        result = evaluate_method(method, small_square_data, square,
+                                 repetitions=1, rng=0, exact_size_limit=100)
+        assert result.wasserstein_mean < 0.5
+
+
+class TestEvaluationResult:
+    def test_as_row_contains_core_columns(self):
+        result = EvaluationResult(method="X", wasserstein_mean=0.1, wasserstein_std=0.01)
+        row = result.as_row()
+        assert set(row) >= {"method", "wasserstein", "memory_words"}

@@ -1,0 +1,90 @@
+"""Tests for tail norms and skew profiles."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.tail import (
+    head_norm,
+    level_frequencies,
+    skew_profile,
+    tail_norm,
+    tail_norm_from_counts,
+)
+
+
+class TestTailNormFromCounts:
+    def test_zero_k_is_total_mass(self):
+        assert tail_norm_from_counts([5, 3, 2], 0) == 10.0
+
+    def test_removes_largest_coordinates(self):
+        assert tail_norm_from_counts([5, 3, 2], 1) == 5.0
+        assert tail_norm_from_counts([5, 3, 2], 2) == 2.0
+
+    def test_k_beyond_support_is_zero(self):
+        assert tail_norm_from_counts([5, 3], 10) == 0.0
+
+    def test_accepts_dicts(self):
+        assert tail_norm_from_counts({"a": 7, "b": 1}, 1) == 1.0
+
+    def test_empty_counts(self):
+        assert tail_norm_from_counts([], 3) == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            tail_norm_from_counts([1], -1)
+
+    def test_head_plus_tail_is_total(self):
+        counts = [9, 4, 3, 1, 1]
+        for k in range(6):
+            assert head_norm(counts, k) + tail_norm_from_counts(counts, k) == pytest.approx(18)
+
+
+class TestTailNormFromData:
+    def test_sparse_data_has_zero_tail(self, interval):
+        """All mass in two cells => tail_2 = 0 at that level."""
+        data = [0.1] * 50 + [0.9] * 50
+        assert tail_norm(data, interval, level=1, k=2) == 0.0
+
+    def test_uniform_data_has_large_tail(self, interval, rng):
+        data = rng.random(1024)
+        value = tail_norm(data, interval, level=6, k=4)
+        # 4 of 64 cells removed from a roughly uniform histogram.
+        assert value > 0.8 * 1024 * (60 / 64) * 0.8
+
+    def test_tail_monotone_in_k(self, interval, rng):
+        data = rng.beta(2, 5, size=500)
+        values = [tail_norm(data, interval, level=5, k=k) for k in range(0, 8)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_tail_monotone_in_level(self, interval, rng):
+        """Splitting cells can only grow the tail (the paper's key observation)."""
+        data = rng.beta(2, 5, size=800)
+        k = 4
+        shallow = tail_norm(data, interval, level=3, k=k)
+        deep = tail_norm(data, interval, level=6, k=k)
+        assert shallow <= deep + 1e-9
+
+    def test_level_frequencies_returns_domain_counts(self, interval, rng):
+        data = rng.random(100)
+        counts = level_frequencies(data, interval, 3)
+        assert sum(counts.values()) == 100
+
+
+class TestSkewProfile:
+    def test_profile_in_unit_range(self, interval, rng):
+        data = rng.random(300)
+        profile = skew_profile(data, interval, levels=[2, 4, 6], k=2)
+        assert set(profile) == {2, 4, 6}
+        assert all(0.0 <= value <= 1.0 for value in profile.values())
+
+    def test_skewed_data_has_smaller_profile_than_uniform(self, interval, rng):
+        uniform = rng.random(1000)
+        skewed = np.clip(rng.normal(0.3, 0.01, size=1000), 0, 1)
+        level = 6
+        uniform_profile = skew_profile(uniform, interval, [level], k=4)[level]
+        skewed_profile = skew_profile(skewed, interval, [level], k=4)[level]
+        assert skewed_profile < uniform_profile
+
+    def test_empty_data_rejected(self, interval):
+        with pytest.raises(ValueError):
+            skew_profile([], interval, [1], k=1)

@@ -1,0 +1,143 @@
+"""Tests for the Wasserstein distance estimators."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.wasserstein import (
+    empirical_wasserstein,
+    hierarchical_wasserstein,
+    sliced_wasserstein,
+    wasserstein1_1d,
+    wasserstein1_exact,
+)
+
+
+class TestOneDimensional:
+    def test_identical_samples_have_zero_distance(self, rng):
+        data = rng.random(100)
+        assert wasserstein1_1d(data, data) == pytest.approx(0.0)
+
+    def test_translation_distance(self):
+        a = np.array([0.1, 0.2, 0.3])
+        b = a + 0.25
+        assert wasserstein1_1d(a, b) == pytest.approx(0.25)
+
+    def test_point_masses(self):
+        assert wasserstein1_1d([0.0], [1.0]) == pytest.approx(1.0)
+
+    def test_unequal_sample_sizes(self):
+        a = [0.0, 1.0]
+        b = [0.0, 0.0, 1.0, 1.0]
+        assert wasserstein1_1d(a, b) == pytest.approx(0.0)
+
+    def test_symmetry(self, rng):
+        a, b = rng.random(50), rng.random(70)
+        assert wasserstein1_1d(a, b) == pytest.approx(wasserstein1_1d(b, a))
+
+    def test_matches_scipy(self, rng):
+        from scipy.stats import wasserstein_distance
+
+        a, b = rng.random(80), rng.beta(2, 5, 120)
+        assert wasserstein1_1d(a, b) == pytest.approx(wasserstein_distance(a, b), rel=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            wasserstein1_1d([], [0.1])
+
+
+class TestExactTransport:
+    def test_matches_1d_formula(self, rng):
+        a, b = rng.random(40), rng.random(50)
+        lp = wasserstein1_exact(a.reshape(-1, 1), b.reshape(-1, 1), metric="l1")
+        assert lp == pytest.approx(wasserstein1_1d(a, b), abs=1e-6)
+
+    def test_identical_point_clouds(self, rng):
+        points = rng.random((30, 2))
+        assert wasserstein1_exact(points, points) == pytest.approx(0.0, abs=1e-9)
+
+    def test_translation_in_two_dimensions(self):
+        a = np.array([[0.1, 0.1], [0.3, 0.3]])
+        b = a + np.array([0.2, 0.0])
+        assert wasserstein1_exact(a, b, metric="linf") == pytest.approx(0.2, abs=1e-6)
+
+    def test_domain_metric_accepted(self, interval, rng):
+        a, b = rng.random(20), rng.random(20)
+        value = wasserstein1_exact(a, b, metric=interval)
+        assert value == pytest.approx(wasserstein1_1d(a, b), abs=1e-6)
+
+    def test_size_guard(self, rng):
+        big = rng.random((600, 2))
+        with pytest.raises(ValueError):
+            wasserstein1_exact(big, big)
+
+    def test_metric_name_validation(self, rng):
+        a = rng.random((5, 2))
+        with pytest.raises(ValueError):
+            wasserstein1_exact(a, a, metric="hamming")
+
+
+class TestSliced:
+    def test_zero_for_identical(self, rng):
+        points = rng.random((100, 3))
+        assert sliced_wasserstein(points, points, rng=rng) == pytest.approx(0.0, abs=1e-12)
+
+    def test_detects_translation(self, rng):
+        a = rng.random((200, 2))
+        b = a + 0.3
+        assert sliced_wasserstein(a, b, rng=0) > 0.1
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sliced_wasserstein(rng.random((10, 2)), rng.random((10, 3)), rng=0)
+
+    def test_invalid_projection_count(self, rng):
+        with pytest.raises(ValueError):
+            sliced_wasserstein(rng.random((10, 2)), rng.random((10, 2)), num_projections=0)
+
+
+class TestHierarchical:
+    def test_upper_bounds_exact_distance(self, square, rng):
+        a = rng.random((150, 2))
+        b = np.clip(rng.normal(0.5, 0.2, size=(150, 2)), 0, 1)
+        exact = wasserstein1_exact(a, b, metric="linf")
+        bound = hierarchical_wasserstein(a, b, square, depth=10)
+        assert bound >= exact - 1e-9
+
+    def test_small_for_identical_data(self, square, rng):
+        points = rng.random((200, 2))
+        bound = hierarchical_wasserstein(points, points, square, depth=10)
+        # Only the resolution term survives.
+        assert bound <= square.level_max_diameter(10) + 1e-12
+
+    def test_never_exceeds_diameter(self, square, rng):
+        a = np.zeros((50, 2))
+        b = np.ones((50, 2))
+        assert hierarchical_wasserstein(a, b, square, depth=8) <= square.diameter()
+
+    def test_depth_validation(self, square, rng):
+        with pytest.raises(ValueError):
+            hierarchical_wasserstein(rng.random((5, 2)), rng.random((5, 2)), square, depth=0)
+
+
+class TestDispatcher:
+    def test_scalar_uses_exact_formula(self, rng):
+        a, b = rng.random(100), rng.random(150)
+        assert empirical_wasserstein(a, b) == pytest.approx(wasserstein1_1d(a, b))
+
+    def test_small_vectors_use_lp(self, square, rng):
+        a, b = rng.random((40, 2)), rng.random((40, 2))
+        assert empirical_wasserstein(a, b, domain=square) == pytest.approx(
+            wasserstein1_exact(a, b, metric=square), abs=1e-9
+        )
+
+    def test_large_vectors_use_hierarchical_bound(self, square, rng):
+        a, b = rng.random((800, 2)), rng.random((800, 2))
+        value = empirical_wasserstein(a, b, domain=square, exact_size_limit=100)
+        assert value == pytest.approx(
+            hierarchical_wasserstein(a, b, square, depth=12), abs=1e-9
+        )
+
+    def test_large_vectors_without_domain_use_sliced(self, rng):
+        a, b = rng.random((800, 2)), rng.random((800, 2))
+        value = empirical_wasserstein(a, b, exact_size_limit=100, rng=0)
+        assert value >= 0.0

@@ -1,0 +1,69 @@
+"""Tests for the basic-composition budget accountant."""
+
+import pytest
+
+from repro.privacy.accountant import BudgetAccountant, BudgetExceededError, PrivacySpend
+
+
+class TestPrivacySpend:
+    def test_negative_spend_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacySpend(epsilon=-0.1, label="bad")
+
+    def test_fields_stored(self):
+        spend = PrivacySpend(epsilon=0.25, label="level 3")
+        assert spend.epsilon == 0.25
+        assert spend.label == "level 3"
+
+
+class TestBudgetAccountant:
+    def test_spend_accumulates(self):
+        accountant = BudgetAccountant(total_budget=1.0)
+        accountant.spend(0.4, "a")
+        accountant.spend(0.3, "b")
+        assert accountant.spent == pytest.approx(0.7)
+        assert accountant.remaining == pytest.approx(0.3)
+
+    def test_over_budget_raises(self):
+        accountant = BudgetAccountant(total_budget=0.5)
+        accountant.spend(0.4)
+        with pytest.raises(BudgetExceededError):
+            accountant.spend(0.2)
+
+    def test_exact_budget_with_floating_point_slack_allowed(self):
+        accountant = BudgetAccountant(total_budget=1.0)
+        for _ in range(3):
+            accountant.spend(1.0 / 3.0)
+        assert accountant.spent == pytest.approx(1.0)
+        accountant.assert_within_budget()
+
+    def test_unbounded_accountant_never_raises(self):
+        accountant = BudgetAccountant(total_budget=None)
+        accountant.spend(100.0)
+        assert accountant.remaining == float("inf")
+        accountant.assert_within_budget()
+
+    def test_can_spend_predicts_spend(self):
+        accountant = BudgetAccountant(total_budget=1.0)
+        accountant.spend(0.8)
+        assert accountant.can_spend(0.2)
+        assert not accountant.can_spend(0.3)
+
+    def test_ledger_records_labels(self):
+        accountant = BudgetAccountant(total_budget=1.0)
+        accountant.spend(0.5, "tree level 0")
+        accountant.spend(0.25, "sketch level 3")
+        labels = [entry.label for entry in accountant.ledger]
+        assert labels == ["tree level 0", "sketch level 3"]
+
+    def test_summary_mentions_totals(self):
+        accountant = BudgetAccountant(total_budget=2.0)
+        accountant.spend(0.5, "x")
+        text = accountant.summary()
+        assert "x" in text
+        assert "0.5" in text
+        assert "2" in text
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetAccountant(total_budget=0.0)

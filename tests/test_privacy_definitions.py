@@ -1,0 +1,115 @@
+"""Tests for neighbouring relations and sensitivity helpers."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.definitions import (
+    hamming_distance,
+    histogram_sensitivity,
+    l1_sensitivity,
+    linf_sensitivity,
+    neighbouring,
+    sketch_sensitivity,
+    tree_path_sensitivity,
+)
+
+
+class TestNeighbouring:
+    def test_identical_streams_are_not_neighbouring(self):
+        stream = [0.1, 0.2, 0.3]
+        assert not neighbouring(stream, stream)
+
+    def test_single_substitution_is_neighbouring(self):
+        assert neighbouring([0.1, 0.2, 0.3], [0.1, 0.9, 0.3])
+
+    def test_two_substitutions_are_not_neighbouring(self):
+        assert not neighbouring([0.1, 0.2, 0.3], [0.5, 0.9, 0.3])
+
+    def test_hamming_distance_counts_positions(self):
+        assert hamming_distance([1, 2, 3, 4], [1, 0, 3, 0]) == 2
+
+    def test_different_lengths_raise(self):
+        with pytest.raises(ValueError):
+            neighbouring([1, 2], [1, 2, 3])
+
+    def test_array_valued_items(self):
+        a = [np.array([0.1, 0.2]), np.array([0.3, 0.4])]
+        b = [np.array([0.1, 0.2]), np.array([0.3, 0.5])]
+        assert neighbouring(a, b)
+
+
+class TestEmpiricalSensitivity:
+    def test_l1_sensitivity_of_histogram_is_at_most_two(self, interval):
+        def histogram(stream):
+            counts = np.zeros(4)
+            for x in stream:
+                counts[min(int(x * 4), 3)] += 1
+            return counts
+
+        stream_a = [0.1, 0.3, 0.6, 0.9]
+        stream_b = [0.1, 0.3, 0.6, 0.1]
+        assert l1_sensitivity(histogram, stream_a, stream_b) == pytest.approx(2.0)
+
+    def test_linf_sensitivity_of_histogram_is_at_most_one(self):
+        def histogram(stream):
+            counts = np.zeros(4)
+            for x in stream:
+                counts[min(int(x * 4), 3)] += 1
+            return counts
+
+        stream_a = [0.1, 0.3, 0.6, 0.9]
+        stream_b = [0.1, 0.3, 0.6, 0.1]
+        assert linf_sensitivity(histogram, stream_a, stream_b) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            l1_sensitivity(lambda s: np.zeros(len(s)), [1, 2], [1, 3, 4])
+
+
+class TestAnalyticSensitivities:
+    def test_histogram_sensitivity_value(self):
+        assert histogram_sensitivity() == 1.0
+
+    def test_tree_path_sensitivity_counts_levels(self):
+        assert tree_path_sensitivity(0) == 1.0
+        assert tree_path_sensitivity(5) == 6.0
+
+    def test_tree_path_sensitivity_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            tree_path_sensitivity(-1)
+
+    def test_sketch_sensitivity_equals_depth(self):
+        assert sketch_sensitivity(7) == 7.0
+
+    def test_sketch_sensitivity_rejects_non_positive_depth(self):
+        with pytest.raises(ValueError):
+            sketch_sensitivity(0)
+
+    def test_tree_path_count_vector_sensitivity_matches_depth(self, interval):
+        """A single substituted element changes one root-to-leaf path (L+1 counters)."""
+        depth = 4
+
+        all_cells = [
+            cell
+            for level in range(depth + 1)
+            for cell in interval.cells_at_level(level)
+        ]
+
+        def path_counts(stream):
+            counts: dict = {cell: 0 for cell in all_cells}
+            for x in stream:
+                path = interval.locate(x, depth)
+                for level in range(depth + 1):
+                    counts[path[:level]] += 1
+            return np.array([counts[c] for c in all_cells], dtype=float)
+
+        # Use well-separated points so the changed element shares no path
+        # prefix beyond the root with its replacement.
+        stream_a = [0.01, 0.26, 0.51, 0.99]
+        stream_b = [0.01, 0.26, 0.51, 0.02]
+        # The replacement changes up to `depth` counters twice (old path loses,
+        # new path gains) but never the root, so the L1 change is <= 2*depth.
+        assert l1_sensitivity(path_counts, stream_a, stream_a) == 0.0
+        # Under add/remove accounting per path the per-stream change is depth+1.
+        sensitivity = l1_sensitivity(path_counts, stream_a, stream_b)
+        assert sensitivity <= 2 * depth

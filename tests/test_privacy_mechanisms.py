@@ -1,0 +1,104 @@
+"""Tests for the Laplace and geometric mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.mechanisms import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    geometric_noise,
+    laplace_noise,
+)
+
+
+class TestLaplaceNoise:
+    def test_scalar_sample_is_float(self, rng):
+        value = laplace_noise(1.0, rng=rng)
+        assert isinstance(value, float)
+
+    def test_array_shape(self, rng):
+        values = laplace_noise(0.5, size=(3, 4), rng=rng)
+        assert values.shape == (3, 4)
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            laplace_noise(0.0)
+        with pytest.raises(ValueError):
+            laplace_noise(-1.0)
+
+    def test_empirical_mean_and_absolute_deviation(self, rng):
+        scale = 2.0
+        samples = laplace_noise(scale, size=200_000, rng=rng)
+        assert abs(np.mean(samples)) < 0.05
+        # E|Laplace(b)| = b.
+        assert np.mean(np.abs(samples)) == pytest.approx(scale, rel=0.05)
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=3.0)
+        assert mechanism.scale == pytest.approx(6.0)
+
+    def test_add_noise_preserves_shape(self, rng):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        noisy = mechanism.add_noise(np.zeros((2, 5)), rng=rng)
+        assert noisy.shape == (2, 5)
+
+    def test_add_noise_scalar_returns_float(self, rng):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        assert isinstance(mechanism.add_noise(3.0, rng=rng), float)
+
+    def test_expected_absolute_error_and_variance(self):
+        mechanism = LaplaceMechanism(epsilon=2.0, sensitivity=1.0)
+        assert mechanism.expected_absolute_error() == pytest.approx(0.5)
+        assert mechanism.variance() == pytest.approx(0.5)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=-1.0)
+
+    def test_privacy_loss_ratio_bounded_empirically(self, rng):
+        """Histogram of noisy outputs on neighbouring values respects exp(eps)."""
+        epsilon = 1.0
+        mechanism = LaplaceMechanism(epsilon=epsilon, sensitivity=1.0)
+        samples_a = np.array([mechanism.add_noise(0.0, rng=rng) for _ in range(40_000)])
+        samples_b = np.array([mechanism.add_noise(1.0, rng=rng) for _ in range(40_000)])
+        bins = np.linspace(-4, 5, 19)
+        hist_a, _ = np.histogram(samples_a, bins=bins)
+        hist_b, _ = np.histogram(samples_b, bins=bins)
+        mask = (hist_a > 200) & (hist_b > 200)
+        ratios = hist_a[mask] / hist_b[mask]
+        # Allow generous statistical slack above exp(eps).
+        assert np.all(ratios < np.exp(epsilon) * 1.35)
+        assert np.all(ratios > np.exp(-epsilon) / 1.35)
+
+
+class TestGeometricMechanism:
+    def test_noise_is_integer(self, rng):
+        assert isinstance(geometric_noise(1.0, rng=rng), int)
+
+    def test_array_of_integers(self, rng):
+        values = geometric_noise(1.0, size=10, rng=rng)
+        assert values.shape == (10,)
+        assert np.issubdtype(values.dtype, np.integer)
+
+    def test_add_noise_returns_int_for_scalars(self, rng):
+        mechanism = GeometricMechanism(epsilon=1.0)
+        assert isinstance(mechanism.add_noise(5, rng=rng), int)
+
+    def test_expected_absolute_error_decreases_with_epsilon(self):
+        loose = GeometricMechanism(epsilon=0.1).expected_absolute_error()
+        tight = GeometricMechanism(epsilon=2.0).expected_absolute_error()
+        assert tight < loose
+
+    def test_empirical_mean_near_zero(self, rng):
+        samples = geometric_noise(1.0, size=100_000, rng=rng)
+        assert abs(np.mean(samples)) < 0.05
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            geometric_noise(0.0)
+        with pytest.raises(ValueError):
+            GeometricMechanism(epsilon=-1.0)

@@ -1,0 +1,146 @@
+"""Tests for the Count-Min sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.countmin import CountMinSketch
+
+
+class TestCountMinBasics:
+    def test_query_never_underestimates_nonnegative_stream(self):
+        sketch = CountMinSketch(width=32, depth=4, seed=0)
+        counts = {("a" + str(i)): (i % 7) + 1 for i in range(100)}
+        for key, count in counts.items():
+            sketch.update(key, count)
+        for key, count in counts.items():
+            assert sketch.query(key) >= count
+
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(width=1024, depth=5, seed=1)
+        sketch.update((0, 1), 3)
+        sketch.update((1, 0), 5)
+        assert sketch.query((0, 1)) == pytest.approx(3)
+        assert sketch.query((1, 0)) == pytest.approx(5)
+
+    def test_absent_key_estimate_is_small(self):
+        sketch = CountMinSketch(width=256, depth=6, seed=2)
+        for i in range(50):
+            sketch.update(i, 1)
+        assert sketch.query("never-seen") <= 2
+
+    def test_total_and_updates_tracked(self):
+        sketch = CountMinSketch(width=8, depth=2, seed=0)
+        sketch.update("x", 2.0)
+        sketch.update("y", 3.0)
+        assert sketch.total == pytest.approx(5.0)
+        assert sketch.updates == 2
+
+    def test_update_many_and_query_many(self):
+        sketch = CountMinSketch(width=64, depth=4, seed=0)
+        keys = [(i % 10,) for i in range(100)]
+        sketch.update_many(keys)
+        estimates = sketch.query_many([(i,) for i in range(10)])
+        assert estimates.shape == (10,)
+        assert np.all(estimates >= 10)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0, depth=4)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=4, depth=0)
+
+    def test_memory_words_is_table_size(self):
+        sketch = CountMinSketch(width=32, depth=4)
+        assert sketch.memory_words() == 128
+
+
+class TestCountMinAccuracy:
+    def test_error_shrinks_with_width(self, rng):
+        keys = rng.zipf(1.3, size=5000) % 1000
+        errors = {}
+        for width in (8, 64, 512):
+            sketch = CountMinSketch(width=width, depth=4, seed=0)
+            for key in keys:
+                sketch.update(int(key))
+            true_counts = {}
+            for key in keys:
+                true_counts[int(key)] = true_counts.get(int(key), 0) + 1
+            errors[width] = np.mean(
+                [sketch.query(key) - count for key, count in true_counts.items()]
+            )
+        assert errors[512] <= errors[64] <= errors[8]
+
+    def test_lemma4_expected_error_bound_holds_on_skewed_stream(self, rng):
+        """Mean overestimate stays below the Lemma-4 style tail bound (with slack)."""
+        width, depth = 64, 5
+        keys = (rng.zipf(1.5, size=8000) % 500).astype(int)
+        true_counts: dict = {}
+        for key in keys:
+            true_counts[key] = true_counts.get(key, 0) + 1
+        sketch = CountMinSketch(width=width, depth=depth, seed=3)
+        for key in keys:
+            sketch.update(int(key))
+
+        counts_sorted = sorted(true_counts.values(), reverse=True)
+        tail = sum(counts_sorted[width // 2:])
+        bound = sketch.error_bound(tail_norm=tail, total_norm=len(keys))
+        mean_error = np.mean([sketch.query(k) - c for k, c in true_counts.items()])
+        # The bound is on the expectation for each item; allow a 3x slack for
+        # the finite-sample average and the pairwise (not fully random) hashes.
+        assert mean_error <= 3.0 * bound + 1.0
+
+    def test_conservative_update_is_at_least_as_accurate(self, rng):
+        keys = (rng.zipf(1.3, size=4000) % 300).astype(int)
+        plain = CountMinSketch(width=32, depth=4, seed=5)
+        conservative = CountMinSketch(width=32, depth=4, seed=5, conservative=True)
+        for key in keys:
+            plain.update(int(key))
+            conservative.update(int(key))
+        true_counts: dict = {}
+        for key in keys:
+            true_counts[int(key)] = true_counts.get(int(key), 0) + 1
+        plain_error = sum(plain.query(k) - c for k, c in true_counts.items())
+        conservative_error = sum(conservative.query(k) - c for k, c in true_counts.items())
+        assert conservative_error <= plain_error
+        # Conservative update still never underestimates.
+        assert all(conservative.query(k) >= c for k, c in true_counts.items())
+
+    def test_conservative_rejects_negative_updates(self):
+        sketch = CountMinSketch(width=8, depth=2, conservative=True)
+        with pytest.raises(ValueError):
+            sketch.update("x", -1.0)
+
+
+class TestCountMinComposition:
+    def test_merge_adds_tables(self):
+        left = CountMinSketch(width=32, depth=3, seed=9)
+        right = CountMinSketch(width=32, depth=3, seed=9)
+        left.update("a", 2)
+        right.update("a", 3)
+        right.update("b", 1)
+        merged = left.merge(right)
+        assert merged.query("a") >= 5
+        assert merged.total == pytest.approx(6.0)
+
+    def test_merge_requires_matching_parameters(self):
+        left = CountMinSketch(width=32, depth=3, seed=9)
+        right = CountMinSketch(width=32, depth=3, seed=10)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_requires_countmin(self):
+        left = CountMinSketch(width=8, depth=2, seed=0)
+        with pytest.raises(TypeError):
+            left.merge("not a sketch")
+
+    def test_add_noise_matrix_shape_checked(self):
+        sketch = CountMinSketch(width=8, depth=2, seed=0)
+        with pytest.raises(ValueError):
+            sketch.add_noise_matrix(np.zeros((3, 8)))
+
+    def test_add_noise_matrix_changes_estimates(self):
+        sketch = CountMinSketch(width=8, depth=2, seed=0)
+        sketch.update("a", 1)
+        before = sketch.query("a")
+        sketch.add_noise_matrix(np.full((2, 8), 2.0))
+        assert sketch.query("a") == pytest.approx(before + 2.0)

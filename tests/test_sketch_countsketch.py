@@ -1,0 +1,69 @@
+"""Tests for the Count-Sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.countsketch import CountSketch
+
+
+class TestCountSketch:
+    def test_exact_when_no_collisions(self):
+        sketch = CountSketch(width=1024, depth=5, seed=0)
+        sketch.update((0, 0, 1), 4)
+        sketch.update((1, 1, 0), 7)
+        assert sketch.query((0, 0, 1)) == pytest.approx(4)
+        assert sketch.query((1, 1, 0)) == pytest.approx(7)
+
+    def test_estimates_are_nearly_unbiased(self, rng):
+        """Averaged over many seeds, the estimate of a fixed key is close to its count."""
+        true_count = 50
+        estimates = []
+        for seed in range(30):
+            sketch = CountSketch(width=16, depth=5, seed=seed)
+            sketch.update("target", true_count)
+            for i in range(300):
+                sketch.update(("other", i), 1)
+            estimates.append(sketch.query("target"))
+        assert np.mean(estimates) == pytest.approx(true_count, abs=10)
+
+    def test_handles_negative_updates(self):
+        sketch = CountSketch(width=64, depth=3, seed=1)
+        sketch.update("x", 10)
+        sketch.update("x", -4)
+        assert sketch.query("x") == pytest.approx(6)
+
+    def test_update_many_and_query_many(self):
+        sketch = CountSketch(width=128, depth=5, seed=2)
+        sketch.update_many([(i % 5,) for i in range(50)])
+        estimates = sketch.query_many([(i,) for i in range(5)])
+        assert estimates.shape == (5,)
+        assert np.all(estimates >= 5)
+
+    def test_memory_words(self):
+        sketch = CountSketch(width=32, depth=4)
+        assert sketch.memory_words() == 128
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=0, depth=1)
+        with pytest.raises(ValueError):
+            CountSketch(width=1, depth=0)
+
+    def test_add_noise_matrix_shape_checked(self):
+        sketch = CountSketch(width=8, depth=2, seed=0)
+        with pytest.raises(ValueError):
+            sketch.add_noise_matrix(np.zeros((1, 1)))
+
+    def test_error_smaller_with_larger_width(self, rng):
+        keys = (rng.zipf(1.4, size=4000) % 400).astype(int)
+        true_counts: dict = {}
+        for key in keys:
+            true_counts[int(key)] = true_counts.get(int(key), 0) + 1
+
+        def mean_abs_error(width):
+            sketch = CountSketch(width=width, depth=5, seed=7)
+            for key in keys:
+                sketch.update(int(key))
+            return np.mean([abs(sketch.query(k) - c) for k, c in true_counts.items()])
+
+        assert mean_abs_error(256) <= mean_abs_error(8)

@@ -1,0 +1,65 @@
+"""Tests for the Misra-Gries heavy-hitter summary."""
+
+import pytest
+
+from repro.sketch.misra_gries import MisraGries
+
+
+class TestMisraGries:
+    def test_never_overestimates(self):
+        summary = MisraGries(capacity=4)
+        stream = ["a"] * 30 + ["b"] * 20 + ["c"] * 5 + ["d", "e", "f", "g"] * 3
+        for item in stream:
+            summary.update(item)
+        assert summary.query("a") <= 30
+        assert summary.query("b") <= 20
+
+    def test_error_bounded_by_total_over_capacity(self):
+        capacity = 8
+        summary = MisraGries(capacity=capacity)
+        stream = [i % 40 for i in range(4000)]
+        for item in stream:
+            summary.update(item)
+        true_count = 100
+        for key in range(40):
+            assert summary.query(key) >= true_count - summary.error_bound() - 1e-9
+
+    def test_heavy_hitter_detected(self):
+        summary = MisraGries(capacity=4)
+        stream = ["hot"] * 500 + [f"cold{i}" for i in range(300)]
+        for item in stream:
+            summary.update(item)
+        hitters = summary.heavy_hitters(threshold=100)
+        assert "hot" in hitters
+
+    def test_capacity_respected(self):
+        summary = MisraGries(capacity=3)
+        for i in range(100):
+            summary.update(i)
+        assert len(summary.counters) <= 3
+
+    def test_weighted_updates(self):
+        summary = MisraGries(capacity=4)
+        summary.update("x", 5.0)
+        summary.update("y", 2.0)
+        assert summary.query("x") == pytest.approx(5.0)
+        assert summary.total == pytest.approx(7.0)
+
+    def test_negative_update_rejected(self):
+        summary = MisraGries(capacity=2)
+        with pytest.raises(ValueError):
+            summary.update("x", -1.0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MisraGries(capacity=0)
+
+    def test_memory_words_tracks_counters(self):
+        summary = MisraGries(capacity=10)
+        summary.update_many(["a", "b", "c"])
+        assert summary.memory_words() == 6
+
+    def test_update_many_with_counts(self):
+        summary = MisraGries(capacity=4)
+        summary.update_many(["a", "b"], counts=[3.0, 4.0])
+        assert summary.query("b") == pytest.approx(4.0)
