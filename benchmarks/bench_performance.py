@@ -8,12 +8,41 @@ separately times single updates with pytest-benchmark's timer.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import numpy as np
 
 from repro.core.config import PrivHPConfig
 from repro.core.privhp import PrivHP
 from repro.domain.interval import UnitInterval
-from repro.experiments.performance import throughput_experiment
+from repro.experiments.performance import batch_speedup_experiment, throughput_experiment
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_performance.json"
+
+
+def run_batch_speedup_smoke(stream_size: int = 100_000) -> dict:
+    """Run the loop-vs-batch ingestion comparison and record the result.
+
+    The row (items/sec for both paths plus their ratio) is written to
+    ``BENCH_performance.json`` at the repository root so CI can track the
+    ingestion-throughput trajectory across commits.
+    """
+    row = batch_speedup_experiment(stream_size=stream_size)
+    RESULT_PATH.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
+    return row
+
+
+def test_batch_ingestion_speedup(report_table):
+    """Acceptance gate: update_batch must beat the per-item loop >= 3x at n=100k.
+
+    Measures only -- the tracked BENCH_performance.json is written by the CI
+    smoke entry point (``python benchmarks/bench_performance.py``), not by
+    pytest runs, so local benchmarking never dirties the working tree.
+    """
+    row = batch_speedup_experiment(stream_size=100_000)
+    report_table("Batched vs per-item ingestion (n=100k)", [row])
+    assert row["speedup"] >= 3.0
 
 
 def test_throughput_and_memory_growth(benchmark, report_table):
@@ -59,3 +88,10 @@ def test_sampling_latency(benchmark):
     generator = algorithm.finalize()
 
     benchmark(lambda: generator.sample_one())
+
+
+if __name__ == "__main__":  # CI smoke entry: no pytest-benchmark machinery needed
+    result = run_batch_speedup_smoke()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if result["speedup"] < 3.0:
+        raise SystemExit(f"ingestion speedup {result['speedup']:.2f}x is below the 3x gate")

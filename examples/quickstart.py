@@ -1,9 +1,10 @@
-"""Quickstart: private synthetic data for a one-dimensional stream.
+"""Quickstart: private synthetic data through the unified Summarizer/Release API.
 
-Streams a skewed dataset through PrivHP under a modest privacy budget,
-generates synthetic data, and reports the 1-Wasserstein distance to the
-original alongside the memory the summary occupied and the per-level privacy
-ledger.
+Builds a PrivHP summarizer with the fluent builder, ingests a skewed dataset
+in vectorised batches, releases, and reports the 1-Wasserstein distance to
+the original alongside the memory the summary occupied and the per-level
+privacy ledger.  The end shows the sharded variant: raw per-shard summaries
+merged into one release with the noise injected exactly once.
 
 Run with::
 
@@ -14,7 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import PrivHP, PrivHPConfig, UnitInterval, empirical_wasserstein
+from repro import PrivHP, PrivHPBuilder, empirical_wasserstein
+from repro.api import ingest_batches
 from repro.memory.accounting import measure_privhp
 
 
@@ -23,13 +25,19 @@ def main() -> None:
 
     # A skewed "sensitive" stream: e.g. normalised session durations.
     stream = rng.beta(2.0, 8.0, size=20_000)
-    domain = UnitInterval()
 
-    # Paper defaults: depth L = log2(eps n), sketch depth j = log2 n,
-    # sketch width 2k, exact counters down to L* = log2(k log^2 n).
-    config = PrivHPConfig.from_stream_size(
-        stream_size=len(stream), epsilon=1.0, pruning_k=8, seed=7
+    # Paper defaults (depth L = log2(eps n), sketch depth j = log2 n, sketch
+    # width 2k, exact counters down to L* = log2(k log^2 n)) resolved by the
+    # builder from (stream_size, epsilon, k).
+    builder = (
+        PrivHPBuilder("interval")
+        .epsilon(1.0)
+        .pruning_k(8)
+        .stream_size(len(stream))
+        .seed(7)
     )
+    summarizer = builder.build()
+    config = summarizer.config
     print("PrivHP configuration:")
     print(f"  epsilon          = {config.epsilon}")
     print(f"  pruning k        = {config.pruning_k}")
@@ -38,17 +46,18 @@ def main() -> None:
     print(f"  sketches         = {config.num_sketch_levels} x ({config.sketch_depth} rows, "
           f"{config.sketch_width} buckets)")
 
-    # One pass over the stream; nothing else is ever stored.
-    algorithm = PrivHP(domain, config)
-    algorithm.process(stream)
+    # One vectorised pass over the stream; nothing else is ever stored.
+    ingest_batches(summarizer, stream, batch_size=4096)
 
-    # Grow the pruned partition and sample synthetic data (pure post-processing).
-    generator = algorithm.finalize()
-    synthetic = generator.sample(len(stream))
+    # Grow the pruned partition and sample (pure post-processing).  The
+    # Release bundles the generator with its privacy/memory metadata and can
+    # be persisted with release.save(path) / Release.load(path).
+    release = summarizer.release()
+    synthetic = release.sample(len(stream))
 
     error = empirical_wasserstein(stream, synthetic)
     uniform_error = empirical_wasserstein(stream, rng.random(len(stream)))
-    report = measure_privhp(algorithm)
+    report = measure_privhp(summarizer)
 
     print("\nresults:")
     print(f"  W1(data, synthetic)        = {error:.5f}")
@@ -61,7 +70,17 @@ def main() -> None:
           f"(true {np.percentile(stream, 90):.4f})")
 
     print()
-    print(algorithm.privacy_summary())
+    print(summarizer.privacy_summary())
+
+    # Sharded ingestion: raw shard summaries merge linearly; the single noise
+    # injection happens at the merged release, so the budget is spent once.
+    shards = builder.build_shards(4)
+    for shard, part in zip(shards, np.array_split(stream, 4)):
+        shard.update_batch(part)
+    sharded_release = PrivHP.merge_all(shards).release()
+    sharded_error = empirical_wasserstein(stream, sharded_release.sample(len(stream)))
+    print(f"\nsharded (4-way merge) W1     = {sharded_error:.5f} "
+          f"(epsilon spent once: {sharded_release.epsilon})")
 
 
 if __name__ == "__main__":

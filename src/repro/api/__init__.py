@@ -1,0 +1,43 @@
+"""repro.api: the unified Summarizer/Release entry point.
+
+This package is the public surface of the system:
+
+* :class:`~repro.api.summarizer.StreamSummarizer` -- the protocol every
+  summarizer satisfies (``update_batch`` / ``merge`` / ``checkpoint`` /
+  ``release``).
+* :class:`~repro.api.builder.PrivHPBuilder` -- fluent construction: domain +
+  budget + paper defaults + overrides, for single summarizers or raw shards.
+* :class:`~repro.api.release.Release` -- the released generator bundled with
+  its privacy/memory metadata, serialising through :mod:`repro.io`.
+* :mod:`~repro.api.registry` -- name registries mapping ``--domain`` /
+  ``--method`` style specs to factories, shared by the CLI, the builder and
+  the experiment harness.
+"""
+
+from repro.api.builder import PrivHPBuilder
+from repro.api.registry import (
+    available_domains,
+    available_methods,
+    infer_domain,
+    make_domain,
+    make_method,
+    register_domain,
+    register_method,
+)
+from repro.api.release import Release
+from repro.api.summarizer import DEFAULT_BATCH_SIZE, StreamSummarizer, ingest_batches
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "PrivHPBuilder",
+    "Release",
+    "StreamSummarizer",
+    "ingest_batches",
+    "available_domains",
+    "available_methods",
+    "infer_domain",
+    "make_domain",
+    "make_method",
+    "register_domain",
+    "register_method",
+]

@@ -1,0 +1,192 @@
+"""Name registries for domains and synthetic-data methods.
+
+Consumers used to hard-code their own domain construction (the CLI's old
+``_make_domain``, ad-hoc ``if dimension == 1`` branches in the experiments);
+the registry replaces that with one shared name -> factory mapping that the
+CLI flags, the builder and the harness all resolve through.
+
+Domain specs are strings of the form ``name`` or ``name:arg1,arg2,...``::
+
+    make_domain("interval")                  # UnitInterval()
+    make_domain("hypercube:3")               # Hypercube(3)
+    make_domain("ipv4")                      # IPv4Domain()
+    make_domain("geo:24,49,-125,-66")        # GeoDomain(lat/lon bounding box)
+    make_domain("discrete:4096")             # DiscreteDomain(4096)
+    make_domain("auto", data=array)          # inferred from the data's shape
+
+New domains and methods register through :func:`register_domain` /
+:func:`register_method` without touching any consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.domain.base import Domain
+from repro.domain.discrete import DiscreteDomain
+from repro.domain.geo import GeoDomain
+from repro.domain.hypercube import Hypercube
+from repro.domain.interval import UnitInterval
+from repro.domain.ipv4 import IPv4Domain
+
+__all__ = [
+    "register_domain",
+    "make_domain",
+    "available_domains",
+    "infer_domain",
+    "register_method",
+    "make_method",
+    "available_methods",
+]
+
+
+# --------------------------------------------------------------------------- #
+# domains
+# --------------------------------------------------------------------------- #
+_DOMAIN_FACTORIES: dict[str, Callable[..., Domain]] = {}
+
+
+def register_domain(name: str, factory: Callable[..., Domain]) -> None:
+    """Register a domain factory taking the spec's string arguments.
+
+    Registered domains plug into fitting and sampling everywhere; shard
+    merging, checkpointing and release persistence additionally require an
+    encoder/decoder in :mod:`repro.io.serialization` (built-in domains have
+    one; custom domains without one fail with a clear ValueError there).
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("domain name must be non-empty")
+    _DOMAIN_FACTORIES[key] = factory
+
+
+def available_domains() -> list[str]:
+    """Sorted names of all registered domain factories."""
+    return sorted(_DOMAIN_FACTORIES)
+
+
+def infer_domain(data) -> Domain:
+    """The historical shape-based default: ``[0,1]`` or ``[0,1]^d``."""
+    array = np.asarray(data)
+    if array.ndim <= 1:
+        return UnitInterval()
+    return Hypercube(int(array.shape[1]))
+
+
+def make_domain(spec: str | Domain, data=None) -> Domain:
+    """Resolve a domain spec string (passing a Domain through unchanged).
+
+    ``"auto"`` infers the domain from ``data``'s shape, preserving the old
+    CLI behaviour as the default.
+    """
+    if isinstance(spec, Domain):
+        return spec
+    name, _, argument_text = str(spec).partition(":")
+    key = name.strip().lower()
+    if key == "auto":
+        if data is None:
+            raise ValueError("domain spec 'auto' needs data to infer the shape from")
+        return infer_domain(data)
+    if key not in _DOMAIN_FACTORIES:
+        raise ValueError(
+            f"unknown domain {name!r}; known domains: {', '.join(available_domains())}"
+        )
+    arguments = [part.strip() for part in argument_text.split(",") if part.strip()]
+    try:
+        return _DOMAIN_FACTORIES[key](*arguments)
+    except TypeError as error:
+        # Arity/type mistakes in the spec's ':args' are user input errors,
+        # not programming errors; normalise them so CLI handling stays uniform.
+        raise ValueError(f"bad arguments for domain {name!r}: {error}") from error
+
+
+def _geo_factory(*arguments: str) -> GeoDomain:
+    if not arguments:
+        return GeoDomain()
+    if len(arguments) != 4:
+        raise ValueError("geo domain takes lat_min,lat_max,lon_min,lon_max")
+    lat_min, lat_max, lon_min, lon_max = (float(value) for value in arguments)
+    return GeoDomain(lat_min=lat_min, lat_max=lat_max, lon_min=lon_min, lon_max=lon_max)
+
+
+def _hypercube_factory(*arguments: str) -> Hypercube:
+    if len(arguments) > 1:
+        raise ValueError("hypercube domain takes one dimension, e.g. hypercube:3")
+    return Hypercube(int(arguments[0]) if arguments else 1)
+
+
+def _discrete_factory(*arguments: str) -> DiscreteDomain:
+    if len(arguments) != 1:
+        raise ValueError("discrete domain takes a universe size, e.g. discrete:4096")
+    return DiscreteDomain(int(arguments[0]))
+
+
+register_domain("interval", lambda: UnitInterval())
+register_domain("unit_interval", lambda: UnitInterval())
+register_domain("hypercube", _hypercube_factory)
+register_domain("ipv4", lambda: IPv4Domain())
+register_domain("geo", _geo_factory)
+register_domain("discrete", _discrete_factory)
+
+
+# --------------------------------------------------------------------------- #
+# methods
+# --------------------------------------------------------------------------- #
+_METHOD_FACTORIES: dict[str, Callable] = {}
+
+
+def register_method(name: str, factory: Callable) -> None:
+    """Register a synthetic-data-method factory under a name."""
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("method name must be non-empty")
+    _METHOD_FACTORIES[key] = factory
+
+
+def available_methods() -> list[str]:
+    """Sorted names of all registered method factories."""
+    _ensure_builtin_methods()
+    return sorted(_METHOD_FACTORIES)
+
+
+def make_method(name: str, *args, **kwargs):
+    """Instantiate a registered method (arguments forwarded to the factory)."""
+    _ensure_builtin_methods()
+    key = str(name).strip().lower()
+    if key not in _METHOD_FACTORIES:
+        raise ValueError(
+            f"unknown method {name!r}; known methods: {', '.join(available_methods())}"
+        )
+    return _METHOD_FACTORIES[key](*args, **kwargs)
+
+
+_builtin_methods_registered = False
+
+
+def _ensure_builtin_methods() -> None:
+    # Imported lazily so repro.api does not pull in every baseline at import
+    # time; registration happens once, on the first method lookup.
+    global _builtin_methods_registered
+    if _builtin_methods_registered:
+        return
+
+    from repro.baselines.base import PrivHPMethod
+    from repro.baselines.nonprivate import NonPrivateHistogramMethod
+    from repro.baselines.pmm import PMMMethod
+    from repro.baselines.privtree import PrivTreeMethod
+    from repro.baselines.quantile import QuantileMethod
+    from repro.baselines.smooth import SmoothMethod
+    from repro.baselines.srrw import SRRWMethod
+
+    register_method("privhp", PrivHPMethod)
+    register_method("pmm", PMMMethod)
+    register_method("privtree", PrivTreeMethod)
+    register_method("quantile", QuantileMethod)
+    register_method("smooth", SmoothMethod)
+    register_method("srrw", SRRWMethod)
+    register_method("nonprivate", NonPrivateHistogramMethod)
+    # Flag set last so a failed import is retried on the next lookup instead
+    # of leaving the registry permanently empty.
+    _builtin_methods_registered = True

@@ -1,0 +1,125 @@
+"""First-class release objects: the sample-side half of the fit/sample split.
+
+A :class:`Release` bundles the released
+:class:`~repro.core.sampler.SyntheticDataGenerator` with the privacy and
+memory metadata of the run that produced it, and serialises through
+:mod:`repro.io.serialization` using the existing ``privhp-generator`` JSON
+format (the metadata block carries the extra fields), so releases written by
+older versions still load.
+
+Only released (post-noise) state ever reaches a ``Release``; sampling and
+serialisation are pure post-processing, so everything here inherits the
+epsilon-DP guarantee of the summarizer that produced it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sampler import SyntheticDataGenerator
+from repro.core.tree import PartitionTree
+from repro.domain.base import Domain
+from repro.io.serialization import (
+    generator_from_dict,
+    generator_to_dict,
+    save_generator,
+)
+
+__all__ = ["Release"]
+
+
+@dataclass
+class Release:
+    """A released private summary: generator plus privacy/memory metadata."""
+
+    generator: SyntheticDataGenerator
+    epsilon: float = float("inf")
+    items_processed: int = 0
+    memory_words: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # sampling (delegates to the generator)
+    # ------------------------------------------------------------------ #
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` synthetic points."""
+        return self.generator.sample(size)
+
+    def sample_one(self):
+        """Draw a single synthetic point."""
+        return self.generator.sample_one()
+
+    def reseed(self, seed: int | np.random.Generator | None) -> "Release":
+        """Reseed *sampling only*; the released tree counts are never touched."""
+        self.generator.reseed(seed)
+        return self
+
+    @property
+    def domain(self) -> Domain:
+        """The metric domain the synthetic points live in."""
+        return self.generator.domain
+
+    @property
+    def tree(self) -> PartitionTree:
+        """The released (noisy, grown) partition tree."""
+        return self.generator.tree
+
+    # ------------------------------------------------------------------ #
+    # serialisation through repro.io
+    # ------------------------------------------------------------------ #
+    def _document_metadata(self) -> dict:
+        """The metadata block persisted alongside the generator."""
+        metadata = dict(self.metadata)
+        metadata.update(
+            {
+                "epsilon": self.epsilon,
+                "items_processed": self.items_processed,
+                "memory_words": self.memory_words,
+            }
+        )
+        return metadata
+
+    def to_dict(self) -> dict:
+        """Encode as a ``privhp-generator`` document with release metadata."""
+        return generator_to_dict(self.generator, metadata=self._document_metadata())
+
+    @classmethod
+    def from_dict(cls, document: dict, sampling_seed: int | None = None) -> "Release":
+        """Decode a document produced by :meth:`to_dict` (or a bare generator
+        document from an older version); ``sampling_seed`` reseeds sampling
+        only."""
+        generator = generator_from_dict(document, seed=sampling_seed)
+        metadata = dict(document.get("metadata", {}))
+        epsilon = float(metadata.pop("epsilon", float("inf")))
+        items_processed = int(metadata.pop("items_processed", 0))
+        memory_words = int(metadata.pop("memory_words", generator.memory_words()))
+        return cls(
+            generator=generator,
+            epsilon=epsilon,
+            items_processed=items_processed,
+            memory_words=memory_words,
+            metadata=metadata,
+        )
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the release to a JSON file and return the path."""
+        return save_generator(self.generator, path, metadata=self._document_metadata())
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path, sampling_seed: int | None = None) -> "Release":
+        """Load a release written by :meth:`save` (or by older ``save_generator``
+        callers); ``sampling_seed`` affects future samples only, never the
+        persisted tree counts."""
+        import json
+
+        document = json.loads(pathlib.Path(path).read_text())
+        return cls.from_dict(document, sampling_seed=sampling_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Release(epsilon={self.epsilon}, items={self.items_processed}, "
+            f"memory_words={self.memory_words}, leaves={len(self.tree.leaves())})"
+        )

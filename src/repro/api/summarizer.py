@@ -1,0 +1,64 @@
+"""The ``StreamSummarizer`` protocol: the contract of the unified entry point.
+
+A stream summarizer is the fit-side half of the fit-then-sample split: it
+ingests batches of stream items into a bounded private summary, supports
+linear combination of shard summaries, can persist and resume its full
+mid-stream state, and releases exactly once into a
+:class:`~repro.api.release.Release` that owns the sample-side half.
+
+:class:`repro.core.privhp.PrivHP` is the canonical implementation; any future
+summarizer (e.g. a continual-release variant) that satisfies this protocol
+plugs into the same CLI, baselines adapter and experiment harness unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["StreamSummarizer", "DEFAULT_BATCH_SIZE", "ingest_batches"]
+
+#: Items fed per vectorised ingestion batch when the caller does not choose.
+DEFAULT_BATCH_SIZE = 8192
+
+
+def ingest_batches(summarizer, data, batch_size: int = DEFAULT_BATCH_SIZE):
+    """Feed a sized data source through ``update_batch`` in bounded chunks.
+
+    The shared chunking loop behind the CLI, the baselines adapter, the
+    experiment harness and the examples; returns the summarizer for chaining.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch size must be at least 1, got {batch_size}")
+    for start in range(0, len(data), batch_size):
+        summarizer.update_batch(data[start : start + batch_size])
+    return summarizer
+
+
+@runtime_checkable
+class StreamSummarizer(Protocol):
+    """Protocol for batched, mergeable, checkpointable stream summaries."""
+
+    def update_batch(self, points) -> "StreamSummarizer":
+        """Ingest a batch of stream items; returns ``self`` for chaining."""
+        ...
+
+    def merge(self, other: "StreamSummarizer") -> "StreamSummarizer":
+        """Linear combination of two shard summaries built from one config."""
+        ...
+
+    def checkpoint(self) -> dict:
+        """A JSON-serialisable snapshot of the full mid-stream state."""
+        ...
+
+    def release(self) -> Any:
+        """Finish the summary and return the release object (once only)."""
+        ...
+
+    @property
+    def items_processed(self) -> int:
+        """Number of stream items consumed so far."""
+        ...
+
+    def memory_words(self) -> int:
+        """Words of memory the summary currently occupies."""
+        ...

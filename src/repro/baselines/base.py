@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.api.summarizer import DEFAULT_BATCH_SIZE, ingest_batches
 from repro.core.config import PrivHPConfig
 from repro.core.privhp import PrivHP
 from repro.core.sampler import SyntheticDataGenerator
@@ -54,18 +55,23 @@ class PrivHPMethod(SyntheticDataMethod):
 
     name = "PrivHP"
 
+    #: Items fed per vectorised ingestion batch during :meth:`fit`.
+    batch_size = DEFAULT_BATCH_SIZE
+
     def __init__(
         self,
         domain: Domain,
         epsilon: float,
         pruning_k: int,
         config: PrivHPConfig | None = None,
+        stream_size: int | None = None,
         **config_overrides,
     ) -> None:
         self.domain = domain
         self._epsilon = float(epsilon)
         self.pruning_k = int(pruning_k)
         self._explicit_config = config
+        self._stream_size = None if stream_size is None else int(stream_size)
         self._config_overrides = config_overrides
         self._last: PrivHP | None = None
 
@@ -80,11 +86,44 @@ class PrivHPMethod(SyntheticDataMethod):
             **self._config_overrides,
         )
 
+    def _resolve_stream_size(self, data) -> int:
+        """Stream length without materialising the stream.
+
+        Precedence: the explicit ``stream_size`` constructor argument, then
+        ``len(data)`` when the source is sized.  Unsized iterables without an
+        explicit size are rejected -- silently calling ``list(data)`` would
+        defeat the bounded-memory contract the method exists to demonstrate.
+        """
+        if self._stream_size is not None:
+            return self._stream_size
+        try:
+            return len(data)
+        except TypeError:
+            raise ValueError(
+                "the data source has no len(); pass stream_size= to "
+                "PrivHPMethod so the paper defaults can be resolved without "
+                "materialising the stream"
+            ) from None
+
     def fit(self, data, rng: np.random.Generator | int | None = None) -> SyntheticDataGenerator:
-        data = list(data)
-        config = self.build_config(len(data))
+        config = (
+            self._explicit_config
+            if self._explicit_config is not None
+            else self.build_config(self._resolve_stream_size(data))
+        )
         algorithm = PrivHP(self.domain, config, rng=rng)
-        algorithm.process(data)
+        if hasattr(data, "__len__") and hasattr(data, "__getitem__"):
+            ingest_batches(algorithm, data, self.batch_size)
+        else:
+            # Unsized / forward-only sources: buffer one bounded batch at a time.
+            batch: list = []
+            for point in data:
+                batch.append(point)
+                if len(batch) >= self.batch_size:
+                    algorithm.update_batch(batch)
+                    batch.clear()
+            if batch:
+                algorithm.update_batch(batch)
         self._last = algorithm
         return algorithm.finalize()
 

@@ -1,20 +1,28 @@
-"""Command-line interface for PrivHP.
+"""Command-line interface for PrivHP, built on the unified ``repro.api`` surface.
 
-Three sub-commands cover the typical workflow:
+Five sub-commands cover the workflow:
 
-* ``summarize`` -- stream a CSV of sensitive values through PrivHP and write
-  the released (epsilon-DP) generator to a JSON file.
+* ``summarize`` -- stream a CSV of sensitive values through PrivHP (batched,
+  optionally sharded) and write the released (epsilon-DP) generator to JSON.
 * ``generate`` -- load a released generator and emit synthetic data as CSV.
+  ``--seed`` reseeds *sampling only*; the persisted tree counts are never
+  re-noised.
 * ``evaluate`` -- fit, generate and report the Wasserstein error and memory
-  footprint in one go (no artefacts written), useful for quick parameter
-  exploration.
+  footprint in one go (no artefacts written).
+* ``checkpoint`` -- ingest a CSV into a durable mid-stream state file (new or
+  existing), without releasing.
+* ``resume`` -- restore a state file, optionally ingest more data, and
+  release.
 
 Example::
 
     python -m repro.cli summarize --input values.csv --epsilon 1.0 --k 8 \
-        --output release.json
+        --domain auto --shards 4 --output release.json
     python -m repro.cli generate --release release.json --size 10000 \
         --output synthetic.csv
+    python -m repro.cli checkpoint --input day1.csv --state state.json
+    python -m repro.cli checkpoint --input day2.csv --state state.json
+    python -m repro.cli resume --state state.json --output release.json
 """
 
 from __future__ import annotations
@@ -25,11 +33,12 @@ import sys
 
 import numpy as np
 
-from repro.core.config import PrivHPConfig
+from repro.api.builder import PrivHPBuilder
+from repro.api.registry import available_domains, make_domain
+from repro.api.release import Release
+from repro.api.summarizer import DEFAULT_BATCH_SIZE, ingest_batches
 from repro.core.privhp import PrivHP
-from repro.domain.hypercube import Hypercube
-from repro.domain.interval import UnitInterval
-from repro.io.serialization import load_generator, save_generator
+from repro.io.serialization import load_checkpoint, save_checkpoint
 from repro.metrics.wasserstein import empirical_wasserstein
 
 __all__ = ["main", "build_parser"]
@@ -43,18 +52,49 @@ def _load_csv(path: str | pathlib.Path) -> np.ndarray:
     return data
 
 
-def _make_domain(data: np.ndarray):
-    """Pick the domain from the data's shape ([0,1] or [0,1]^d)."""
-    if data.ndim == 1:
-        return UnitInterval()
-    return Hypercube(data.shape[1])
-
-
 def _write_csv(path: str | pathlib.Path, data: np.ndarray) -> None:
     array = np.asarray(data)
     if array.ndim == 1:
         array = array.reshape(-1, 1)
-    np.savetxt(path, array, delimiter=",", fmt="%.10g")
+    # Integer domains (discrete, ipv4) must not lose precision to a float
+    # significant-digit format.
+    fmt = "%d" if np.issubdtype(array.dtype, np.integer) else "%.10g"
+    np.savetxt(path, array, delimiter=",", fmt=fmt)
+
+
+#: (flag, attribute, default, type, help) fit parameters; ``checkpoint``
+#: declares them with a None default so flags that only apply to a fresh
+#: state can be detected (and rejected) when the state file already exists.
+_FIT_ARGUMENTS = (
+    ("--epsilon", "epsilon", 1.0, float, "privacy budget"),
+    ("--k", "k", 8, int, "pruning parameter"),
+    ("--seed", "seed", 0, int, "random seed"),
+    (
+        "--domain",
+        "domain",
+        "auto",
+        str,
+        "domain spec: 'auto' (infer from data shape) or one of "
+        f"{', '.join(available_domains())} with optional ':args' "
+        "(e.g. hypercube:3, discrete:4096, geo:24,49,-125,-66)",
+    ),
+)
+
+
+def _add_fit_arguments(parser: argparse.ArgumentParser, deferred_defaults: bool = False) -> None:
+    for flag, _attribute, default, value_type, help_text in _FIT_ARGUMENTS:
+        parser.add_argument(
+            flag,
+            type=value_type,
+            default=None if deferred_defaults else default,
+            help=help_text,
+        )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help="items per vectorised ingestion batch",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,11 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
     summarize = subparsers.add_parser(
         "summarize", help="stream a CSV through PrivHP and save the private release"
     )
-    summarize.add_argument("--input", required=True, help="CSV of values in [0,1]^d (no header)")
+    summarize.add_argument("--input", required=True, help="CSV of sensitive values (no header)")
     summarize.add_argument("--output", required=True, help="path for the release JSON")
-    summarize.add_argument("--epsilon", type=float, default=1.0, help="privacy budget")
-    summarize.add_argument("--k", type=int, default=8, help="pruning parameter")
-    summarize.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_fit_arguments(summarize)
+    summarize.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="ingest through N raw shard summaries merged before the single "
+        "noise injection (noise is never double-counted)",
+    )
 
     generate = subparsers.add_parser(
         "generate", help="sample synthetic data from a saved release"
@@ -80,46 +125,89 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--release", required=True, help="release JSON from 'summarize'")
     generate.add_argument("--output", required=True, help="CSV path for the synthetic data")
     generate.add_argument("--size", type=int, required=True, help="number of synthetic points")
-    generate.add_argument("--seed", type=int, default=0, help="random seed")
+    generate.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for sampling only; the persisted tree counts are never re-noised",
+    )
 
     evaluate = subparsers.add_parser(
         "evaluate", help="fit, generate and report utility/memory in one step"
     )
-    evaluate.add_argument("--input", required=True, help="CSV of values in [0,1]^d (no header)")
-    evaluate.add_argument("--epsilon", type=float, default=1.0, help="privacy budget")
-    evaluate.add_argument("--k", type=int, default=8, help="pruning parameter")
-    evaluate.add_argument("--seed", type=int, default=0, help="random seed")
+    evaluate.add_argument("--input", required=True, help="CSV of sensitive values (no header)")
+    _add_fit_arguments(evaluate)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="ingest a CSV into a durable mid-stream state file (create or extend)",
+    )
+    checkpoint.add_argument("--input", required=True, help="CSV of sensitive values (no header)")
+    checkpoint.add_argument(
+        "--state", required=True, help="checkpoint JSON (resumed when it already exists)"
+    )
+    _add_fit_arguments(checkpoint, deferred_defaults=True)
+    checkpoint.add_argument(
+        "--stream-size",
+        type=int,
+        default=None,
+        help="expected total stream length for the paper defaults "
+        "(defaults to the first input's length)",
+    )
+
+    resume = subparsers.add_parser(
+        "resume", help="restore a checkpoint, optionally ingest more data, and release"
+    )
+    resume.add_argument("--state", required=True, help="checkpoint JSON from 'checkpoint'")
+    resume.add_argument("--output", required=True, help="path for the release JSON")
+    resume.add_argument("--input", default=None, help="optional extra CSV to ingest first")
+    resume.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="items per vectorised ingestion batch",
+    )
 
     return parser
 
 
+def _build_summarizer(args: argparse.Namespace, data: np.ndarray, stream_size: int):
+    domain = make_domain(args.domain, data=data)
+    builder = (
+        PrivHPBuilder(domain)
+        .epsilon(args.epsilon)
+        .pruning_k(args.k)
+        .stream_size(stream_size)
+        .seed(args.seed)
+    )
+    return builder, domain
+
+
 def _command_summarize(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise ValueError(f"--shards must be at least 1, got {args.shards}")
     data = _load_csv(args.input)
-    domain = _make_domain(data)
-    config = PrivHPConfig.from_stream_size(
-        stream_size=len(data), epsilon=args.epsilon, pruning_k=args.k, seed=args.seed
+    builder, domain = _build_summarizer(args, data, len(data))
+    data = domain.coerce_stream(data)
+    if args.shards > 1:
+        shards = builder.build_shards(args.shards)
+        for shard, part in zip(shards, np.array_split(data, args.shards)):
+            ingest_batches(shard, part, args.batch_size)
+        summarizer = PrivHP.merge_all(shards)
+    else:
+        summarizer = builder.build()
+        ingest_batches(summarizer, data, args.batch_size)
+    release = summarizer.release()
+    release.metadata.update({"pruning_k": args.k, "stream_size": int(len(data))})
+    release.save(args.output)
+    print(
+        f"wrote release to {args.output} (epsilon={args.epsilon}, "
+        f"shards={args.shards}, memory={release.memory_words} words)"
     )
-    algorithm = PrivHP(domain, config)
-    algorithm.process(data)
-    generator = algorithm.finalize()
-    save_generator(
-        generator,
-        args.output,
-        metadata={
-            "epsilon": args.epsilon,
-            "pruning_k": args.k,
-            "stream_size": int(len(data)),
-            "memory_words": algorithm.memory_words(),
-        },
-    )
-    print(f"wrote release to {args.output} "
-          f"(epsilon={args.epsilon}, memory={algorithm.memory_words()} words)")
     return 0
 
 
 def _command_generate(args: argparse.Namespace) -> int:
-    generator = load_generator(args.release, seed=args.seed)
-    synthetic = generator.sample(args.size)
+    release = Release.load(args.release, sampling_seed=args.seed)
+    synthetic = release.sample(args.size)
     _write_csv(args.output, synthetic)
     print(f"wrote {args.size} synthetic records to {args.output}")
     return 0
@@ -127,20 +215,68 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_evaluate(args: argparse.Namespace) -> int:
     data = _load_csv(args.input)
-    domain = _make_domain(data)
-    config = PrivHPConfig.from_stream_size(
-        stream_size=len(data), epsilon=args.epsilon, pruning_k=args.k, seed=args.seed
-    )
-    algorithm = PrivHP(domain, config)
-    algorithm.process(data)
-    generator = algorithm.finalize()
-    synthetic = generator.sample(len(data))
+    builder, domain = _build_summarizer(args, data, len(data))
+    data = domain.coerce_stream(data)
+    summarizer = builder.build()
+    ingest_batches(summarizer, data, args.batch_size)
+    release = summarizer.release()
+    synthetic = release.sample(len(data))
     error = empirical_wasserstein(np.asarray(data), np.asarray(synthetic), domain=domain)
     print(f"stream size      : {len(data)}")
     print(f"epsilon          : {args.epsilon}")
     print(f"pruning k        : {args.k}")
-    print(f"memory (words)   : {algorithm.memory_words()}")
+    print(f"memory (words)   : {release.memory_words}")
     print(f"W1(data, synth)  : {error:.6f}")
+    return 0
+
+
+def _command_checkpoint(args: argparse.Namespace) -> int:
+    data = _load_csv(args.input)
+    state_path = pathlib.Path(args.state)
+    if state_path.exists():
+        ignored = [
+            flag
+            for flag, attribute, _default, _type, _help in _FIT_ARGUMENTS
+            if getattr(args, attribute) is not None
+        ]
+        if args.stream_size is not None:
+            ignored.append("--stream-size")
+        if ignored:
+            raise ValueError(
+                f"{', '.join(ignored)} only apply when creating a new state "
+                f"file, but {state_path} already exists and carries its own "
+                "configuration; drop the flag(s) or start a fresh state"
+            )
+        summarizer = load_checkpoint(state_path)
+        data = summarizer.domain.coerce_stream(data)
+    else:
+        for _flag, attribute, default, _type, _help in _FIT_ARGUMENTS:
+            if getattr(args, attribute) is None:
+                setattr(args, attribute, default)
+        stream_size = args.stream_size if args.stream_size is not None else len(data)
+        builder, domain = _build_summarizer(args, data, stream_size)
+        data = domain.coerce_stream(data)
+        summarizer = builder.build()
+    ingest_batches(summarizer, data, args.batch_size)
+    save_checkpoint(summarizer, state_path)
+    print(
+        f"checkpointed {summarizer.items_processed} items to {state_path} "
+        f"(memory={summarizer.memory_words()} words)"
+    )
+    return 0
+
+
+def _command_resume(args: argparse.Namespace) -> int:
+    summarizer = load_checkpoint(args.state)
+    if args.input is not None:
+        data = summarizer.domain.coerce_stream(_load_csv(args.input))
+        ingest_batches(summarizer, data, args.batch_size)
+    release = summarizer.release()
+    release.save(args.output)
+    print(
+        f"wrote release to {args.output} ({release.items_processed} items, "
+        f"epsilon={release.epsilon}, memory={release.memory_words} words)"
+    )
     return 0
 
 
@@ -148,14 +284,25 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point used by ``python -m repro.cli`` and the tests."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "summarize":
-        return _command_summarize(args)
-    if args.command == "generate":
-        return _command_generate(args)
-    if args.command == "evaluate":
-        return _command_evaluate(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    commands = {
+        "summarize": _command_summarize,
+        "generate": _command_generate,
+        "evaluate": _command_evaluate,
+        "checkpoint": _command_checkpoint,
+        "resume": _command_resume,
+    }
+    handler = commands.get(args.command)
+    if handler is None:
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return handler(args)
+    except (ValueError, OSError) as error:
+        # Bad user input (unknown domain, flag conflicts, malformed or
+        # missing files) surfaces as a clean usage error with exit code 2,
+        # not a traceback.
+        parser.error(str(error))
+        return 2  # pragma: no cover - parser.error raises SystemExit
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,22 +6,35 @@ This module implements Algorithm 1 of the paper end to end:
    ``L*`` whose counters are pre-loaded with ``Laplace(1/sigma_l)`` noise, and
    one private Count-Min sketch per level ``L*+1 .. L`` pre-loaded with
    ``Laplace(j/sigma_l)`` noise per cell.
-2. **Parsing** -- each stream item performs a root-to-leaf walk, incrementing
-   the exact counter at levels ``<= L*`` and updating the level sketch below.
-3. **Growing** -- after the stream, :func:`repro.core.partition.grow_partition`
-   (Algorithm 2) extends the tree to depth ``L`` keeping ``k`` hot branches
-   per level, and the result is wrapped in a
-   :class:`~repro.core.sampler.SyntheticDataGenerator`.
+2. **Parsing** -- stream items increment the exact counter at levels
+   ``<= L*`` and update the level sketch below.  :meth:`PrivHP.update_batch`
+   is the batch-native hot path: one vectorised location pass per batch, a
+   prefix ``bincount`` per exact level and an aggregated sketch update per
+   deep level, producing the same state as item-by-item :meth:`PrivHP.update`.
+3. **Growing** -- :meth:`PrivHP.release` runs
+   :func:`repro.core.partition.grow_partition` (Algorithm 2) and wraps the
+   result in a :class:`repro.api.release.Release`.
 
 The privacy argument (Theorem 2) is baked into the structure: all noise is
-injected during initialisation with per-level budgets summing to ``epsilon``,
-and everything that happens after the stream is deterministic post-processing
-of those noisy statistics.
+injected with per-level budgets summing to ``epsilon`` -- at initialisation in
+the default mode, or once at release time in *shard mode*
+(``add_noise=False``), where several raw summaries built from disjoint
+sub-streams are combined with :meth:`PrivHP.merge` before the single noise
+injection.  Everything after noise injection is deterministic post-processing
+of the noisy statistics.
+
+Randomness contract: the noise generator is ``rng`` when given (a Generator is
+used as-is; an int must agree with ``config.seed`` when both are set, so the
+two can never silently disagree) and ``config.seed`` otherwise.  Sketch hash
+seeds are always derived from ``config.seed`` (falling back to an explicit int
+``rng``, then 0) through one :class:`numpy.random.SeedSequence` per level, so
+shards built from the same config always agree on their hash families.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import asdict
 
 import numpy as np
 
@@ -30,11 +43,31 @@ from repro.core.config import PrivHPConfig
 from repro.core.partition import grow_partition
 from repro.core.sampler import SyntheticDataGenerator
 from repro.core.tree import PartitionTree
-from repro.domain.base import Domain
+from repro.domain.base import Cell, Domain
 from repro.privacy.accountant import BudgetAccountant
 from repro.sketch.private import PrivateCountMinSketch
 
 __all__ = ["PrivHP"]
+
+#: Version tag of the checkpoint payload produced by :meth:`PrivHP.checkpoint`.
+CHECKPOINT_STATE_VERSION = 1
+
+
+def _cell_of(level: int, code: int) -> Cell:
+    """The bit tuple of the ``code``-th cell at ``level``."""
+    return tuple((code >> (level - 1 - position)) & 1 for position in range(level))
+
+
+def _jsonify_rng_state(value):
+    """Make a bit-generator state dict JSON-safe (MT19937/Philox/SFC64 carry
+    ndarrays); numpy's state setters accept the listified form unchanged."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {key: _jsonify_rng_state(entry) for key, entry in value.items()}
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
 
 
 class PrivHP:
@@ -45,15 +78,30 @@ class PrivHP:
         domain: Domain,
         config: PrivHPConfig,
         rng: np.random.Generator | int | None = None,
+        add_noise: bool = True,
     ) -> None:
         self.domain = domain
         self.config = config
-        seed = config.seed if rng is None else None
-        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(
-            rng if rng is not None else seed
-        )
+        if rng is None:
+            self._rng = np.random.default_rng(config.seed)
+            hash_base = config.seed
+        elif isinstance(rng, np.random.Generator):
+            self._rng = rng
+            hash_base = config.seed
+        else:
+            rng = int(rng)
+            if config.seed is not None and rng != config.seed:
+                raise ValueError(
+                    f"explicit rng seed {rng} disagrees with config.seed {config.seed}; "
+                    "pass one of them (or a Generator) -- see the module docstring "
+                    "for the randomness contract"
+                )
+            self._rng = np.random.default_rng(rng)
+            hash_base = config.seed if config.seed is not None else rng
+        self._hash_base = int(hash_base) if hash_base is not None else 0
         self._finalized = False
         self._items_processed = 0
+        self._noise_applied = False
 
         # Per-level privacy budgets (Theorem 2 / Lemma 5).
         self.level_budgets = allocate_budgets(
@@ -67,39 +115,61 @@ class PrivHP:
         )
         self.accountant = BudgetAccountant(total_budget=config.epsilon)
 
-        self._tree = self._initialize_tree()
-        self._sketches = self._initialize_sketches()
+        self._tree = self._initialize_tree(add_noise)
+        self._sketches = self._initialize_sketches(add_noise)
+        self._noise_applied = bool(add_noise)
         self.accountant.assert_within_budget()
 
     # ------------------------------------------------------------------ #
     # initialisation (Algorithm 1, lines 2-8)
     # ------------------------------------------------------------------ #
-    def _initialize_tree(self) -> PartitionTree:
-        """Complete tree of depth ``L*`` with Laplace noise in every counter."""
+    def _sketch_hash_seed(self, level: int) -> int:
+        """Per-level hash seed, derived from one root seed via SeedSequence."""
+        sequence = np.random.SeedSequence(entropy=self._hash_base, spawn_key=(level,))
+        return int(sequence.generate_state(1)[0])
+
+    def _initialize_tree(self, add_noise: bool) -> PartitionTree:
+        """Complete tree of depth ``L*``, noisy unless in shard mode."""
         tree = PartitionTree.complete(self.config.level_cutoff, initial_count=0.0)
-        for level in range(self.config.level_cutoff + 1):
-            sigma = self.level_budgets[level]
-            scale = 1.0 / sigma
-            for theta in tree.nodes_at_level(level):
-                tree.set_count(theta, float(self._rng.laplace(0.0, scale)))
-            self.accountant.spend(sigma, label=f"tree level {level}")
+        if add_noise:
+            for level in range(self.config.level_cutoff + 1):
+                sigma = self.level_budgets[level]
+                scale = 1.0 / sigma
+                for theta in tree.nodes_at_level(level):
+                    tree.set_count(theta, float(self._rng.laplace(0.0, scale)))
+                self.accountant.spend(sigma, label=f"tree level {level}")
         return tree
 
-    def _initialize_sketches(self) -> dict[int, PrivateCountMinSketch]:
+    def _initialize_sketches(self, add_noise: bool) -> dict[int, PrivateCountMinSketch]:
         """One private Count-Min sketch per level ``L*+1 .. L``."""
         sketches: dict[int, PrivateCountMinSketch] = {}
-        base_seed = self.config.seed if self.config.seed is not None else 0
         for level in range(self.config.level_cutoff + 1, self.config.depth + 1):
             sigma = self.level_budgets[level]
             sketches[level] = PrivateCountMinSketch(
                 width=self.config.sketch_width,
                 depth=self.config.sketch_depth,
                 epsilon=sigma,
-                seed=base_seed + level,
+                seed=self._sketch_hash_seed(level),
                 rng=self._rng,
+                apply_noise=add_noise,
             )
-            self.accountant.spend(sigma, label=f"sketch level {level}")
+            if add_noise:
+                self.accountant.spend(sigma, label=f"sketch level {level}")
         return sketches
+
+    def _apply_deferred_noise(self) -> None:
+        """Shard mode: inject the one noise copy, consuming the generator in
+        exactly the same order as a noisy initialisation would have."""
+        for level in range(self.config.level_cutoff + 1):
+            sigma = self.level_budgets[level]
+            scale = 1.0 / sigma
+            for theta in self._tree.nodes_at_level(level):
+                self._tree.increment(theta, float(self._rng.laplace(0.0, scale)))
+            self.accountant.spend(sigma, label=f"tree level {level}")
+        for level in range(self.config.level_cutoff + 1, self.config.depth + 1):
+            self._sketches[level].apply_noise_now(self._rng)
+            self.accountant.spend(self.level_budgets[level], label=f"sketch level {level}")
+        self._noise_applied = True
 
     # ------------------------------------------------------------------ #
     # parsing the stream (Algorithm 1, lines 9-15)
@@ -117,24 +187,266 @@ class PrivHP:
                 self._sketches[level].update(theta, 1.0)
         self._items_processed += 1
 
+    def update_batch(self, points) -> "PrivHP":
+        """Vectorised ingestion of a whole batch; returns ``self`` for chaining.
+
+        One :meth:`~repro.domain.base.Domain.locate_batch` pass locates every
+        point, the exact levels are aggregated with a prefix ``bincount`` and
+        applied through :meth:`~repro.core.tree.PartitionTree.increment_many`,
+        and each sketch level receives one aggregated
+        :meth:`~repro.sketch.countmin.CountMinSketch.update_batch` over the
+        batch's distinct cells.  The resulting tree and sketch state is
+        identical to calling :meth:`update` once per item (up to float
+        summation order).
+        """
+        if self._finalized:
+            raise RuntimeError("PrivHP has been finalized; no further updates are allowed")
+        depth = self.config.depth
+        if depth > 62:  # cell codes no longer fit an int64; take the scalar path
+            for point in points:
+                self.update(point)
+            return self
+        bits = self.domain.locate_batch(points, depth)
+        batch_size = int(bits.shape[0])
+        if batch_size == 0:
+            return self
+        full_codes = Domain.pack_paths(bits)
+
+        cutoff = self.config.level_cutoff
+        for level in range(cutoff + 1):
+            codes = full_codes >> (depth - level)
+            if (1 << level) <= max(4 * batch_size, 1024):
+                counts = np.bincount(codes, minlength=1 << level)
+                occupied = np.flatnonzero(counts)
+                weights = counts[occupied]
+            else:
+                occupied, weights = np.unique(codes, return_counts=True)
+            self._tree.increment_many(
+                [_cell_of(level, int(code)) for code in occupied],
+                weights.astype(float),
+            )
+
+        for level in range(cutoff + 1, depth + 1):
+            codes = full_codes >> (depth - level)
+            occupied, weights = np.unique(codes, return_counts=True)
+            sketch = self._sketches[level]
+            if level <= 59:
+                # (1 << level) | code is exactly canonical_key of the bit
+                # tuple, so the aggregated batch hits the same buckets as
+                # per-item tuple updates.
+                keys = occupied.astype(np.uint64) | (np.uint64(1) << np.uint64(level))
+                sketch.update_batch(keys, weights.astype(float))
+            else:
+                sketch.update_many(
+                    [_cell_of(level, int(code)) for code in occupied],
+                    weights.astype(float),
+                )
+
+        self._items_processed += batch_size
+        return self
+
     def process(self, stream: Iterable) -> "PrivHP":
-        """Process an entire stream (single pass); returns ``self`` for chaining."""
+        """Process an entire stream item by item (single pass).
+
+        .. deprecated::
+            Kept as a thin shim over :meth:`update`; new code should feed
+            batches through :meth:`update_batch` (see :mod:`repro.api`).
+        """
         for point in stream:
             self.update(point)
         return self
 
     # ------------------------------------------------------------------ #
+    # sharding: linear merge of raw summaries
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "PrivHP") -> "PrivHP":
+        """Combine two shard-mode summaries into one (linear merge).
+
+        Both operands must be raw (built with ``add_noise=False``, e.g. via
+        :meth:`repro.api.builder.PrivHPBuilder.build_shards`) and share the
+        same configuration and domain.  The merged summarizer carries the sum
+        of the shards' counters and a fresh noise generator seeded from
+        ``config.seed``, so releasing it spends the budget exactly once and
+        -- when a seed is set -- draws the same noise a single-stream run
+        would have drawn.
+        """
+        from repro.io.serialization import domain_to_dict
+
+        if not isinstance(other, PrivHP):
+            raise TypeError("can only merge with another PrivHP")
+        if self._finalized or other._finalized:
+            raise RuntimeError("cannot merge a summarizer that has already been released")
+        if self._noise_applied or other._noise_applied:
+            raise ValueError(
+                "merge requires shard-mode (raw) summarizers; build them with "
+                "add_noise=False or PrivHPBuilder.build_shards() so noise is "
+                "injected exactly once at release time"
+            )
+        if self.config != other.config:
+            raise ValueError("cannot merge summarizers with different configurations")
+        if domain_to_dict(self.domain) != domain_to_dict(other.domain):
+            raise ValueError("cannot merge summarizers over different domains")
+        if self._hash_base != other._hash_base:
+            raise ValueError("cannot merge summarizers with different hash seed bases")
+
+        # Built via __new__ rather than __init__ so the throwaway tree and
+        # sketch tables of a fresh raw summarizer are never allocated; the
+        # fresh default_rng(config.seed) matches what a noisy single-stream
+        # initialisation would have drawn from.
+        cls = type(self)
+        merged = cls.__new__(cls)
+        merged.domain = self.domain
+        merged.config = self.config
+        merged._rng = np.random.default_rng(self.config.seed)
+        merged._hash_base = self._hash_base
+        merged._finalized = False
+        merged._noise_applied = False
+        merged.level_budgets = self.level_budgets
+        merged.accountant = BudgetAccountant(total_budget=self.config.epsilon)
+        merged._tree = self._tree.merge(other._tree)
+        merged._sketches = {
+            level: self._sketches[level].merge(other._sketches[level])
+            for level in self._sketches
+        }
+        merged._items_processed = self._items_processed + other._items_processed
+        return merged
+
+    @classmethod
+    def merge_all(cls, shards: Iterable["PrivHP"]) -> "PrivHP":
+        """Left fold of :meth:`merge` over an iterable of shard summaries."""
+        shards = list(shards)
+        if not shards:
+            raise ValueError("merge_all requires at least one shard")
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore (durable mid-stream state)
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> dict:
+        """A JSON-serialisable snapshot of the full mid-stream state.
+
+        Captures tree, sketch tables, the privacy ledger, and the exact
+        generator state, so ``restore(checkpoint())`` continues the stream --
+        and eventually releases -- byte-for-byte identically to the original
+        instance.  Use :func:`repro.io.serialization.save_checkpoint` for the
+        versioned on-disk envelope.
+        """
+        from repro.io.serialization import domain_to_dict, tree_to_dict
+
+        if self._finalized:
+            raise RuntimeError(
+                "cannot checkpoint a released summarizer; persist the Release instead"
+            )
+        return {
+            "state_version": CHECKPOINT_STATE_VERSION,
+            "config": asdict(self.config),
+            "domain": domain_to_dict(self.domain),
+            "tree": tree_to_dict(self._tree),
+            "sketches": [
+                {
+                    "level": level,
+                    "seed": sketch.seed,
+                    "epsilon": sketch.epsilon,
+                    "table": sketch.table.tolist(),
+                    "total": sketch.total,
+                    "updates": sketch.updates,
+                    "noise_applied": sketch.noise_applied,
+                }
+                for level, sketch in sorted(self._sketches.items())
+            ],
+            "accountant": {
+                "total_budget": self.accountant.total_budget,
+                "spends": [[entry.epsilon, entry.label] for entry in self.accountant.ledger],
+            },
+            "rng": {
+                "bit_generator": type(self._rng.bit_generator).__name__,
+                "state": _jsonify_rng_state(self._rng.bit_generator.state),
+            },
+            "noise_applied": self._noise_applied,
+            "items_processed": self._items_processed,
+            "hash_base": self._hash_base,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "PrivHP":
+        """Reconstruct a summarizer from a :meth:`checkpoint` snapshot."""
+        from repro.io.serialization import domain_from_dict, tree_from_dict
+
+        version = int(state.get("state_version", 0))
+        if version > CHECKPOINT_STATE_VERSION:
+            raise ValueError(
+                f"checkpoint state version {version} is newer than supported "
+                f"version {CHECKPOINT_STATE_VERSION}"
+            )
+        config = PrivHPConfig(**state["config"])
+        domain = domain_from_dict(state["domain"])
+
+        algorithm = cls.__new__(cls)
+        algorithm.domain = domain
+        algorithm.config = config
+        algorithm._hash_base = int(state["hash_base"])
+        algorithm._finalized = False
+        algorithm._items_processed = int(state["items_processed"])
+        algorithm._noise_applied = bool(state["noise_applied"])
+        algorithm.level_budgets = allocate_budgets(
+            domain=domain,
+            epsilon=config.epsilon,
+            depth=config.depth,
+            level_cutoff=config.level_cutoff,
+            pruning_k=config.pruning_k,
+            sketch_depth=config.sketch_depth,
+            method=config.budget_allocation,
+        )
+        accountant_state = state["accountant"]
+        algorithm.accountant = BudgetAccountant(total_budget=accountant_state["total_budget"])
+        for epsilon, label in accountant_state["spends"]:
+            algorithm.accountant.spend(epsilon, label=label)
+
+        rng_state = state["rng"]
+        bit_generator = getattr(np.random, rng_state["bit_generator"])()
+        bit_generator.state = rng_state["state"]
+        algorithm._rng = np.random.Generator(bit_generator)
+
+        algorithm._tree = tree_from_dict(state["tree"])
+        algorithm._sketches = {}
+        for entry in state["sketches"]:
+            sketch = PrivateCountMinSketch(
+                width=config.sketch_width,
+                depth=config.sketch_depth,
+                epsilon=float(entry["epsilon"]),
+                seed=entry["seed"],
+                rng=algorithm._rng,
+                apply_noise=False,
+            )
+            sketch.load_state(
+                np.asarray(entry["table"], dtype=float),
+                total=entry["total"],
+                updates=entry["updates"],
+                noise_applied=entry["noise_applied"],
+            )
+            algorithm._sketches[int(entry["level"])] = sketch
+        return algorithm
+
+    # ------------------------------------------------------------------ #
     # growing and releasing (Algorithm 1, line 16)
     # ------------------------------------------------------------------ #
-    def finalize(self) -> SyntheticDataGenerator:
-        """Grow the pruned partition and return the synthetic data generator.
+    def release(self):
+        """Grow the pruned partition and return a :class:`repro.api.release.Release`.
 
-        May be called exactly once; the internal sketches are retained (they
-        are part of the released private state) but no further stream updates
-        are accepted afterwards.
+        In shard mode this first injects the single oblivious noise copy
+        (spending the privacy budget); the growing step itself is
+        deterministic post-processing.  May be called exactly once.
         """
+        from repro.api.release import Release
+
         if self._finalized:
             raise RuntimeError("PrivHP has already been finalized")
+        if not self._noise_applied:
+            self._apply_deferred_noise()
+        self.accountant.assert_within_budget()
         self._finalized = True
         grow_partition(
             tree=self._tree,
@@ -144,13 +456,35 @@ class PrivHP:
             depth=self.config.depth,
             apply_consistency=self.config.apply_consistency,
         )
-        return SyntheticDataGenerator(self._tree, self.domain, rng=self._rng)
+        generator = SyntheticDataGenerator(self._tree, self.domain, rng=self._rng)
+        return Release(
+            generator=generator,
+            epsilon=self.config.epsilon,
+            items_processed=self._items_processed,
+            memory_words=self.memory_words(),
+            metadata={
+                "config": asdict(self.config),
+                "privacy_ledger": [
+                    [entry.epsilon, entry.label] for entry in self.accountant.ledger
+                ],
+            },
+        )
+
+    def finalize(self) -> SyntheticDataGenerator:
+        """Grow the pruned partition and return the synthetic data generator.
+
+        .. deprecated::
+            Thin shim over :meth:`release` for the original single-shot API;
+            new code should call ``release()`` and keep the returned
+            :class:`~repro.api.release.Release` (it carries the privacy and
+            memory metadata and serialises through :mod:`repro.io`).
+        """
+        return self.release().generator
 
     def generate(self, stream: Iterable, size: int) -> np.ndarray:
-        """Convenience wrapper: process the stream, finalize, and sample ``size`` points."""
+        """Convenience wrapper: process the stream, release, and sample ``size`` points."""
         self.process(stream)
-        generator = self.finalize()
-        return generator.sample(size)
+        return self.release().sample(size)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -167,8 +501,13 @@ class PrivHP:
 
     @property
     def finalized(self) -> bool:
-        """Whether :meth:`finalize` has been called."""
+        """Whether :meth:`release` (or the :meth:`finalize` shim) has been called."""
         return self._finalized
+
+    @property
+    def noise_applied(self) -> bool:
+        """Whether the oblivious noise has been injected (False for raw shards)."""
+        return self._noise_applied
 
     @property
     def tree(self) -> PartitionTree:

@@ -35,6 +35,11 @@ class SyntheticDataGenerator:
         self.domain = domain
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
+    def reseed(self, rng: np.random.Generator | int | None) -> "SyntheticDataGenerator":
+        """Replace the sampling generator; the tree counts are never touched."""
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        return self
+
     # ------------------------------------------------------------------ #
     # sampling
     # ------------------------------------------------------------------ #

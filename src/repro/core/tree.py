@@ -82,6 +82,42 @@ class PartitionTree:
             raise KeyError(f"node {key} is not in the tree")
         self._counts[key] += amount
 
+    def increment_many(self, thetas, amounts=None) -> None:
+        """Add ``amounts`` (1.0 each when omitted) to existing nodes.
+
+        This is the application half of the batched ingestion path: the
+        caller aggregates a batch into per-cell totals (e.g. with a prefix
+        ``bincount``) and applies them here in one pass over the distinct
+        cells rather than one dict operation per stream item.
+        """
+        counts = self._counts
+        if amounts is None:
+            for theta in thetas:
+                key = tuple(theta)
+                if key not in counts:
+                    raise KeyError(f"node {key} is not in the tree")
+                counts[key] += 1.0
+        else:
+            for theta, amount in zip(thetas, amounts):
+                key = tuple(theta)
+                if key not in counts:
+                    raise KeyError(f"node {key} is not in the tree")
+                counts[key] += float(amount)
+
+    def merge(self, other: "PartitionTree") -> "PartitionTree":
+        """Node-wise sum of two trees (union of nodes, counts added).
+
+        Counts are linear statistics of the stream, so the merge of two
+        shards' trees is exactly the tree of the concatenated stream.
+        """
+        if not isinstance(other, PartitionTree):
+            raise TypeError("can only merge with another PartitionTree")
+        merged = self.copy()
+        counts = merged._counts
+        for theta, count in other._counts.items():
+            counts[theta] = counts.get(theta, 0.0) + count
+        return merged
+
     @property
     def root_count(self) -> float:
         """Count stored at the root (total probability mass of the sampler)."""

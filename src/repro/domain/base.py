@@ -13,7 +13,19 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["Cell", "Domain"]
+__all__ = ["Cell", "Domain", "coerce_integer_stream"]
+
+
+def coerce_integer_stream(data):
+    """Cast float arrays (e.g. values read from a CSV) back to int64.
+
+    The shared :meth:`Domain.coerce_stream` implementation for
+    integer-valued domains.
+    """
+    data = np.asarray(data)
+    if np.issubdtype(data.dtype, np.floating):
+        return data.astype(np.int64)
+    return data
 
 Cell = tuple[int, ...]
 
@@ -120,6 +132,79 @@ class Domain(ABC):
     # ------------------------------------------------------------------ #
     # bulk helpers shared by the algorithms
     # ------------------------------------------------------------------ #
+    def coerce_stream(self, data):
+        """Adapt a raw array (e.g. float columns from a CSV) to the domain's
+        native item representation.
+
+        The default is the identity; integer-valued domains override it
+        (typically with :func:`coerce_integer_stream`), so stream loaders
+        (the CLI, harnesses) can stay domain-agnostic.
+        """
+        return data
+
+    def locate_batch(self, points, level: int) -> np.ndarray:
+        """Locate many points at once, returning a ``(n, level)`` bit matrix.
+
+        Row ``i`` holds the bits of ``self.locate(points[i], level)``; taking
+        the first ``l`` columns of a row therefore gives the level-``l``
+        ancestor cell, which is what lets the batched ingestion path derive
+        every prefix from one location pass.  The default implementation
+        simply loops over :meth:`locate`; concrete domains override it with a
+        fully vectorised computation that produces identical bits.
+        """
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        points = points if hasattr(points, "__len__") else list(points)
+        bits = np.empty((len(points), level), dtype=np.uint8)
+        for index in range(len(points)):
+            bits[index, :] = self.locate(points[index], level)
+        return bits
+
+    @staticmethod
+    def _interleave_unit_bits(unit: np.ndarray, level: int) -> np.ndarray | None:
+        """Bit-interleave per-axis dyadic expansions of unit-cube coordinates.
+
+        Coordinate ``i`` of an ``(n, d)`` array is split ``s_i`` times within
+        the first ``level`` positions; its dyadic index is
+        ``floor(x_i * 2^{s_i})`` (clamped to the valid range, matching the
+        halving comparison loop for out-of-range values), and bit ``t`` of
+        that index lands at position ``i + t*d``.  Returns ``None`` when any
+        axis needs more than 62 splits (the caller falls back to the scalar
+        path, whose Python ints do not overflow).
+        """
+        count, dimension = unit.shape
+        bits = np.empty((count, level), dtype=np.uint8)
+        for axis in range(dimension):
+            positions = range(axis, level, dimension)
+            splits = len(positions)
+            if splits == 0:
+                continue
+            if splits > 62:
+                return None
+            codes = np.clip(
+                (unit[:, axis] * (1 << splits)).astype(np.int64), 0, (1 << splits) - 1
+            )
+            for order, position in enumerate(positions):
+                bits[:, position] = (codes >> (splits - 1 - order)) & 1
+        return bits
+
+    @staticmethod
+    def pack_paths(bits: np.ndarray) -> np.ndarray:
+        """Pack a ``(n, level)`` bit matrix into integer cell codes.
+
+        The code of row ``b_0 .. b_{l-1}`` is ``sum b_i 2^{l-1-i}``, i.e. the
+        index of the cell among the ``2^l`` cells of its level, which is the
+        form ``np.bincount`` consumes.  Requires ``level <= 62`` so codes fit
+        in int64 (hierarchies here are never remotely that deep).
+        """
+        level = bits.shape[1]
+        if level > 62:
+            raise ValueError(f"cannot pack paths deeper than 62 levels, got {level}")
+        if level == 0:
+            return np.zeros(bits.shape[0], dtype=np.int64)
+        weights = (np.int64(1) << np.arange(level - 1, -1, -1, dtype=np.int64))
+        return bits.astype(np.int64) @ weights
+
     def locate_path(self, point, depth: int) -> list[Cell]:
         """The root-to-depth path of cells containing ``point``.
 

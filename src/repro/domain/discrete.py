@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.domain.base import Cell, Domain, validate_cell
+from repro.domain.base import Cell, Domain, coerce_integer_stream, validate_cell
 
 __all__ = ["DiscreteDomain"]
 
@@ -100,6 +100,34 @@ class DiscreteDomain(Domain):
                 bits.append(1)
                 low = mid + 1
         return tuple(bits)
+
+    def coerce_stream(self, data):
+        """Cast float arrays (e.g. items read from a CSV) back to int64."""
+        return coerce_integer_stream(data)
+
+    def locate_batch(self, points, level: int) -> np.ndarray:
+        """Vectorised :meth:`locate`: the uneven range splits are simulated
+        level by level on whole arrays (one numpy pass per level instead of
+        one Python loop per item)."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        values = np.asarray(points).astype(np.int64)
+        if values.ndim != 1:
+            raise ValueError(f"expected a 1-d array of items, got shape {values.shape}")
+        if values.size and (np.min(values) < 0 or np.max(values) >= self.size):
+            raise ValueError(f"some items lie outside the universe of size {self.size}")
+        low = np.zeros(values.shape[0], dtype=np.int64)
+        high = np.full(values.shape[0], self.size - 1, dtype=np.int64)
+        bits = np.empty((values.shape[0], level), dtype=np.uint8)
+        for step in range(level):
+            # Single-item cells descend left by convention, bounds unchanged.
+            live = low < high
+            mid = (low + high) // 2
+            go_right = live & (values > mid)
+            bits[:, step] = go_right
+            high = np.where(live & ~go_right, mid, high)
+            low = np.where(go_right, mid + 1, low)
+        return bits
 
     def sample_cell(self, theta: Cell, rng: np.random.Generator) -> int:
         """Uniform random item within the cell's range."""

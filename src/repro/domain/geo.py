@@ -129,6 +129,29 @@ class GeoDomain(Domain):
                 upper[axis] = mid
         return tuple(bits)
 
+    def locate_batch(self, points, level: int) -> np.ndarray:
+        """Vectorised :meth:`locate`: normalise, then interleave the two axes.
+
+        Uses the same normalisation arithmetic as :meth:`_normalise` applied
+        elementwise, so the bits agree with the scalar path exactly.
+        """
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        coords = np.asarray(points, dtype=float)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ValueError(f"expected (lat, lon) pairs of shape (n, 2), got {coords.shape}")
+        unit = np.empty_like(coords)
+        unit[:, 0] = (coords[:, 0] - self.lat_min) / (self.lat_max - self.lat_min)
+        unit[:, 1] = (coords[:, 1] - self.lon_min) / (self.lon_max - self.lon_min)
+        # The negated all() form also rejects NaN (whose comparisons are all
+        # False), matching the scalar path's fail-loud range check.
+        if unit.size and not ((unit >= 0.0) & (unit <= 1.0)).all():
+            raise ValueError("some points lie outside the bounding box")
+        bits = self._interleave_unit_bits(unit, level)
+        if bits is None:
+            return super().locate_batch(coords, level)
+        return bits
+
     def sample_cell(self, theta: Cell, rng: np.random.Generator) -> np.ndarray:
         """Uniform random (lat, lon) within the cell."""
         lower, upper = self.cell_bounds(theta)

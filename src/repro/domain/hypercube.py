@@ -86,6 +86,8 @@ class Hypercube(Domain):
             raise ValueError(
                 f"expected a point of dimension {self.dimension}, got shape {array.shape}"
             )
+        if not np.isfinite(array).all():
+            raise ValueError("point coordinates must be finite")
         return array
 
     def locate(self, point, level: int) -> Cell:
@@ -106,6 +108,30 @@ class Hypercube(Domain):
                 bits.append(0)
                 upper[axis] = mid
         return tuple(bits)
+
+    def locate_batch(self, points, level: int) -> np.ndarray:
+        """Vectorised :meth:`locate`: per-axis binary expansions, interleaved.
+
+        Coordinate ``i`` is split ``s_i`` times within the first ``level``
+        positions; its dyadic index is ``floor(x_i * 2^{s_i})`` (clamped to
+        the valid range, matching the comparison loop for out-of-range
+        values), and bit ``t`` of that index lands at position ``i + t*d``.
+        """
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        coords = np.asarray(points, dtype=float)
+        if coords.ndim == 1 and self.dimension == 1:
+            coords = coords[:, None]
+        if coords.ndim != 2 or coords.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected points of shape (n, {self.dimension}), got {coords.shape}"
+            )
+        if coords.size and not np.isfinite(coords).all():
+            raise ValueError("point coordinates must be finite")
+        bits = self._interleave_unit_bits(coords, level)
+        if bits is None:
+            return super().locate_batch(coords, level)
+        return bits
 
     def sample_cell(self, theta: Cell, rng: np.random.Generator) -> np.ndarray:
         """Uniform random point within the cell ``Omega_theta``."""

@@ -77,6 +77,28 @@ class UnitInterval(Domain):
                 upper = mid
         return tuple(bits)
 
+    def locate_batch(self, points, level: int) -> np.ndarray:
+        """Vectorised :meth:`locate`: the bits are the binary expansion of the value.
+
+        ``floor(v * 2^level)`` (clamped to the last cell for ``v = 1.0``) is
+        exactly the cell index the halving loop produces, because scaling by a
+        power of two is exact in floating point.
+        """
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        values = np.asarray(points, dtype=float)
+        if values.ndim != 1:
+            raise ValueError(f"expected a 1-d array of scalars, got shape {values.shape}")
+        # The negated all() form also rejects NaN (whose comparisons are all
+        # False), matching the scalar path's fail-loud range check.
+        if values.size and not ((values >= 0.0) & (values <= 1.0)).all():
+            raise ValueError("points must lie in [0, 1]")
+        if level > 62:
+            return super().locate_batch(values, level)
+        codes = np.clip((values * (1 << level)).astype(np.int64), 0, (1 << level) - 1)
+        shifts = np.arange(level - 1, -1, -1, dtype=np.int64)
+        return ((codes[:, None] >> shifts) & 1).astype(np.uint8)
+
     def sample_cell(self, theta: Cell, rng: np.random.Generator) -> float:
         """Uniform random point inside the dyadic cell."""
         lower, upper = self.cell_bounds(theta)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.domain.base import Cell, Domain, validate_cell
+from repro.domain.base import Cell, Domain, coerce_integer_stream, validate_cell
 
 __all__ = ["IPv4Domain"]
 
@@ -99,6 +99,29 @@ class IPv4Domain(Domain):
             raise ValueError(f"level {level} exceeds the {ADDRESS_BITS}-bit address length")
         address = self._as_int(point)
         return tuple((address >> (ADDRESS_BITS - 1 - bit)) & 1 for bit in range(level))
+
+    def coerce_stream(self, data):
+        """Cast float arrays (e.g. addresses read from a CSV) back to int64."""
+        return coerce_integer_stream(data)
+
+    def locate_batch(self, points, level: int) -> np.ndarray:
+        """Vectorised :meth:`locate` for integer address arrays.
+
+        Dotted-quad strings (or mixed object arrays) fall back to the
+        per-item path, which parses each address individually.
+        """
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        if level > ADDRESS_BITS:
+            raise ValueError(f"level {level} exceeds the {ADDRESS_BITS}-bit address length")
+        addresses = np.asarray(points)
+        if addresses.dtype.kind not in "iu":
+            return super().locate_batch(points, level)
+        addresses = addresses.astype(np.int64)
+        if addresses.size and (np.min(addresses) < 0 or np.max(addresses) >= ADDRESS_SPACE):
+            raise ValueError("some addresses lie outside the IPv4 space")
+        shifts = (ADDRESS_BITS - 1 - np.arange(level, dtype=np.int64))
+        return ((addresses[:, None] >> shifts) & 1).astype(np.uint8)
 
     def cell_range(self, theta: Cell) -> tuple[int, int]:
         """Inclusive integer range ``[low, high]`` covered by a prefix cell."""

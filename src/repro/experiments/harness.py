@@ -1,23 +1,60 @@
 """Shared plumbing for the experiment modules.
 
-Provides deterministic RNG plumbing, a generic "evaluate this list of methods
-on this dataset" loop, and plain-text table formatting so every experiment
-prints results in the same shape the paper's tables use.
+Provides deterministic RNG plumbing, batched ingestion through the unified
+``repro.api`` surface, a generic "evaluate this list of methods on this
+dataset" loop, and plain-text table formatting so every experiment prints
+results in the same shape the paper's tables use.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.api.builder import PrivHPBuilder
+from repro.api.release import Release
+from repro.api.summarizer import DEFAULT_BATCH_SIZE, ingest_batches
 from repro.domain.base import Domain
 from repro.metrics.evaluation import EvaluationResult, evaluate_method
 
-__all__ = ["seeded_rng", "run_methods", "format_table", "rows_from_results"]
+__all__ = [
+    "seeded_rng",
+    "ingest_batches",
+    "fit_release",
+    "run_methods",
+    "format_table",
+    "rows_from_results",
+]
 
 
 def seeded_rng(seed: int | None) -> np.random.Generator:
     """A fresh generator from a seed (or OS entropy when ``seed`` is None)."""
     return np.random.default_rng(seed)
+
+
+def fit_release(
+    domain: Domain | str,
+    data,
+    epsilon: float,
+    pruning_k: int,
+    seed: int | None = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    **overrides,
+) -> Release:
+    """One-stop config -> fit -> release through the builder (batched path).
+
+    This is the plumbing every experiment used to re-implement by hand;
+    ``overrides`` are forwarded to the Corollary-1 defaults (``depth``,
+    ``sketch_width``, ...).
+    """
+    builder = (
+        PrivHPBuilder(domain)
+        .epsilon(epsilon)
+        .pruning_k(pruning_k)
+        .stream_size(len(data))
+        .seed(seed)
+        .override(**overrides)
+    )
+    return ingest_batches(builder.build(), data, batch_size).release()
 
 
 def run_methods(

@@ -1,6 +1,6 @@
-"""JSON serialisation of trees, domains and synthetic generators.
+"""JSON serialisation of trees, domains, generators and checkpoints.
 
-The format is deliberately simple and versioned:
+The release format is deliberately simple and versioned:
 
 ```json
 {
@@ -12,14 +12,24 @@ The format is deliberately simple and versioned:
 ```
 
 Tree keys are the cell bit-strings (the root is the empty string); counts are
-floats.  Only the *released* state is ever serialised -- configurations and
-trees -- never raw stream data, so files produced here inherit the original
-differential-privacy guarantee.
+floats.  Only the *released* state is ever serialised in this format --
+configurations and trees -- never raw stream data, so release files inherit
+the original differential-privacy guarantee.
+
+Checkpoints (``privhp-checkpoint``, written by :func:`save_checkpoint`) are
+different: they persist the full mid-stream summarizer state -- tree,
+sketch tables, privacy ledger and the exact random-generator state -- so a
+paused ingestion can resume and release byte-for-byte identically.  A
+checkpoint of a *noisy* summarizer is as private as the summary itself; a
+checkpoint of a raw shard (``add_noise=False``) is NOT yet differentially
+private and must be treated like the sensitive stream until its merged
+release.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 from repro.core.sampler import SyntheticDataGenerator
@@ -40,10 +50,17 @@ __all__ = [
     "generator_from_dict",
     "save_generator",
     "load_generator",
+    "summarizer_to_dict",
+    "summarizer_from_dict",
+    "save_checkpoint",
+    "load_checkpoint",
 ]
 
 FORMAT_NAME = "privhp-generator"
 FORMAT_VERSION = 1
+
+CHECKPOINT_FORMAT_NAME = "privhp-checkpoint"
+CHECKPOINT_FORMAT_VERSION = 1
 
 
 # --------------------------------------------------------------------------- #
@@ -88,7 +105,11 @@ def domain_to_dict(domain: Domain) -> dict:
         }
     if isinstance(domain, DiscreteDomain):
         return {"type": "DiscreteDomain", "size": domain.size}
-    raise TypeError(f"serialisation is not supported for {type(domain).__name__}")
+    raise ValueError(
+        f"serialisation is not supported for {type(domain).__name__}; custom "
+        "domains need an encoder/decoder in repro.io.serialization before "
+        "they can be checkpointed, sharded, or saved"
+    )
 
 
 def domain_from_dict(encoded: dict) -> Domain:
@@ -140,6 +161,14 @@ def generator_from_dict(encoded: dict, seed: int | None = None) -> SyntheticData
     return SyntheticDataGenerator(tree, domain, rng=seed)
 
 
+def _write_text_atomic(path: pathlib.Path, text: str) -> None:
+    """Write through a sibling temp file + ``os.replace`` so a crash mid-write
+    can never leave an existing file truncated."""
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(text)
+    os.replace(temp, path)
+
+
 def save_generator(
     generator: SyntheticDataGenerator,
     path: str | pathlib.Path,
@@ -148,12 +177,69 @@ def save_generator(
     """Write a generator to a JSON file and return the path."""
     path = pathlib.Path(path)
     document = generator_to_dict(generator, metadata=metadata)
-    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    _write_text_atomic(path, json.dumps(document, indent=2, sort_keys=True))
     return path
 
 
-def load_generator(path: str | pathlib.Path, seed: int | None = None) -> SyntheticDataGenerator:
-    """Load a generator from a JSON file written by :func:`save_generator`."""
+def load_generator(
+    path: str | pathlib.Path,
+    seed: int | None = None,
+    *,
+    sampling_seed: int | None = None,
+) -> SyntheticDataGenerator:
+    """Load a generator from a JSON file written by :func:`save_generator`.
+
+    The seed (``sampling_seed``, with ``seed`` kept as the historical alias)
+    reseeds *sampling only*: the persisted tree counts are decoded verbatim
+    and are never re-noised, so loading the same release under different
+    seeds yields different synthetic draws from the identical distribution.
+    """
+    if seed is not None and sampling_seed is not None and seed != sampling_seed:
+        raise ValueError("pass either seed or sampling_seed, not conflicting values of both")
+    effective = sampling_seed if sampling_seed is not None else seed
     path = pathlib.Path(path)
     document = json.loads(path.read_text())
-    return generator_from_dict(document, seed=seed)
+    return generator_from_dict(document, seed=effective)
+
+
+# --------------------------------------------------------------------------- #
+# checkpoints (mid-stream summarizer state)
+# --------------------------------------------------------------------------- #
+def summarizer_to_dict(summarizer) -> dict:
+    """Wrap a summarizer's :meth:`checkpoint` payload in the versioned envelope."""
+    return {
+        "format": CHECKPOINT_FORMAT_NAME,
+        "version": CHECKPOINT_FORMAT_VERSION,
+        "state": summarizer.checkpoint(),
+    }
+
+
+def summarizer_from_dict(document: dict):
+    """Decode a checkpoint document back into a live summarizer."""
+    from repro.core.privhp import PrivHP
+
+    if document.get("format") != CHECKPOINT_FORMAT_NAME:
+        raise ValueError(f"not a {CHECKPOINT_FORMAT_NAME} document")
+    if int(document.get("version", 0)) > CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint version {document.get('version')} is newer than supported "
+            f"version {CHECKPOINT_FORMAT_VERSION}"
+        )
+    return PrivHP.restore(document["state"])
+
+
+def save_checkpoint(summarizer, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a summarizer's full mid-stream state to a JSON file.
+
+    The write is atomic (temp file + rename), so extending an existing
+    checkpoint can never destroy it if the process dies mid-write.
+    """
+    path = pathlib.Path(path)
+    _write_text_atomic(path, json.dumps(summarizer_to_dict(summarizer), sort_keys=True))
+    return path
+
+
+def load_checkpoint(path: str | pathlib.Path):
+    """Load a summarizer previously saved with :func:`save_checkpoint`."""
+    path = pathlib.Path(path)
+    return summarizer_from_dict(json.loads(path.read_text()))

@@ -104,6 +104,31 @@ class CountMinSketch:
             for key, count in zip(keys, counts):
                 self.update(key, count)
 
+    def update_batch(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        """Aggregated vectorised update: canonical integer keys with weights.
+
+        ``keys`` must be canonical integer keys (see
+        :func:`repro.sketch.hashing.canonical_key`) below ``2^61 - 1``; for a
+        hierarchy cell at level ``l`` with in-level index ``c`` that is the
+        packed value ``(1 << l) | c``, so the batch lands in exactly the same
+        buckets as per-item tuple updates.  ``counts`` are aggregated
+        multiplicities, and the ``updates`` counter advances by their sum so
+        batched and per-item ingestion of the same stream leave identical
+        sketch state.  Conservative sketches cannot batch aggregated counts
+        (the clamp is order-dependent) and raise.
+        """
+        if self.conservative:
+            raise ValueError("conservative update does not support aggregated batches")
+        keys = np.asarray(keys, dtype=np.uint64)
+        counts = np.asarray(counts, dtype=float)
+        if keys.shape != counts.shape or keys.ndim != 1:
+            raise ValueError("keys and counts must be 1-d arrays of equal length")
+        for row in range(self.depth):
+            buckets = self._hashes.buckets_batch(row, keys)
+            np.add.at(self._table[row], buckets, counts)
+        self._total += float(counts.sum())
+        self._updates += int(round(float(counts.sum())))
+
     def query_many(self, keys) -> np.ndarray:
         """Vector of point estimates for an iterable of keys."""
         return np.array([self.query(key) for key in keys], dtype=float)
@@ -146,6 +171,17 @@ class CountMinSketch:
         merged._total = self._total + other._total
         merged._updates = self._updates + other._updates
         return merged
+
+    def load_state(self, table: np.ndarray, total: float, updates: int) -> None:
+        """Overwrite the counter state (checkpoint restore); hashes stay seeded."""
+        table = np.asarray(table, dtype=float)
+        if table.shape != self._table.shape:
+            raise ValueError(
+                f"table shape {table.shape} does not match sketch shape {self._table.shape}"
+            )
+        self._table = table.copy()
+        self._total = float(total)
+        self._updates = int(updates)
 
     def memory_words(self) -> int:
         """Number of machine words occupied by the counter table."""

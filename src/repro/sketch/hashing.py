@@ -56,6 +56,37 @@ def canonical_key(key) -> int:
     raise TypeError(f"unsupported sketch key type: {type(key)!r}")
 
 
+_MASK61 = np.uint64(MERSENNE_PRIME)
+
+
+def _mulmod_mersenne61(multiplier: int, keys: np.ndarray) -> np.ndarray:
+    """``(multiplier * keys) mod (2^61 - 1)`` on uint64 arrays without overflow.
+
+    The 64x64-bit products are assembled from 32-bit halves and the 128-bit
+    result is folded with ``2^61 = 1 (mod p)``, so the arithmetic matches the
+    arbitrary-precision Python-int computation bit for bit.
+    """
+    a = np.uint64(multiplier)
+    a_hi, a_lo = a >> np.uint64(32), a & np.uint64(0xFFFFFFFF)
+    k_hi, k_lo = keys >> np.uint64(32), keys & np.uint64(0xFFFFFFFF)
+    # multiplier * keys = hh<<64 + (hl + lh)<<32 + ll, every partial < 2^62.
+    hh = a_hi * k_hi
+    mid = a_hi * k_lo + a_lo * k_hi
+    ll = a_lo * k_lo
+    # Fold mod p: 2^64 = 8, x<<32 = (x >> 29) + ((x << 32) & p), x = (x>>61) + (x & p).
+    result = hh * np.uint64(8)
+    result += (mid >> np.uint64(29)) + ((mid << np.uint64(32)) & _MASK61)
+    result += (ll >> np.uint64(61)) + (ll & _MASK61)
+    result = (result & _MASK61) + (result >> np.uint64(61))
+    return _reduce61(result)
+
+
+def _reduce61(values: np.ndarray) -> np.ndarray:
+    """Final reduction of values ``< 2^62`` to ``[0, p)`` for ``p = 2^61 - 1``."""
+    values = (values & _MASK61) + (values >> np.uint64(61))
+    return np.where(values >= _MASK61, values - _MASK61, values)
+
+
 @dataclass(frozen=True)
 class PairwiseHash:
     """A single pairwise-independent hash ``h(x) = ((a x + b) mod p) mod width``."""
@@ -76,6 +107,16 @@ class PairwiseHash:
         value = canonical_key(key)
         return int(((self.a * value + self.b) % MERSENNE_PRIME) % self.width)
 
+    def buckets_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Bucket indices for an array of pre-canonicalised integer keys.
+
+        ``keys`` must already be reduced mod p (true for any key below
+        ``2^61 - 1``); the result equals ``[self(k) for k in keys]``.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        hashed = _reduce61(_mulmod_mersenne61(self.a, keys) + np.uint64(self.b))
+        return (hashed % np.uint64(self.width)).astype(np.int64)
+
 
 @dataclass(frozen=True)
 class SignedHash:
@@ -88,6 +129,16 @@ class SignedHash:
         value = canonical_key(key)
         bit = ((self.a * value + self.b) % MERSENNE_PRIME) & 1
         return 1 if bit else -1
+
+    def signs_batch(self, keys: np.ndarray) -> np.ndarray:
+        """``+/-1`` signs for an array of pre-canonicalised integer keys.
+
+        ``keys`` must already be reduced mod p (true for any key below
+        ``2^61 - 1``); the result equals ``[self(k) for k in keys]``.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        hashed = _reduce61(_mulmod_mersenne61(self.a, keys) + np.uint64(self.b))
+        return np.where(hashed & np.uint64(1), 1.0, -1.0)
 
 
 class HashFamily:
@@ -121,9 +172,17 @@ class HashFamily:
         """Bucket index of ``key`` in ``row``."""
         return self._row_hashes[row](key)
 
+    def buckets_batch(self, row: int, keys: np.ndarray) -> np.ndarray:
+        """Vectorised bucket indices for canonical integer keys in ``row``."""
+        return self._row_hashes[row].buckets_batch(keys)
+
     def sign(self, row: int, key) -> int:
         """Sign (+1/-1) of ``key`` in ``row`` (used by Count-Sketch only)."""
         return self._sign_hashes[row](key)
+
+    def signs_batch(self, row: int, keys: np.ndarray) -> np.ndarray:
+        """Vectorised signs for canonical integer keys in ``row``."""
+        return self._sign_hashes[row].signs_batch(keys)
 
     def buckets(self, key) -> list[int]:
         """Bucket indices of ``key`` for every row."""

@@ -45,20 +45,38 @@ def privatize_sketch_array(
 
 
 class _PrivateSketchMixin:
-    """Shared wiring for private sketch wrappers."""
+    """Shared wiring for private sketch wrappers.
 
-    def __init__(self, sketch, epsilon: float, rng: np.random.Generator | int | None) -> None:
+    With ``apply_noise=False`` the wrapper starts from a *raw* (non-private)
+    table -- the shard mode of the batched ingestion API.  Raw shards can be
+    :meth:`merge`-d linearly and the single oblivious noise matrix is added
+    later via :meth:`apply_noise_now`, which keeps the privacy accounting at
+    exactly one noise injection per released table.
+    """
+
+    def __init__(
+        self,
+        sketch,
+        epsilon: float,
+        rng: np.random.Generator | int | None,
+        apply_noise: bool = True,
+    ) -> None:
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
         self._sketch = sketch
         self.epsilon = float(epsilon)
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         self._noise_applied = False
-        self._apply_initial_noise()
+        if apply_noise:
+            self.apply_noise_now()
 
-    def _apply_initial_noise(self) -> None:
+    def apply_noise_now(self, rng: np.random.Generator | None = None) -> None:
+        """Draw and add the ``Laplace(depth/epsilon)`` matrix (exactly once)."""
+        if self._noise_applied:
+            raise RuntimeError("oblivious noise has already been applied to this sketch")
+        generator = rng if rng is not None else self._rng
         scale = self._sketch.depth / self.epsilon
-        noise = self._rng.laplace(0.0, scale, size=(self._sketch.depth, self._sketch.width))
+        noise = generator.laplace(0.0, scale, size=(self._sketch.depth, self._sketch.width))
         self._sketch.add_noise_matrix(noise)
         self._noise_applied = True
 
@@ -70,6 +88,10 @@ class _PrivateSketchMixin:
     def update_many(self, keys, counts=None) -> None:
         """Bulk update of the underlying sketch."""
         self._sketch.update_many(keys, counts)
+
+    def update_batch(self, keys, counts) -> None:
+        """Aggregated vectorised update (see :meth:`CountMinSketch.update_batch`)."""
+        self._sketch.update_batch(keys, counts)
 
     def query(self, key) -> float:
         """Noisy frequency estimate (private by post-processing)."""
@@ -93,6 +115,21 @@ class _PrivateSketchMixin:
     def noise_applied(self) -> bool:
         """True once the oblivious noise matrix has been added."""
         return self._noise_applied
+
+    @property
+    def seed(self):
+        """Hash-family seed of the wrapped sketch."""
+        return self._sketch.seed
+
+    @property
+    def total(self) -> float:
+        """Total mass added to the wrapped sketch (noise excluded)."""
+        return self._sketch.total
+
+    @property
+    def updates(self) -> int:
+        """Number of update operations recorded by the wrapped sketch."""
+        return self._sketch.updates
 
     @property
     def sensitivity(self) -> float:
@@ -124,15 +161,55 @@ class PrivateCountMinSketch(_PrivateSketchMixin):
         epsilon: float,
         seed: int | None = None,
         rng: np.random.Generator | int | None = None,
+        apply_noise: bool = True,
     ) -> None:
         sketch = CountMinSketch(width=width, depth=depth, seed=seed, conservative=False)
-        super().__init__(sketch, epsilon, rng)
+        super().__init__(sketch, epsilon, rng, apply_noise=apply_noise)
 
     def error_bound(self, tail_norm: float, total_norm: float) -> float:
         """Lemma 4 error plus the expected noise magnitude at the minimum."""
         sketch_error = self._sketch.error_bound(tail_norm, total_norm)
         noise_error = self.noise_scale
         return sketch_error + noise_error
+
+    def merge(self, other: "PrivateCountMinSketch") -> "PrivateCountMinSketch":
+        """Linear merge of two shard sketches built with identical parameters.
+
+        At most one operand may already carry its oblivious noise -- merging
+        two noisy tables would double the injected noise while the privacy
+        ledger only accounts for one release.
+        """
+        if not isinstance(other, PrivateCountMinSketch):
+            raise TypeError("can only merge with another PrivateCountMinSketch")
+        if (self.width, self.depth, self.seed, self.epsilon) != (
+            other.width,
+            other.depth,
+            other.seed,
+            other.epsilon,
+        ):
+            raise ValueError("sketches must share width, depth, seed and epsilon to merge")
+        if self._noise_applied and other._noise_applied:
+            raise ValueError("cannot merge two sketches that both carry oblivious noise")
+        merged = PrivateCountMinSketch(
+            width=self.width,
+            depth=self.depth,
+            epsilon=self.epsilon,
+            seed=self.seed,
+            rng=self._rng,
+            apply_noise=False,
+        )
+        merged._sketch.load_state(
+            self._sketch.table + other._sketch.table,
+            total=self.total + other.total,
+            updates=self.updates + other.updates,
+        )
+        merged._noise_applied = self._noise_applied or other._noise_applied
+        return merged
+
+    def load_state(self, table: np.ndarray, total: float, updates: int, noise_applied: bool) -> None:
+        """Overwrite the table state (checkpoint restore)."""
+        self._sketch.load_state(table, total=total, updates=updates)
+        self._noise_applied = bool(noise_applied)
 
 
 class PrivateCountSketch(_PrivateSketchMixin):

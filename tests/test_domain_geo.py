@@ -50,6 +50,14 @@ class TestLocateAndSample:
         with pytest.raises(ValueError):
             geo.locate((0.0, 0.0), 4)
 
+    def test_locate_batch_rejects_out_of_range_and_nan(self, geo):
+        """The batch path must fail loud like the scalar path, NaN included."""
+        inside = [(geo.lat_min + 0.1, geo.lon_min + 0.1)]
+        with pytest.raises(ValueError):
+            geo.locate_batch(np.array(inside + [(0.0, 0.0)]), 4)
+        with pytest.raises(ValueError):
+            geo.locate_batch(np.array(inside + [(np.nan, geo.lon_min + 0.1)]), 4)
+
     def test_sample_cell_inside_box(self, geo, rng):
         theta = (1, 0, 1)
         for _ in range(50):

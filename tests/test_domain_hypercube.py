@@ -67,6 +67,14 @@ class TestLocate:
         with pytest.raises(ValueError):
             square.locate([0.5, 0.5], -2)
 
+    def test_non_finite_rejected_by_both_locate_paths(self, square):
+        """NaN/inf must fail loud instead of silently binning to a wrong cell."""
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(ValueError):
+                square.locate([bad, 0.5], 4)
+            with pytest.raises(ValueError):
+                square.locate_batch(np.array([[0.2, 0.3], [bad, 0.5]]), 4)
+
 
 class TestSampling:
     def test_sample_cell_inside_bounds(self, square, rng):

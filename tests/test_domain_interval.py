@@ -55,6 +55,13 @@ class TestLocate:
         with pytest.raises(ValueError):
             interval.locate(1.5, 3)
 
+    def test_locate_batch_rejects_out_of_range_and_nan(self, interval):
+        """The batch path must fail loud like the scalar path, NaN included."""
+        with pytest.raises(ValueError):
+            interval.locate_batch(np.array([0.2, 1.5]), 3)
+        with pytest.raises(ValueError):
+            interval.locate_batch(np.array([0.2, np.nan]), 3)
+
     def test_negative_level_raises(self, interval):
         with pytest.raises(ValueError):
             interval.locate(0.5, -1)

@@ -161,3 +161,188 @@ class TestCLI:
     def test_cli_requires_command(self):
         with pytest.raises(SystemExit):
             cli_main([])
+
+    def test_generate_seed_reseeds_sampling_never_tree_counts(self, tmp_path, rng):
+        """Regression: reloading a release under a different --seed must leave
+        the persisted tree counts untouched and only change the draws."""
+        data = rng.beta(2, 6, size=1200)
+        input_path = tmp_path / "values.csv"
+        np.savetxt(input_path, data, delimiter=",")
+        release_path = tmp_path / "release.json"
+        assert cli_main([
+            "summarize", "--input", str(input_path), "--output", str(release_path),
+        ]) == 0
+        document_before = release_path.read_text()
+
+        out_a = tmp_path / "a.csv"
+        out_b = tmp_path / "b.csv"
+        out_a2 = tmp_path / "a2.csv"
+        for seed, out in ((1, out_a), (2, out_b), (1, out_a2)):
+            assert cli_main([
+                "generate", "--release", str(release_path), "--output", str(out),
+                "--size", "300", "--seed", str(seed),
+            ]) == 0
+
+        # The release file (the persisted tree counts) is bit-for-bit unchanged.
+        assert release_path.read_text() == document_before
+        first = np.loadtxt(out_a, delimiter=",")
+        second = np.loadtxt(out_b, delimiter=",")
+        repeat = np.loadtxt(out_a2, delimiter=",")
+        assert not np.array_equal(first, second)  # different seeds, different draws
+        assert np.array_equal(first, repeat)  # same seed reproduces exactly
+        # And the decoded trees agree regardless of the sampling seed.
+        tree_a = load_generator(release_path, sampling_seed=1).tree.as_dict()
+        tree_b = load_generator(release_path, sampling_seed=2).tree.as_dict()
+        assert tree_a == tree_b
+
+    def test_load_generator_conflicting_seeds_rejected(self, tmp_path, interval, rng):
+        generator = fitted_generator(interval, rng.random(300))
+        path = save_generator(generator, tmp_path / "release.json")
+        with pytest.raises(ValueError):
+            load_generator(path, seed=1, sampling_seed=2)
+        # Matching values (and the historical positional form) still work.
+        load_generator(path, seed=3, sampling_seed=3)
+        load_generator(path, seed=3)
+
+    def test_cli_sharded_summarize_matches_unsharded(self, tmp_path, rng):
+        data = rng.beta(2, 6, size=900)
+        input_path = tmp_path / "values.csv"
+        np.savetxt(input_path, data, delimiter=",")
+        single_path = tmp_path / "single.json"
+        sharded_path = tmp_path / "sharded.json"
+        assert cli_main([
+            "summarize", "--input", str(input_path), "--output", str(single_path),
+            "--seed", "0",
+        ]) == 0
+        assert cli_main([
+            "summarize", "--input", str(input_path), "--output", str(sharded_path),
+            "--seed", "0", "--shards", "3",
+        ]) == 0
+        single_tree = json.loads(single_path.read_text())["tree"]
+        sharded_tree = json.loads(sharded_path.read_text())["tree"]
+        assert set(single_tree) == set(sharded_tree)
+        for key, count in single_tree.items():
+            assert sharded_tree[key] == pytest.approx(count, abs=1e-6)
+
+    def test_cli_checkpoint_resume_pipeline(self, tmp_path, rng):
+        day1 = rng.beta(2, 6, size=700)
+        day2 = rng.beta(2, 6, size=500)
+        day1_path = tmp_path / "day1.csv"
+        day2_path = tmp_path / "day2.csv"
+        np.savetxt(day1_path, day1, delimiter=",")
+        np.savetxt(day2_path, day2, delimiter=",")
+        state_path = tmp_path / "state.json"
+        release_path = tmp_path / "release.json"
+
+        assert cli_main([
+            "checkpoint", "--input", str(day1_path), "--state", str(state_path),
+            "--stream-size", "1200", "--seed", "0",
+        ]) == 0
+        assert state_path.exists()
+        assert cli_main([
+            "checkpoint", "--input", str(day2_path), "--state", str(state_path),
+        ]) == 0
+        assert cli_main([
+            "resume", "--state", str(state_path), "--output", str(release_path),
+        ]) == 0
+
+        document = json.loads(release_path.read_text())
+        assert document["metadata"]["items_processed"] == 1200
+
+        # The resumed release matches one uninterrupted run over both days.
+        combined_path = tmp_path / "combined.csv"
+        np.savetxt(combined_path, np.concatenate([day1, day2]), delimiter=",")
+        combined_release = tmp_path / "combined.json"
+        assert cli_main([
+            "summarize", "--input", str(combined_path), "--output", str(combined_release),
+            "--seed", "0",
+        ]) == 0
+        combined_doc = json.loads(combined_release.read_text())
+        assert set(document["tree"]) == set(combined_doc["tree"])
+        for key, count in combined_doc["tree"].items():
+            assert document["tree"][key] == pytest.approx(count, abs=1e-9)
+
+    def test_cli_checkpoint_rejects_fit_flags_on_existing_state(self, tmp_path, rng, capsys):
+        """Flags that only apply at state creation must not be silently dropped."""
+        data_path = tmp_path / "data.csv"
+        np.savetxt(data_path, rng.beta(2, 6, size=500), delimiter=",")
+        state_path = tmp_path / "state.json"
+        assert cli_main([
+            "checkpoint", "--input", str(data_path), "--state", str(state_path),
+            "--epsilon", "1.0",
+        ]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([
+                "checkpoint", "--input", str(data_path), "--state", str(state_path),
+                "--epsilon", "0.1",
+            ])
+        assert excinfo.value.code == 2
+        assert "--epsilon" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            cli_main([
+                "checkpoint", "--input", str(data_path), "--state", str(state_path),
+                "--stream-size", "9000",
+            ])
+        assert "--stream-size" in capsys.readouterr().err
+
+    def test_cli_bad_input_exits_cleanly(self, tmp_path, rng, capsys):
+        """User errors surface as argparse usage errors, not tracebacks."""
+        data_path = tmp_path / "data.csv"
+        np.savetxt(data_path, rng.beta(2, 6, size=100), delimiter=",")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([
+                "summarize", "--input", str(data_path),
+                "--output", str(tmp_path / "r.json"), "--domain", "banach",
+            ])
+        assert excinfo.value.code == 2
+        assert "unknown domain" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            cli_main([
+                "summarize", "--input", str(data_path),
+                "--output", str(tmp_path / "r.json"), "--shards", "0",
+            ])
+        assert "--shards" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([
+                "resume", "--state", str(tmp_path / "missing.json"),
+                "--output", str(tmp_path / "r.json"),
+            ])
+        assert excinfo.value.code == 2  # missing file is a usage error, not a traceback
+
+    def test_cli_preserves_large_integer_values(self, tmp_path, rng):
+        """Integer domains must not lose precision to the float CSV format."""
+        universe = 10**13
+        data = rng.integers(universe - 1000, universe, size=300)
+        input_path = tmp_path / "items.csv"
+        np.savetxt(input_path, data, delimiter=",", fmt="%d")
+        release_path = tmp_path / "release.json"
+        output_path = tmp_path / "synthetic.csv"
+        assert cli_main([
+            "summarize", "--input", str(input_path), "--output", str(release_path),
+            "--domain", f"discrete:{universe}",
+        ]) == 0
+        assert cli_main([
+            "generate", "--release", str(release_path), "--output", str(output_path),
+            "--size", "50",
+        ]) == 0
+        for line in output_path.read_text().splitlines():
+            assert "." not in line and "e" not in line  # exact integers, no float notation
+            assert 0 <= int(line) < universe
+
+    def test_cli_domain_flag(self, tmp_path, rng):
+        data = rng.integers(0, 2**32, size=400)
+        input_path = tmp_path / "addresses.csv"
+        np.savetxt(input_path, data, delimiter=",", fmt="%d")
+        release_path = tmp_path / "release.json"
+        output_path = tmp_path / "synthetic.csv"
+        assert cli_main([
+            "summarize", "--input", str(input_path), "--output", str(release_path),
+            "--domain", "ipv4",
+        ]) == 0
+        assert json.loads(release_path.read_text())["domain"]["type"] == "IPv4Domain"
+        assert cli_main([
+            "generate", "--release", str(release_path), "--output", str(output_path),
+            "--size", "100",
+        ]) == 0
+        synthetic = np.loadtxt(output_path, delimiter=",")
+        assert np.all((synthetic >= 0) & (synthetic < 2**32))

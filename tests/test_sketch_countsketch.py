@@ -32,6 +32,30 @@ class TestCountSketch:
         sketch.update("x", -4)
         assert sketch.query("x") == pytest.approx(6)
 
+    def test_update_batch_matches_per_item_updates(self, rng):
+        """Aggregated batch updates land in the same buckets with the same signs."""
+        level = 9
+        codes = rng.integers(0, 1 << level, size=400)
+        keys, counts = np.unique(codes, return_counts=True)
+        canonical = keys.astype(np.uint64) | (np.uint64(1) << np.uint64(level))
+
+        batched = CountSketch(width=64, depth=5, seed=3)
+        batched.update_batch(canonical, counts.astype(float))
+
+        sequential = CountSketch(width=64, depth=5, seed=3)
+        for key, count in zip(canonical, counts):
+            for _ in range(int(count)):
+                sequential.update(int(key))
+
+        np.testing.assert_allclose(batched.table, sequential.table)
+        assert batched.total == pytest.approx(sequential.total)
+        assert batched.updates == sequential.updates
+
+    def test_update_batch_rejects_mismatched_shapes(self):
+        sketch = CountSketch(width=16, depth=3, seed=0)
+        with pytest.raises(ValueError):
+            sketch.update_batch(np.array([1, 2, 3], dtype=np.uint64), np.array([1.0, 2.0]))
+
     def test_update_many_and_query_many(self):
         sketch = CountSketch(width=128, depth=5, seed=2)
         sketch.update_many([(i % 5,) for i in range(50)])

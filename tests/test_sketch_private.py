@@ -101,3 +101,16 @@ class TestPrivateCountSketch:
         sketch = PrivateCountSketch(width=8, depth=3, epsilon=1.0, seed=0, rng=0)
         assert sketch.memory_words() == 24
         assert sketch.sensitivity == 3.0
+
+    def test_update_batch_matches_per_item_updates(self):
+        """The mixin's batch path works for Count-Sketch, not just Count-Min."""
+        keys = np.array([5, 9, 200, 513], dtype=np.uint64)
+        counts = np.array([3.0, 1.0, 2.0, 4.0])
+        batched = PrivateCountSketch(width=32, depth=4, epsilon=1.0, seed=2, rng=0)
+        batched.update_batch(keys, counts)
+        sequential = PrivateCountSketch(width=32, depth=4, epsilon=1.0, seed=2, rng=0)
+        for key, count in zip(keys, counts):
+            for _ in range(int(count)):
+                sequential.update(int(key))
+        np.testing.assert_allclose(batched.table, sequential.table)
+        assert batched.updates == sequential.updates
