@@ -21,15 +21,36 @@ from repro.experiments.performance import batch_speedup_experiment, throughput_e
 RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_performance.json"
 
 
+def merge_benchmark_result(update: dict, path: pathlib.Path = RESULT_PATH) -> dict:
+    """Merge ``update`` into the tracked benchmark JSON, preserving other keys.
+
+    ``BENCH_performance.json`` now records several benchmark families
+    (ingestion throughput at the top level, query serving under
+    ``query_serving``); each smoke entry point updates only its own keys so
+    running one never erases the others.
+    """
+    document = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            document = {}
+    if not isinstance(document, dict):
+        document = {}
+    document.update(update)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
 def run_batch_speedup_smoke(stream_size: int = 100_000) -> dict:
     """Run the loop-vs-batch ingestion comparison and record the result.
 
-    The row (items/sec for both paths plus their ratio) is written to
+    The row (items/sec for both paths plus their ratio) is merged into
     ``BENCH_performance.json`` at the repository root so CI can track the
     ingestion-throughput trajectory across commits.
     """
     row = batch_speedup_experiment(stream_size=stream_size)
-    RESULT_PATH.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
+    merge_benchmark_result(row)
     return row
 
 

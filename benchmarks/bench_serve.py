@@ -1,0 +1,141 @@
+"""Query-serving throughput: cold engines vs cached engines vs memoized answers.
+
+The serving subsystem (``repro.serve``) has three progressively cheaper
+paths for answering a query on a release:
+
+1. **cold** -- construct a fresh ``RangeQueryEngine`` per query (what naive
+   callers did before ``Release`` cached its engines): pays the
+   leaf-probability precomputation every time.
+2. **warm** -- the engine is built once and cached on the ``Release``
+   (``Release.range_engine()``); each query only walks the leaves.
+3. **memoized** -- a repeated workload served through ``QueryService``'s
+   ``QueryCache``: repeats cost one dictionary lookup.
+
+The smoke entry point (``python benchmarks/bench_serve.py``) measures
+queries/sec for all three paths on one released interval summary and merges
+the numbers into ``BENCH_performance.json`` under ``"query_serving"``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from bench_performance import merge_benchmark_result
+from repro.api.builder import PrivHPBuilder
+from repro.queries.range_queries import RangeQueryEngine
+from repro.queries.workload import random_range_queries
+from repro.serve.service import QueryService
+from repro.serve.store import ReleaseStore
+
+
+def _fit_release(stream_size: int = 50_000, seed: int = 0):
+    data = np.random.default_rng(seed).beta(2.0, 5.0, size=stream_size)
+    return (
+        PrivHPBuilder("interval")
+        .epsilon(1.0)
+        .pruning_k(8)
+        .stream_size(stream_size)
+        .seed(seed)
+        .build()
+        .update_batch(data)
+        .release()
+    )
+
+
+def measure_query_throughput(
+    stream_size: int = 50_000, num_queries: int = 200, repeats: int = 5
+) -> dict:
+    """Measure the three serving paths (no files written)."""
+    release = _fit_release(stream_size=stream_size)
+    queries = random_range_queries(release.domain, num_queries, rng=1)
+
+    start = time.perf_counter()
+    cold_answers = [
+        RangeQueryEngine(release.tree, release.domain).mass(q.lower, q.upper) for q in queries
+    ]
+    cold_seconds = time.perf_counter() - start
+
+    release.range_engine()  # build once, outside the timed region
+    start = time.perf_counter()
+    warm_answers = [release.mass(q.lower, q.upper) for q in queries]
+    warm_seconds = time.perf_counter() - start
+
+    store = ReleaseStore()
+    store.add("bench", release)
+    service = QueryService(store)
+    workload = [
+        {"type": "mass", "lower": q.lower, "upper": q.upper} for q in queries
+    ]
+    start = time.perf_counter()
+    for _ in range(repeats):
+        service.answer_many(workload, release="bench")
+    memoized_seconds = time.perf_counter() - start
+
+    assert cold_answers == warm_answers  # same engines, same answers
+
+    return {
+        "stream_size": stream_size,
+        "num_queries": num_queries,
+        "leaves": len(release.tree.leaves()),
+        "cold_queries_per_second": num_queries / cold_seconds,
+        "warm_queries_per_second": num_queries / warm_seconds,
+        "memoized_queries_per_second": (num_queries * repeats) / memoized_seconds,
+        "warm_over_cold_speedup": cold_seconds / warm_seconds,
+        "cache_hit_rate": service.cache.stats()["hit_rate"],
+    }
+
+
+def run_query_throughput_smoke(
+    stream_size: int = 50_000, num_queries: int = 200, repeats: int = 5
+) -> dict:
+    """Measure the serving paths and merge the row into the tracked JSON.
+
+    Only this CI smoke entry point (``python benchmarks/bench_serve.py``)
+    writes ``BENCH_performance.json``; pytest runs never dirty the working
+    tree.
+    """
+    row = measure_query_throughput(
+        stream_size=stream_size, num_queries=num_queries, repeats=repeats
+    )
+    merge_benchmark_result({"query_serving": row})
+    return row
+
+
+def test_cached_engine_beats_cold_construction(report_table):
+    """Acceptance gate: the cached-engine path must beat per-query engine
+    construction, and the memoized path must beat both.
+
+    The gate is looser than the recorded ~3x at n=50k because the ratio
+    shrinks with the tree (construction is one leaf pass, a query is one
+    heavier leaf pass) and CI machines are noisy.
+    """
+    row = measure_query_throughput(stream_size=20_000, num_queries=100, repeats=5)
+    report_table("Query serving throughput (interval, n=20k)", [row])
+    assert row["warm_over_cold_speedup"] >= 1.3
+    assert row["memoized_queries_per_second"] >= row["warm_queries_per_second"]
+
+
+def test_service_answers_match_direct_engine():
+    """The served answer is exactly the engine's answer (no drift through
+    the cache or canonicalisation)."""
+    release = _fit_release(stream_size=5_000)
+    store = ReleaseStore()
+    store.add("bench", release)
+    service = QueryService(store)
+    for query in random_range_queries(release.domain, 20, rng=2):
+        served = service.answer(
+            {"type": "mass", "lower": query.lower, "upper": query.upper}, release="bench"
+        )
+        assert served["answer"] == release.mass(query.lower, query.upper)
+
+
+if __name__ == "__main__":  # CI smoke entry: records BENCH_performance.json
+    result = run_query_throughput_smoke()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if result["warm_over_cold_speedup"] < 2.0:
+        raise SystemExit(
+            f"cached-engine speedup {result['warm_over_cold_speedup']:.2f}x is below the 2x gate"
+        )

@@ -16,6 +16,11 @@ with its privacy and memory metadata.  Raw shard summaries merge linearly
 (noise is injected exactly once at the merged release) and full mid-stream
 state checkpoints through :mod:`repro.io`.
 
+Released summaries also answer analytic queries directly -- range counts,
+CDFs, quantiles, marginals (:mod:`repro.queries`) -- and :mod:`repro.serve`
+serves whole directories of them over JSON/HTTP and batch workload files,
+all as zero-budget post-processing.
+
 Quickstart::
 
     import numpy as np

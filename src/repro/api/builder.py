@@ -36,7 +36,25 @@ __all__ = ["PrivHPBuilder"]
 
 
 class PrivHPBuilder:
-    """Fluent configuration of a PrivHP summarizer (domain + budget + defaults)."""
+    """Fluent configuration of a PrivHP summarizer (domain + budget + defaults).
+
+    Example:
+        >>> import numpy as np
+        >>> release = (
+        ...     PrivHPBuilder("interval")
+        ...     .epsilon(1.0)
+        ...     .pruning_k(4)
+        ...     .stream_size(256)
+        ...     .seed(0)
+        ...     .build()
+        ...     .update_batch(np.linspace(0.0, 1.0, 256))
+        ...     .release()
+        ... )
+        >>> release.items_processed
+        256
+        >>> 0.0 <= release.mass(0.0, 0.5) <= 1.0
+        True
+    """
 
     #: Defaults applied when the corresponding setter was never called.
     DEFAULT_EPSILON = 1.0

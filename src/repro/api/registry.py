@@ -55,6 +55,12 @@ def register_domain(name: str, factory: Callable[..., Domain]) -> None:
     merging, checkpointing and release persistence additionally require an
     encoder/decoder in :mod:`repro.io.serialization` (built-in domains have
     one; custom domains without one fail with a clear ValueError there).
+
+    Example:
+        >>> from repro.domain.interval import UnitInterval
+        >>> register_domain("my_interval", lambda: UnitInterval())
+        >>> isinstance(make_domain("my_interval"), UnitInterval)
+        True
     """
     key = name.strip().lower()
     if not key:
@@ -63,12 +69,22 @@ def register_domain(name: str, factory: Callable[..., Domain]) -> None:
 
 
 def available_domains() -> list[str]:
-    """Sorted names of all registered domain factories."""
+    """Sorted names of all registered domain factories.
+
+    Example:
+        >>> "interval" in available_domains() and "ipv4" in available_domains()
+        True
+    """
     return sorted(_DOMAIN_FACTORIES)
 
 
 def infer_domain(data) -> Domain:
-    """The historical shape-based default: ``[0,1]`` or ``[0,1]^d``."""
+    """The historical shape-based default: ``[0,1]`` or ``[0,1]^d``.
+
+    Example:
+        >>> infer_domain([[0.1, 0.2], [0.3, 0.4]])
+        Hypercube(dimension=2)
+    """
     array = np.asarray(data)
     if array.ndim <= 1:
         return UnitInterval()
@@ -80,6 +96,12 @@ def make_domain(spec: str | Domain, data=None) -> Domain:
 
     ``"auto"`` infers the domain from ``data``'s shape, preserving the old
     CLI behaviour as the default.
+
+    Example:
+        >>> make_domain("hypercube:3")
+        Hypercube(dimension=3)
+        >>> make_domain("discrete:4096").size
+        4096
     """
     if isinstance(spec, Domain):
         return spec
@@ -138,7 +160,13 @@ _METHOD_FACTORIES: dict[str, Callable] = {}
 
 
 def register_method(name: str, factory: Callable) -> None:
-    """Register a synthetic-data-method factory under a name."""
+    """Register a synthetic-data-method factory under a name.
+
+    Example:
+        >>> register_method("my_method", object)
+        >>> "my_method" in available_methods()
+        True
+    """
     key = name.strip().lower()
     if not key:
         raise ValueError("method name must be non-empty")
@@ -146,13 +174,24 @@ def register_method(name: str, factory: Callable) -> None:
 
 
 def available_methods() -> list[str]:
-    """Sorted names of all registered method factories."""
+    """Sorted names of all registered method factories.
+
+    Example:
+        >>> "privhp" in available_methods()
+        True
+    """
     _ensure_builtin_methods()
     return sorted(_METHOD_FACTORIES)
 
 
 def make_method(name: str, *args, **kwargs):
-    """Instantiate a registered method (arguments forwarded to the factory)."""
+    """Instantiate a registered method (arguments forwarded to the factory).
+
+    Example:
+        >>> from repro.domain.interval import UnitInterval
+        >>> make_method("privhp", UnitInterval(), epsilon=1.0, pruning_k=4).name
+        'PrivHP'
+    """
     _ensure_builtin_methods()
     key = str(name).strip().lower()
     if key not in _METHOD_FACTORIES:

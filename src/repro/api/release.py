@@ -7,9 +7,26 @@ memory metadata of the run that produced it, and serialises through
 format (the metadata block carries the extra fields), so releases written by
 older versions still load.
 
-Only released (post-noise) state ever reaches a ``Release``; sampling and
-serialisation are pure post-processing, so everything here inherits the
-epsilon-DP guarantee of the summarizer that produced it.
+Only released (post-noise) state ever reaches a ``Release``; sampling,
+querying and serialisation are pure post-processing, so everything here
+inherits the epsilon-DP guarantee of the summarizer that produced it.
+
+Beyond sampling, a release answers analytic queries directly (range counts,
+CDFs, quantiles, marginals) through lazily constructed
+:mod:`repro.queries` engines, which is what the serving layer in
+:mod:`repro.serve` builds on.
+
+Example:
+    >>> from repro.api.release import Release
+    >>> from repro.baselines.pmm import build_exact_tree
+    >>> from repro.core.sampler import SyntheticDataGenerator
+    >>> from repro.domain.interval import UnitInterval
+    >>> tree = build_exact_tree([0.1, 0.3, 0.6, 0.9], UnitInterval(), depth=2)
+    >>> release = Release(SyntheticDataGenerator(tree, UnitInterval(), rng=0))
+    >>> release.mass(0.0, 0.5)
+    0.5
+    >>> release.quantile(0.5)
+    0.5
 """
 
 from __future__ import annotations
@@ -25,8 +42,12 @@ from repro.domain.base import Domain
 from repro.io.serialization import (
     generator_from_dict,
     generator_to_dict,
+    load_release_document,
     save_generator,
 )
+from repro.queries.quantiles import QuantileEngine
+from repro.queries.range_queries import RangeQueryEngine
+from repro.queries.support import supported_queries
 
 __all__ = ["Release"]
 
@@ -40,6 +61,10 @@ class Release:
     items_processed: int = 0
     memory_words: int = 0
     metadata: dict = field(default_factory=dict)
+    #: Lazily constructed query engines, keyed by engine class name.  They are
+    #: derived state (cheap to rebuild, never serialised) and excluded from
+    #: equality.
+    _engines: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # sampling (delegates to the generator)
@@ -66,6 +91,77 @@ class Release:
     def tree(self) -> PartitionTree:
         """The released (noisy, grown) partition tree."""
         return self.generator.tree
+
+    # ------------------------------------------------------------------ #
+    # queries (lazily constructed, cached engines)
+    # ------------------------------------------------------------------ #
+    def range_engine(self) -> RangeQueryEngine:
+        """The cached :class:`~repro.queries.range_queries.RangeQueryEngine`.
+
+        Built on first use (the engine precomputes leaf probabilities once)
+        and reused by every subsequent range/CDF/marginal query on this
+        release.
+        """
+        engine = self._engines.get("range")
+        if engine is None:
+            engine = self._engines["range"] = RangeQueryEngine(self.tree, self.domain)
+        return engine
+
+    def quantile_engine(self) -> QuantileEngine:
+        """The cached :class:`~repro.queries.quantiles.QuantileEngine`.
+
+        Raises ``TypeError`` on domains without a total order (hypercubes,
+        geographic boxes); see :meth:`supported_queries`.
+        """
+        engine = self._engines.get("quantile")
+        if engine is None:
+            engine = self._engines["quantile"] = QuantileEngine(self.tree, self.domain)
+        return engine
+
+    def supported_queries(self) -> tuple[str, ...]:
+        """The query types this release's domain can answer.
+
+        Example:
+            >>> from repro.api.release import Release
+            >>> from repro.baselines.pmm import build_exact_tree
+            >>> from repro.core.sampler import SyntheticDataGenerator
+            >>> from repro.domain.interval import UnitInterval
+            >>> tree = build_exact_tree([0.2, 0.8], UnitInterval(), depth=1)
+            >>> Release(SyntheticDataGenerator(tree, UnitInterval())).supported_queries()
+            ('mass', 'range_count', 'cdf', 'quantile')
+        """
+        return supported_queries(self.domain)
+
+    def mass(self, lower, upper) -> float:
+        """Estimated probability mass of the region ``[lower, upper]``.
+
+        For vector domains ``lower``/``upper`` are per-axis bounds of an
+        axis-aligned box; for ordered domains they are interval or integer
+        range endpoints (inclusive).  Pure post-processing: no privacy budget
+        is consumed.
+        """
+        return self.range_engine().mass(lower, upper)
+
+    def range_count(self, lower, upper) -> float:
+        """Estimated number of stream items in ``[lower, upper]``
+        (:meth:`mass` scaled by the released total count)."""
+        return self.range_engine().count(lower, upper)
+
+    def cdf(self, point) -> float:
+        """Estimated CDF at ``point`` (one-dimensional ordered domains only)."""
+        return self.range_engine().cdf(point)
+
+    def quantile(self, probability: float):
+        """The ``probability``-quantile of the released distribution."""
+        return self.quantile_engine().quantile(probability)
+
+    def quantiles(self, probabilities) -> np.ndarray:
+        """Vectorised :meth:`quantile` evaluation."""
+        return self.quantile_engine().quantiles(probabilities)
+
+    def marginal(self, axis: int, bins: int = 32) -> np.ndarray:
+        """One-dimensional marginal histogram along ``axis`` (vector domains)."""
+        return self.range_engine().marginal(axis, bins=bins)
 
     # ------------------------------------------------------------------ #
     # serialisation through repro.io
@@ -112,11 +208,13 @@ class Release:
     def load(cls, path: str | pathlib.Path, sampling_seed: int | None = None) -> "Release":
         """Load a release written by :meth:`save` (or by older ``save_generator``
         callers); ``sampling_seed`` affects future samples only, never the
-        persisted tree counts."""
-        import json
+        persisted tree counts.
 
-        document = json.loads(pathlib.Path(path).read_text())
-        return cls.from_dict(document, sampling_seed=sampling_seed)
+        Reading and format validation go through
+        :func:`repro.io.serialization.load_release_document`, so malformed
+        files fail with the same ``ValueError`` everywhere.
+        """
+        return cls.from_dict(load_release_document(path), sampling_seed=sampling_seed)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (

@@ -26,6 +26,14 @@ def ingest_batches(summarizer, data, batch_size: int = DEFAULT_BATCH_SIZE):
 
     The shared chunking loop behind the CLI, the baselines adapter, the
     experiment harness and the examples; returns the summarizer for chaining.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.api.builder import PrivHPBuilder
+        >>> builder = PrivHPBuilder("interval").stream_size(100).seed(0)
+        >>> summarizer = ingest_batches(builder.build(), np.linspace(0, 1, 100), batch_size=32)
+        >>> summarizer.items_processed
+        100
     """
     if batch_size < 1:
         raise ValueError(f"batch size must be at least 1, got {batch_size}")
@@ -36,7 +44,14 @@ def ingest_batches(summarizer, data, batch_size: int = DEFAULT_BATCH_SIZE):
 
 @runtime_checkable
 class StreamSummarizer(Protocol):
-    """Protocol for batched, mergeable, checkpointable stream summaries."""
+    """Protocol for batched, mergeable, checkpointable stream summaries.
+
+    Example:
+        >>> from repro.api.builder import PrivHPBuilder
+        >>> summarizer = PrivHPBuilder("interval").stream_size(100).seed(0).build()
+        >>> isinstance(summarizer, StreamSummarizer)
+        True
+    """
 
     def update_batch(self, points) -> "StreamSummarizer":
         """Ingest a batch of stream items; returns ``self`` for chaining."""

@@ -1,6 +1,6 @@
 """Command-line interface for PrivHP, built on the unified ``repro.api`` surface.
 
-Five sub-commands cover the workflow:
+Seven sub-commands cover the workflow:
 
 * ``summarize`` -- stream a CSV of sensitive values through PrivHP (batched,
   optionally sharded) and write the released (epsilon-DP) generator to JSON.
@@ -13,6 +13,10 @@ Five sub-commands cover the workflow:
   existing), without releasing.
 * ``resume`` -- restore a state file, optionally ingest more data, and
   release.
+* ``serve`` -- expose a directory of releases as a JSON-over-HTTP query
+  endpoint (``repro.serve``); pure post-processing, no privacy cost.
+* ``query`` -- answer a JSON workload file against one release, no server
+  needed.
 
 Example::
 
@@ -23,6 +27,8 @@ Example::
     python -m repro.cli checkpoint --input day1.csv --state state.json
     python -m repro.cli checkpoint --input day2.csv --state state.json
     python -m repro.cli resume --state state.json --output release.json
+    python -m repro.cli serve --store releases/ --port 8080
+    python -m repro.cli query release.json --workload queries.json
 """
 
 from __future__ import annotations
@@ -166,6 +172,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="items per vectorised ingestion batch",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="serve a directory of releases over JSON/HTTP"
+    )
+    serve.add_argument(
+        "--store", required=True, help="directory of release JSON files to serve"
+    )
+    serve.add_argument("--port", type=int, default=8080, help="TCP port to listen on")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument(
+        "--cache-size", type=int, default=4096, help="memoized answers kept (LRU)"
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logging"
+    )
+
+    query = subparsers.add_parser(
+        "query", help="answer a JSON workload file against one release"
+    )
+    query.add_argument("release", help="release JSON from 'summarize'")
+    query.add_argument(
+        "--workload", required=True,
+        help="JSON file: a list of query objects (or {'queries': [...]})",
+    )
+    query.add_argument(
+        "--output", default=None,
+        help="path for the answers JSON (default: print to stdout)",
+    )
+
     return parser
 
 
@@ -280,6 +314,46 @@ def _command_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.http import create_server
+
+    server = create_server(
+        args.store,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        verbose=not args.quiet,
+    )
+    names = server.service.store.names()
+    print(
+        f"serving {len(names)} release(s) from {args.store} on "
+        f"http://{args.host}:{server.server_port} "
+        f"(GET /releases, /stats, /healthz; POST /query) -- Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.batch import run_workload_file
+
+    document = run_workload_file(args.release, args.workload)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.output is None:
+        print(text)
+    else:
+        pathlib.Path(args.output).write_text(text + "\n")
+        print(f"wrote {document['num_queries']} answers to {args.output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by ``python -m repro.cli`` and the tests."""
     parser = build_parser()
@@ -290,6 +364,8 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _command_evaluate,
         "checkpoint": _command_checkpoint,
         "resume": _command_resume,
+        "serve": _command_serve,
+        "query": _command_query,
     }
     handler = commands.get(args.command)
     if handler is None:

@@ -11,16 +11,20 @@ from repro.io.serialization import (
     generator_from_dict,
     generator_to_dict,
     load_generator,
+    load_release_document,
     save_generator,
     tree_from_dict,
     tree_to_dict,
+    validate_release_document,
 )
 
 __all__ = [
     "generator_from_dict",
     "generator_to_dict",
     "load_generator",
+    "load_release_document",
     "save_generator",
     "tree_from_dict",
     "tree_to_dict",
+    "validate_release_document",
 ]

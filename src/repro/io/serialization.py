@@ -50,6 +50,8 @@ __all__ = [
     "generator_from_dict",
     "save_generator",
     "load_generator",
+    "load_release_document",
+    "validate_release_document",
     "summarizer_to_dict",
     "summarizer_from_dict",
     "save_checkpoint",
@@ -147,15 +149,57 @@ def generator_to_dict(generator: SyntheticDataGenerator, metadata: dict | None =
     }
 
 
-def generator_from_dict(encoded: dict, seed: int | None = None) -> SyntheticDataGenerator:
-    """Decode a generator produced by :func:`generator_to_dict`."""
-    if encoded.get("format") != FORMAT_NAME:
-        raise ValueError(f"not a {FORMAT_NAME} document")
-    if int(encoded.get("version", 0)) > FORMAT_VERSION:
+def validate_release_document(document) -> dict:
+    """Check the ``privhp-generator`` envelope (format name, version, shape).
+
+    This is the single place release-format validation lives; both
+    :func:`generator_from_dict` and :meth:`repro.api.release.Release.load`
+    route through it, so a future format bump only happens here.  Returns the
+    document unchanged when it is acceptable.
+    """
+    if not isinstance(document, dict):
         raise ValueError(
-            f"document version {encoded.get('version')} is newer than supported "
+            f"a {FORMAT_NAME} document must be a JSON object, "
+            f"got {type(document).__name__}"
+        )
+    if document.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a {FORMAT_NAME} document")
+    try:
+        version = int(document.get("version", 0))
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"document version {document.get('version')!r} is not an integer") from error
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"document version {version} is newer than supported "
             f"version {FORMAT_VERSION}"
         )
+    for key in ("domain", "tree"):
+        if not isinstance(document.get(key), dict):
+            raise ValueError(f"a {FORMAT_NAME} document requires a {key!r} object")
+    return document
+
+
+def load_release_document(path: str | pathlib.Path) -> dict:
+    """Read and validate a ``privhp-generator`` JSON document from disk.
+
+    Malformed JSON and envelope violations both surface as ``ValueError``
+    (with the offending path named), so every consumer -- ``Release.load``,
+    the CLI, the serving store -- reports bad release files uniformly.
+    """
+    path = pathlib.Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path} is not valid JSON: {error}") from error
+    try:
+        return validate_release_document(document)
+    except ValueError as error:
+        raise ValueError(f"{path}: {error}") from error
+
+
+def generator_from_dict(encoded: dict, seed: int | None = None) -> SyntheticDataGenerator:
+    """Decode a generator produced by :func:`generator_to_dict`."""
+    validate_release_document(encoded)
     domain = domain_from_dict(encoded["domain"])
     tree = tree_from_dict(encoded["tree"])
     return SyntheticDataGenerator(tree, domain, rng=seed)
@@ -197,9 +241,7 @@ def load_generator(
     if seed is not None and sampling_seed is not None and seed != sampling_seed:
         raise ValueError("pass either seed or sampling_seed, not conflicting values of both")
     effective = sampling_seed if sampling_seed is not None else seed
-    path = pathlib.Path(path)
-    document = json.loads(path.read_text())
-    return generator_from_dict(document, seed=effective)
+    return generator_from_dict(load_release_document(path), seed=effective)
 
 
 # --------------------------------------------------------------------------- #

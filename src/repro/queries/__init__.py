@@ -12,13 +12,18 @@ released partition tree (equivalently, from the synthetic distribution):
   (one-dimensional) domains.
 * :mod:`repro.queries.workload` -- random query workloads and error
   evaluation against the true data, used by the range-query benchmark.
+* :mod:`repro.queries.support` -- which query types each domain supports,
+  shared by the release surface and the serving layer.
 
 All answers are post-processing of the epsilon-DP release, so they consume no
-additional privacy budget.
+additional privacy budget.  :class:`repro.api.release.Release` exposes these
+engines directly (``release.mass(...)``, ``release.quantile(...)``), and
+:mod:`repro.serve` serves them over HTTP and batch workload files.
 """
 
 from repro.queries.range_queries import RangeQueryEngine
 from repro.queries.quantiles import QuantileEngine
+from repro.queries.support import QUERY_TYPES, supported_queries, supports_query
 from repro.queries.workload import (
     RangeQuery,
     evaluate_range_workload,
@@ -26,9 +31,12 @@ from repro.queries.workload import (
 )
 
 __all__ = [
+    "QUERY_TYPES",
     "QuantileEngine",
     "RangeQuery",
     "RangeQueryEngine",
     "evaluate_range_workload",
     "random_range_queries",
+    "supported_queries",
+    "supports_query",
 ]

@@ -22,7 +22,18 @@ __all__ = ["QuantileEngine"]
 
 
 class QuantileEngine:
-    """Quantile function derived from a partition tree on an ordered domain."""
+    """Quantile function derived from a partition tree on an ordered domain.
+
+    Example:
+        >>> from repro.baselines.pmm import build_exact_tree
+        >>> from repro.domain.interval import UnitInterval
+        >>> tree = build_exact_tree([0.1, 0.3, 0.6, 0.9], UnitInterval(), depth=2)
+        >>> engine = QuantileEngine(tree, UnitInterval())
+        >>> engine.median()
+        0.5
+        >>> engine.interquartile_range()
+        0.5
+    """
 
     def __init__(self, tree: PartitionTree, domain: Domain) -> None:
         if not isinstance(domain, (UnitInterval, IPv4Domain, DiscreteDomain)):

@@ -35,7 +35,24 @@ def _interval_overlap(cell_low: float, cell_high: float, low: float, high: float
 
 
 class RangeQueryEngine:
-    """Answers axis-aligned range queries from a (noisy, consistent) tree."""
+    """Answers axis-aligned range queries from a (noisy, consistent) tree.
+
+    Construction precomputes the leaf probabilities once; every query after
+    that is a single pass over the leaves.  :meth:`repro.api.release.Release.range_engine`
+    caches one instance per release for exactly this reason.
+
+    Example:
+        >>> from repro.baselines.pmm import build_exact_tree
+        >>> from repro.domain.interval import UnitInterval
+        >>> tree = build_exact_tree([0.1, 0.3, 0.6, 0.9], UnitInterval(), depth=2)
+        >>> engine = RangeQueryEngine(tree, UnitInterval())
+        >>> engine.mass(0.0, 0.5)
+        0.5
+        >>> engine.count(0.0, 0.5)
+        2.0
+        >>> engine.cdf(0.25)
+        0.25
+    """
 
     def __init__(self, tree: PartitionTree, domain: Domain) -> None:
         self.tree = tree

@@ -1,0 +1,62 @@
+"""Which query types each domain supports.
+
+The query engines themselves raise ``TypeError`` when asked something a domain
+cannot answer (a CDF needs an ordering, a marginal needs axes); this module is
+the *declarative* version of that knowledge, so the release surface, the
+serving layer and the documentation can list capabilities without trial and
+error.
+
+Example:
+    >>> from repro.domain.interval import UnitInterval
+    >>> from repro.queries.support import supported_queries
+    >>> supported_queries(UnitInterval())
+    ('mass', 'range_count', 'cdf', 'quantile')
+"""
+
+from __future__ import annotations
+
+from repro.domain.base import Domain
+from repro.domain.discrete import DiscreteDomain
+from repro.domain.geo import GeoDomain
+from repro.domain.hypercube import Hypercube
+from repro.domain.interval import UnitInterval
+from repro.domain.ipv4 import IPv4Domain
+
+__all__ = ["QUERY_TYPES", "supported_queries", "supports_query"]
+
+#: Every query type the serving layer understands, in documentation order.
+QUERY_TYPES: tuple[str, ...] = ("mass", "range_count", "cdf", "quantile", "marginal")
+
+#: Queries answerable on one-dimensional ordered domains (a total order gives
+#: a CDF and therefore quantiles).
+_ORDERED = ("mass", "range_count", "cdf", "quantile")
+
+#: Queries answerable on vector-valued domains (axes give marginals, but no
+#: single total order gives a CDF).
+_VECTOR = ("mass", "range_count", "marginal")
+
+
+def supported_queries(domain: Domain) -> tuple[str, ...]:
+    """The query types answerable on ``domain``, in :data:`QUERY_TYPES` order.
+
+    Example:
+        >>> from repro.domain.hypercube import Hypercube
+        >>> supported_queries(Hypercube(3))
+        ('mass', 'range_count', 'marginal')
+    """
+    if isinstance(domain, (UnitInterval, IPv4Domain, DiscreteDomain)):
+        return _ORDERED
+    if isinstance(domain, (Hypercube, GeoDomain)):
+        return _VECTOR
+    return ()
+
+
+def supports_query(domain: Domain, query_type: str) -> bool:
+    """Whether ``query_type`` is answerable on ``domain``.
+
+    Example:
+        >>> from repro.domain.geo import GeoDomain
+        >>> supports_query(GeoDomain(), "quantile")
+        False
+    """
+    return query_type in supported_queries(domain)

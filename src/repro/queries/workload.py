@@ -24,7 +24,12 @@ __all__ = ["RangeQuery", "random_range_queries", "true_mass", "evaluate_range_wo
 
 @dataclass(frozen=True)
 class RangeQuery:
-    """An axis-aligned range query with inclusive bounds."""
+    """An axis-aligned range query with inclusive bounds.
+
+    Example:
+        >>> RangeQuery(lower=0.25, upper=0.5)
+        RangeQuery(lower=0.25, upper=0.5)
+    """
 
     lower: object
     upper: object
@@ -45,6 +50,14 @@ def random_range_queries(
     """Draw ``count`` random range queries with widths in ``[min_width, max_width]``.
 
     Widths are expressed as a fraction of the domain extent per axis.
+
+    Example:
+        >>> from repro.domain.interval import UnitInterval
+        >>> queries = random_range_queries(UnitInterval(), 3, rng=0)
+        >>> len(queries)
+        3
+        >>> all(0.0 <= q.lower <= q.upper <= 1.0 for q in queries)
+        True
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -76,7 +89,13 @@ def random_range_queries(
 
 
 def true_mass(data, domain: Domain, query: RangeQuery) -> float:
-    """The exact fraction of the raw data falling inside the query region."""
+    """The exact fraction of the raw data falling inside the query region.
+
+    Example:
+        >>> from repro.domain.interval import UnitInterval
+        >>> true_mass([0.1, 0.3, 0.6, 0.9], UnitInterval(), RangeQuery(0.0, 0.5))
+        0.5
+    """
     data = np.asarray(data)
     if len(data) == 0:
         raise ValueError("data must be non-empty")
@@ -103,6 +122,15 @@ def evaluate_range_workload(
 
     Returns a dictionary with per-query absolute errors plus their mean, max
     and the mean true/estimated masses (useful for sanity checks).
+
+    Example:
+        >>> from repro.baselines.pmm import build_exact_tree
+        >>> from repro.domain.interval import UnitInterval
+        >>> data = [0.1, 0.3, 0.6, 0.9]
+        >>> engine = RangeQueryEngine(build_exact_tree(data, UnitInterval(), 2), UnitInterval())
+        >>> report = evaluate_range_workload(engine, data, UnitInterval(), [RangeQuery(0.0, 0.5)])
+        >>> report["num_queries"], report["max_abs_error"]
+        (1, 0.0)
     """
     if not queries:
         raise ValueError("the workload must contain at least one query")

@@ -1,0 +1,42 @@
+"""repro.serve: the query-serving subsystem over released summaries.
+
+The paper's case for private *synthetic data* is that one released artefact
+answers arbitrary downstream queries with no further privacy cost; this
+package is that claim operationalised.  It is the third stage of the
+pipeline -- fit (``repro.api``), release (``Release``), **serve** -- and sits
+strictly on the public side of the privacy boundary: everything here is
+deterministic post-processing of epsilon-DP releases.
+
+* :class:`~repro.serve.store.ReleaseStore` -- many releases, loaded lazily
+  from a directory, routed by name or domain.
+* :class:`~repro.serve.cache.QueryCache` -- bounded LRU memoization with
+  hit/miss statistics for repeated workloads.
+* :class:`~repro.serve.service.QueryService` /
+  :func:`~repro.serve.service.answer_query` -- JSON query dicts evaluated on
+  the :mod:`repro.queries` engines; the single evaluation path every
+  transport shares.
+* :mod:`~repro.serve.http` -- a stdlib ``http.server`` JSON endpoint
+  (``repro serve --store DIR --port N``).
+* :mod:`~repro.serve.batch` -- workload-file evaluation
+  (``repro query release.json --workload queries.json``).
+"""
+
+from repro.serve.batch import load_workload, run_workload, run_workload_file
+from repro.serve.cache import QueryCache
+from repro.serve.http import QueryHTTPServer, create_server
+from repro.serve.service import QueryService, answer_query, normalize_query, query_key
+from repro.serve.store import ReleaseStore
+
+__all__ = [
+    "QueryCache",
+    "QueryHTTPServer",
+    "QueryService",
+    "ReleaseStore",
+    "answer_query",
+    "create_server",
+    "load_workload",
+    "normalize_query",
+    "query_key",
+    "run_workload",
+    "run_workload_file",
+]

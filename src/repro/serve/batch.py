@@ -1,0 +1,87 @@
+"""Batch query answering: a release file plus a workload file, no server.
+
+The batch path exists so a release can be interrogated from a shell script or
+a cron job without standing up HTTP -- ``repro query release.json --workload
+queries.json`` -- and it evaluates through exactly the same
+:func:`~repro.serve.service.answer_query` path as the server, so the answers
+are byte-identical.
+
+A workload file is JSON: either a bare list of query objects or
+``{"queries": [...]}``::
+
+    [
+      {"type": "range_count", "lower": 0.1, "upper": 0.4},
+      {"type": "quantile", "q": [0.25, 0.5, 0.75]}
+    ]
+
+Example:
+    >>> from repro.serve.batch import run_workload
+    >>> from repro.api.release import Release
+    >>> from repro.baselines.pmm import build_exact_tree
+    >>> from repro.core.sampler import SyntheticDataGenerator
+    >>> from repro.domain.interval import UnitInterval
+    >>> tree = build_exact_tree([0.1, 0.3, 0.6, 0.9], UnitInterval(), depth=2)
+    >>> release = Release(SyntheticDataGenerator(tree, UnitInterval()))
+    >>> results = run_workload(release, [{"type": "cdf", "point": 0.25}])
+    >>> results[0]["answer"]
+    0.25
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.api.release import Release
+from repro.serve.service import _evaluate_canonical, normalize_query
+
+__all__ = ["load_workload", "run_workload", "run_workload_file"]
+
+
+def load_workload(path: str | pathlib.Path) -> list[dict]:
+    """Read a workload file (a JSON list or ``{"queries": [...]}``)."""
+    path = pathlib.Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path} is not valid JSON: {error}") from error
+    if isinstance(document, dict):
+        document = document.get("queries")
+    if not isinstance(document, list):
+        raise ValueError(
+            f"{path}: a workload must be a JSON list of query objects "
+            "(or an object with a 'queries' list)"
+        )
+    return document
+
+
+def run_workload(release: Release, queries: list[dict]) -> list[dict]:
+    """Answer every query in order, echoing each canonical query.
+
+    Each result row is ``{"query": canonical, "answer": value}`` -- the same
+    shape the HTTP batch route returns per query (minus the transport
+    metadata).
+    """
+    results = []
+    for query in queries:
+        canonical = normalize_query(release, query)
+        results.append({"query": canonical, "answer": _evaluate_canonical(release, canonical)})
+    return results
+
+
+def run_workload_file(
+    release_path: str | pathlib.Path, workload_path: str | pathlib.Path
+) -> dict:
+    """The batch CLI core: load a release and a workload, answer everything.
+
+    Returns a JSON-serialisable document recording the release path, the
+    number of queries and the per-query results.
+    """
+    release = Release.load(release_path)
+    queries = load_workload(workload_path)
+    return {
+        "release": str(release_path),
+        "domain": type(release.domain).__name__,
+        "num_queries": len(queries),
+        "results": run_workload(release, queries),
+    }

@@ -1,0 +1,105 @@
+"""A memoizing query cache with hit/miss statistics.
+
+Real query workloads repeat: dashboards re-issue the same range counts,
+monitors poll the same quantiles.  Because every answer is deterministic
+post-processing of an immutable release, repeated queries can be served from
+memory with zero privacy cost and zero staleness.  The cache is a bounded LRU
+keyed by the canonical query form, safe to share across the threads of the
+HTTP server.
+
+Example:
+    >>> from repro.serve.cache import QueryCache
+    >>> cache = QueryCache(maxsize=2)
+    >>> cache.lookup("a", lambda: 1.0)
+    1.0
+    >>> cache.lookup("a", lambda: 2.0)   # served from cache, not recomputed
+    1.0
+    >>> cache.stats()["hits"], cache.stats()["misses"]
+    (1, 1)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+__all__ = ["QueryCache"]
+
+_MISSING = object()
+
+
+class QueryCache:
+    """Bounded, thread-safe LRU cache of query answers with hit/miss stats."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be at least 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached answer for ``key`` (counts a hit or a miss)."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting the least recently used
+        entry when full."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def lookup(self, key: str, compute: Callable[[], Any]) -> Any:
+        """The cached answer for ``key``, computing and storing it on a miss.
+
+        ``compute`` runs outside the lock (query evaluation can be slow), so
+        two threads racing on the same cold key may both compute; both store
+        the same deterministic answer, so the race is benign.
+        """
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Hit/miss counters plus occupancy, as a JSON-serialisable dict."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": (self._hits / total) if total else 0.0,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        summary = self.stats()
+        return (
+            f"QueryCache(size={summary['size']}/{summary['maxsize']}, "
+            f"hits={summary['hits']}, misses={summary['misses']})"
+        )

@@ -1,0 +1,166 @@
+"""A stdlib JSON-over-HTTP endpoint for querying released summaries.
+
+No web framework, no dependencies: a ``ThreadingHTTPServer`` whose handler
+translates HTTP requests into :class:`~repro.serve.service.QueryService`
+calls.  Because the service funnels every transport through the same
+engines, an HTTP answer is byte-identical (as a JSON number) to the
+in-process answer on the same release.
+
+Routes:
+
+* ``GET /healthz`` -- liveness plus the number of addressable releases.
+* ``GET /releases`` -- metadata for every release (domain, epsilon, items,
+  supported query types).
+* ``GET /stats`` -- query-cache hit/miss statistics.
+* ``POST /query`` -- body ``{"release": name, "query": {...}}`` (or
+  ``"domain"`` instead of ``"release"``, or ``"queries": [...]`` for a
+  batch); the answer payload echoes the canonical query.
+
+Example (in-process; see ``examples/serve_demo.py`` for the HTTP loop):
+    >>> from repro.serve.http import create_server
+    >>> from repro.serve.store import ReleaseStore
+    >>> from repro.api.release import Release
+    >>> from repro.baselines.pmm import build_exact_tree
+    >>> from repro.core.sampler import SyntheticDataGenerator
+    >>> from repro.domain.interval import UnitInterval
+    >>> store = ReleaseStore()
+    >>> tree = build_exact_tree([0.2, 0.8], UnitInterval(), depth=1)
+    >>> store.add("demo", Release(SyntheticDataGenerator(tree, UnitInterval())))
+    >>> server = create_server(store, port=0)   # port 0: pick a free port
+    >>> isinstance(server.server_port, int)
+    True
+    >>> server.server_close()
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.service import QueryService
+from repro.serve.store import ReleaseStore
+
+__all__ = ["QueryHTTPServer", "create_server"]
+
+#: Largest accepted request body; queries are tiny, so anything bigger is a
+#: client error rather than a reason to buffer unbounded input.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _QueryRequestHandler(BaseHTTPRequestHandler):
+    """Translates HTTP requests into ``QueryService`` calls."""
+
+    server: "QueryHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        service = self.server.service
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path in ("/", "/healthz"):
+            self._send_json({"status": "ok", "releases": len(service.store)})
+        elif path == "/releases":
+            self._send_json({"releases": service.store.describe()})
+        elif path == "/stats":
+            self._send_json(service.stats())
+        else:
+            self._send_error_json(f"unknown path {self.path!r}", status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming convention
+        if self.path.split("?", 1)[0].rstrip("/") != "/query":
+            self._send_error_json(f"unknown path {self.path!r}", status=404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._send_error_json("invalid Content-Length", status=400)
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_error_json(
+                f"request body must be 1..{MAX_BODY_BYTES} bytes, got {length}", status=400
+            )
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as error:
+            self._send_error_json(f"request body is not valid JSON: {error}", status=400)
+            return
+        if not isinstance(request, dict):
+            self._send_error_json("request body must be a JSON object", status=400)
+            return
+
+        service = self.server.service
+        release = request.get("release")
+        domain = request.get("domain")
+        try:
+            if "queries" in request:
+                queries = request["queries"]
+                if not isinstance(queries, list):
+                    raise ValueError("'queries' must be a list of query objects")
+                self._send_json(
+                    {"results": service.answer_many(queries, release=release, domain=domain)}
+                )
+            elif "query" in request:
+                self._send_json(service.answer(request["query"], release=release, domain=domain))
+            else:
+                raise ValueError("request must carry a 'query' object or a 'queries' list")
+        except KeyError as error:
+            self._send_error_json(str(error.args[0] if error.args else error), status=404)
+        except (TypeError, ValueError) as error:
+            self._send_error_json(str(error), status=400)
+
+
+class QueryHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _QueryRequestHandler)
+
+
+def create_server(
+    store: ReleaseStore | str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    cache_size: int = 4096,
+    verbose: bool = False,
+) -> QueryHTTPServer:
+    """Build a ready-to-run server over a store (or a store directory path).
+
+    Pass ``port=0`` to bind an ephemeral free port (read it back from
+    ``server.server_port``); call ``server.serve_forever()`` to serve and
+    ``server.shutdown()`` / ``server.server_close()`` to stop.
+    """
+    if not isinstance(store, ReleaseStore):
+        store = ReleaseStore(store)
+    service = QueryService(store, cache_size=cache_size)
+    return QueryHTTPServer(service, host=host, port=port, verbose=verbose)

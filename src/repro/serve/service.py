@@ -1,0 +1,218 @@
+"""Query dicts in, answers out: the transport-independent serving core.
+
+Queries are plain JSON-serialisable dictionaries -- ``{"type": "range_count",
+"lower": 0.1, "upper": 0.4}`` -- so the HTTP endpoint, the batch CLI and
+in-process callers all speak the same language and, crucially, produce
+*byte-identical* answers: every transport funnels through
+:func:`answer_query`, which delegates to the same
+:mod:`repro.queries` engines a Python caller would use directly.
+
+The supported query types (see :mod:`repro.queries.support`):
+
+========== =============================== ==============================
+type       parameters                      domains
+========== =============================== ==============================
+mass       lower, upper                    all
+range_count lower, upper                   all
+cdf        point                           interval, ipv4, discrete
+quantile   q (scalar or list)              interval, ipv4, discrete
+marginal   axis, bins (default 32)         hypercube, geo
+========== =============================== ==============================
+
+Example:
+    >>> from repro.serve.service import answer_query
+    >>> from repro.api.release import Release
+    >>> from repro.baselines.pmm import build_exact_tree
+    >>> from repro.core.sampler import SyntheticDataGenerator
+    >>> from repro.domain.interval import UnitInterval
+    >>> tree = build_exact_tree([0.1, 0.3, 0.6, 0.9], UnitInterval(), depth=2)
+    >>> release = Release(SyntheticDataGenerator(tree, UnitInterval()))
+    >>> answer_query(release, {"type": "mass", "lower": 0.0, "upper": 0.5})
+    0.5
+    >>> answer_query(release, {"type": "quantile", "q": 0.5})
+    0.5
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api.release import Release
+from repro.queries.support import QUERY_TYPES, supported_queries
+from repro.serve.cache import QueryCache
+from repro.serve.store import ReleaseStore
+
+__all__ = ["QueryService", "answer_query", "normalize_query", "query_key"]
+
+
+def _normalise_bound(value):
+    """Canonicalise one query bound: tuples/lists become lists of floats and
+    numeric scalars become floats, so int/float spellings of one query share
+    one cache entry.  Strings pass through (the engines parse IPv4 dotted
+    quads themselves)."""
+    if isinstance(value, (list, tuple)):
+        return [float(component) for component in value]
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return value
+
+
+def normalize_query(release: Release, query: dict) -> dict:
+    """Validate a raw query dict against a release and canonicalise it.
+
+    The canonical form is what the engines are called with and what the
+    memoizing cache keys on, so two spellings of the same query (``0.5`` vs
+    ``0.50``, list vs tuple bounds) share one cache entry.  Raises
+    ``ValueError`` on unknown/unsupported types and missing parameters.
+    """
+    if not isinstance(query, dict):
+        raise ValueError(f"a query must be a JSON object, got {type(query).__name__}")
+    query_type = query.get("type")
+    if query_type not in QUERY_TYPES:
+        raise ValueError(
+            f"unknown query type {query_type!r}; supported types: {', '.join(QUERY_TYPES)}"
+        )
+    allowed = supported_queries(release.domain)
+    if query_type not in allowed:
+        raise ValueError(
+            f"query type {query_type!r} is not supported on "
+            f"{type(release.domain).__name__}; supported: {', '.join(allowed)}"
+        )
+
+    if query_type in ("mass", "range_count"):
+        missing = [key for key in ("lower", "upper") if key not in query]
+        if missing:
+            raise ValueError(f"{query_type} query requires {', '.join(missing)}")
+        return {
+            "type": query_type,
+            "lower": _normalise_bound(query["lower"]),
+            "upper": _normalise_bound(query["upper"]),
+        }
+    if query_type == "cdf":
+        if "point" not in query:
+            raise ValueError("cdf query requires point")
+        return {"type": "cdf", "point": _normalise_bound(query["point"])}
+    if query_type == "quantile":
+        if "q" not in query:
+            raise ValueError("quantile query requires q")
+        q = query["q"]
+        if isinstance(q, (list, tuple)):
+            probabilities = [float(value) for value in q]
+        else:
+            probabilities = float(q)
+        return {"type": "quantile", "q": probabilities}
+    # marginal
+    if "axis" not in query:
+        raise ValueError("marginal query requires axis")
+    return {
+        "type": "marginal",
+        "axis": int(query["axis"]),
+        "bins": int(query.get("bins", 32)),
+    }
+
+
+def answer_query(release: Release, query: dict):
+    """Answer one query dict on a release.
+
+    Returns a JSON-serialisable value: a float for ``mass`` / ``range_count``
+    / ``cdf`` / scalar ``quantile``, a list for vector ``quantile`` and
+    ``marginal``.  This function is the single evaluation path behind the
+    in-process, batch and HTTP transports.
+    """
+    return _evaluate_canonical(release, normalize_query(release, query))
+
+
+def _evaluate_canonical(release: Release, canonical: dict):
+    """Dispatch an already-canonical query to the release's engines (callers
+    that normalised once -- the service's cache path, the batch runner --
+    skip a second validation pass)."""
+    query_type = canonical["type"]
+    if query_type == "mass":
+        return release.mass(canonical["lower"], canonical["upper"])
+    if query_type == "range_count":
+        return release.range_count(canonical["lower"], canonical["upper"])
+    if query_type == "cdf":
+        return release.cdf(canonical["point"])
+    if query_type == "quantile":
+        q = canonical["q"]
+        if isinstance(q, list):
+            return [_json_scalar(value) for value in release.quantiles(q)]
+        return _json_scalar(release.quantile(q))
+    return [float(value) for value in release.marginal(canonical["axis"], bins=canonical["bins"])]
+
+
+def _json_scalar(value):
+    """Collapse numpy scalars to native Python numbers for JSON transport."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def query_key(release_name: str, canonical_query: dict) -> str:
+    """The cache key of a canonical query against a named release."""
+    return json.dumps([release_name, canonical_query], sort_keys=True, separators=(",", ":"))
+
+
+class QueryService:
+    """A :class:`ReleaseStore` fronted by a memoizing :class:`QueryCache`.
+
+    The service resolves each request to a release (by name or by domain),
+    canonicalises the query, and serves repeats from the cache; answers are
+    identical to calling the engines directly because cold paths *do* call
+    the engines directly.
+
+    Example:
+        >>> from repro.serve.service import QueryService
+        >>> from repro.serve.store import ReleaseStore
+        >>> from repro.api.release import Release
+        >>> from repro.baselines.pmm import build_exact_tree
+        >>> from repro.core.sampler import SyntheticDataGenerator
+        >>> from repro.domain.interval import UnitInterval
+        >>> store = ReleaseStore()
+        >>> tree = build_exact_tree([0.2, 0.8], UnitInterval(), depth=1)
+        >>> store.add("demo", Release(SyntheticDataGenerator(tree, UnitInterval())))
+        >>> service = QueryService(store)
+        >>> result = service.answer({"type": "mass", "lower": 0.0, "upper": 0.5})
+        >>> result["answer"], result["release"], result["cached"]
+        (0.5, 'demo', False)
+        >>> service.answer({"type": "mass", "lower": 0.0, "upper": 0.5})["cached"]
+        True
+    """
+
+    def __init__(self, store: ReleaseStore, cache_size: int = 4096) -> None:
+        self.store = store
+        self.cache = QueryCache(maxsize=cache_size)
+
+    def answer(self, query: dict, release: str | None = None, domain: str | None = None) -> dict:
+        """Answer one query, routing to a release by name or domain.
+
+        When neither ``release`` nor ``domain`` is given and the store holds
+        exactly one release, that release answers.  The result dict carries
+        the resolved release name, the canonical query, the answer and
+        whether it was served from the cache.
+        """
+        if release is None and domain is None and len(self.store) == 1:
+            release = self.store.names()[0]
+        name, resolved = self.store.resolve(name=release, domain=domain)
+        canonical = normalize_query(resolved, query)
+        key = query_key(name, canonical)
+        cached = True
+
+        def compute():
+            nonlocal cached
+            cached = False
+            return _evaluate_canonical(resolved, canonical)
+
+        answer = self.cache.lookup(key, compute)
+        return {"release": name, "query": canonical, "answer": answer, "cached": cached}
+
+    def answer_many(self, queries, release: str | None = None, domain: str | None = None) -> list[dict]:
+        """:meth:`answer` over a list of query dicts, in order."""
+        return [self.answer(query, release=release, domain=domain) for query in queries]
+
+    def stats(self) -> dict:
+        """Cache statistics plus the number of releases served."""
+        return {"releases": len(self.store), "cache": self.cache.stats()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"QueryService(store={self.store!r}, cache={self.cache!r})"

@@ -1,0 +1,187 @@
+"""A directory of released summaries, loaded lazily and routed by name/domain.
+
+A :class:`ReleaseStore` is the serving layer's view of "many releases": every
+``*.json`` file in a directory that carries the ``privhp-generator`` format is
+addressable by its file stem.  Releases load lazily (first query wins the
+disk read, later queries reuse the live object and its cached engines) and
+can also be registered in-memory, which is how tests and notebooks serve
+freshly fitted releases without touching disk.
+
+Only released (post-noise) artefacts ever enter a store, so serving is pure
+post-processing of epsilon-DP state -- the store never sees raw stream data.
+
+Example:
+    >>> from repro.serve.store import ReleaseStore
+    >>> from repro.api.release import Release
+    >>> from repro.baselines.pmm import build_exact_tree
+    >>> from repro.core.sampler import SyntheticDataGenerator
+    >>> from repro.domain.interval import UnitInterval
+    >>> tree = build_exact_tree([0.2, 0.8], UnitInterval(), depth=1)
+    >>> store = ReleaseStore()
+    >>> store.add("demo", Release(SyntheticDataGenerator(tree, UnitInterval())))
+    >>> store.names()
+    ['demo']
+    >>> store.get("demo").mass(0.0, 1.0)
+    1.0
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.api.release import Release
+
+__all__ = ["ReleaseStore"]
+
+
+class ReleaseStore:
+    """Lazily loaded releases addressable by name, with domain-based routing."""
+
+    def __init__(self, directory: str | pathlib.Path | None = None) -> None:
+        self.directory = pathlib.Path(directory) if directory is not None else None
+        self._paths: dict[str, pathlib.Path] = {}
+        #: Releases registered through :meth:`add` (no backing file; never
+        #: dropped by a rescan) vs. the lazy cache of disk loads.
+        self._local: dict[str, Release] = {}
+        self._loaded: dict[str, Release] = {}
+        if self.directory is not None:
+            self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> list[str]:
+        """Re-scan the directory for ``*.json`` release files.
+
+        Returns the sorted names now addressable.  Files are not parsed here
+        (loading stays lazy); a non-release JSON surfaces a ``ValueError``
+        when it is first requested.  Already-loaded releases are kept unless
+        their file disappeared; in-memory releases from :meth:`add` are
+        always kept.
+        """
+        if self.directory is None:
+            return self.names()
+        if not self.directory.is_dir():
+            raise ValueError(f"release store directory {self.directory} does not exist")
+        self._paths = {path.stem: path for path in sorted(self.directory.glob("*.json"))}
+        for name in list(self._loaded):
+            if name not in self._paths:
+                del self._loaded[name]
+        return self.names()
+
+    def add(self, name: str, release: Release) -> None:
+        """Register an in-memory release under ``name`` (no file needed).
+
+        In-memory releases shadow same-named files and survive
+        :meth:`refresh`.
+        """
+        if not name:
+            raise ValueError("release name must be non-empty")
+        self._local[str(name)] = release
+
+    def names(self) -> list[str]:
+        """Sorted names of every addressable release (on disk or in memory)."""
+        return sorted(set(self._paths) | set(self._local))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._local or name in self._paths
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    # ------------------------------------------------------------------ #
+    # access and routing
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> Release:
+        """The release registered under ``name``, loading it on first use.
+
+        Raises ``KeyError`` for unknown names and ``ValueError`` for files
+        that are not valid release documents.
+        """
+        release = self._local.get(name) or self._loaded.get(name)
+        if release is not None:
+            return release
+        path = self._paths.get(name)
+        if path is None:
+            raise KeyError(
+                f"unknown release {name!r}; known releases: {', '.join(self.names()) or '(none)'}"
+            )
+        release = self._loaded[name] = Release.load(path)
+        return release
+
+    def domain_of(self, name: str) -> str:
+        """The domain type name (e.g. ``"UnitInterval"``) of a release."""
+        return type(self.get(name).domain).__name__
+
+    def names_for_domain(self, domain_type: str) -> list[str]:
+        """Names of every release whose domain type matches ``domain_type``
+        (case-insensitive; loads releases as needed).
+
+        Files that turn out not to be valid releases are skipped, so one
+        stray JSON in the store directory cannot break domain routing.
+        """
+        wanted = str(domain_type).lower()
+        matches = []
+        for name in self.names():
+            try:
+                if self.domain_of(name).lower() == wanted:
+                    matches.append(name)
+            except ValueError:
+                continue
+        return matches
+
+    def resolve(self, name: str | None = None, domain: str | None = None) -> tuple[str, Release]:
+        """Route to a single release by ``name`` or, failing that, ``domain``.
+
+        Raises ``KeyError`` when the addressed release does not exist
+        (unknown name, domain with no match) and ``ValueError`` when the
+        request itself is bad (no addressing given, ambiguous domain) --
+        serving cannot guess between two interval releases.
+        """
+        if name is not None:
+            return name, self.get(name)
+        if domain is not None:
+            matches = self.names_for_domain(domain)
+            if len(matches) == 1:
+                return matches[0], self.get(matches[0])
+            if not matches:
+                raise KeyError(f"domain {domain!r} matches no release")
+            raise ValueError(
+                f"domain {domain!r} is ambiguous: it matches "
+                f"{', '.join(matches)}; address one by name"
+            )
+        raise ValueError("a query must address a release by 'release' name or 'domain'")
+
+    # ------------------------------------------------------------------ #
+    # listing
+    # ------------------------------------------------------------------ #
+    def info(self, name: str) -> dict:
+        """JSON-serialisable metadata for one release (the ``/releases`` row)."""
+        release = self.get(name)
+        return {
+            "name": name,
+            "domain": type(release.domain).__name__,
+            "epsilon": release.epsilon,
+            "items_processed": release.items_processed,
+            "memory_words": release.memory_words,
+            "leaves": len(release.tree.leaves()),
+            "queries": list(release.supported_queries()),
+        }
+
+    def describe(self) -> list[dict]:
+        """:meth:`info` for every addressable release, skipping invalid files.
+
+        A directory can legitimately hold non-release JSON (checkpoints,
+        workloads); those are reported with an ``"error"`` field instead of
+        failing the whole listing.
+        """
+        rows = []
+        for name in self.names():
+            try:
+                rows.append(self.info(name))
+            except ValueError as error:
+                rows.append({"name": name, "error": str(error)})
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ReleaseStore(directory={self.directory}, releases={self.names()})"

@@ -1,0 +1,109 @@
+"""Documentation health: intra-repo links resolve, public surface is
+docstringed and doctested.
+
+CI runs the same checks standalone (``tools/check_links.py`` plus ``pytest
+--doctest-modules`` in the docs job); these tests keep them enforced in the
+tier-1 suite so a broken link or an undocumented public symbol fails fast
+locally too.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import inspect
+import pathlib
+import pkgutil
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_links  # noqa: E402
+
+#: The packages whose public surface must be documented (the docs satellite
+#: of the serving PR: repro.api, repro.queries and repro.serve).
+DOCUMENTED_PACKAGES = ("repro.api", "repro.queries", "repro.serve")
+
+
+def _iter_modules(package_name: str):
+    package = importlib.import_module(package_name)
+    yield package
+    for info in pkgutil.iter_modules(package.__path__, prefix=package_name + "."):
+        yield importlib.import_module(info.name)
+
+
+class TestIntraRepoLinks:
+    def test_readme_and_docs_links_resolve(self):
+        errors = check_links.check_paths(
+            [REPO_ROOT / "README.md", REPO_ROOT / "docs", REPO_ROOT / "ROADMAP.md"]
+        )
+        assert errors == []
+
+    def test_checker_catches_broken_target(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see [missing](./nope.md) and [ok](./page.md)")
+        errors = check_links.check_file(page)
+        assert len(errors) == 1 and "nope.md" in errors[0]
+
+    def test_checker_catches_broken_anchor(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("# Real Heading\n\n[bad](#missing-heading) [good](#real-heading)")
+        errors = check_links.check_file(page)
+        assert len(errors) == 1 and "missing-heading" in errors[0]
+
+    def test_checker_skips_external_and_code_blocks(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[site](https://example.com/x)\n```\n[fake](./inside-code.md)\n```\n"
+        )
+        assert check_links.check_file(page) == []
+
+    def test_architecture_doc_exists_and_names_the_boundary(self):
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        assert "PRIVACY BOUNDARY" in text
+        assert "repro.serve" in text
+
+
+class TestPublicSurfaceIsDocumented:
+    @pytest.mark.parametrize("package_name", DOCUMENTED_PACKAGES)
+    def test_every_public_symbol_has_a_docstring(self, package_name):
+        undocumented = []
+        for module in _iter_modules(package_name):
+            if not (module.__doc__ or "").strip():
+                undocumented.append(module.__name__)
+            for name in getattr(module, "__all__", []):
+                member = getattr(module, name)
+                if inspect.isclass(member) or inspect.isfunction(member):
+                    if not (inspect.getdoc(member) or "").strip():
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+    @pytest.mark.parametrize("package_name", DOCUMENTED_PACKAGES)
+    def test_every_module_carries_runnable_examples(self, package_name):
+        """Each non-package module must define at least one doctest (the CI
+        docs job executes them; this pins that they exist at all)."""
+        finder = doctest.DocTestFinder(exclude_empty=True)
+        missing = []
+        for module in _iter_modules(package_name):
+            if module.__name__ == package_name:  # the package __init__ re-exports
+                continue
+            examples = [test for test in finder.find(module) if test.examples]
+            if not examples:
+                missing.append(module.__name__)
+        assert missing == []
+
+    def test_doctests_in_documented_packages_pass(self):
+        """A cheap in-suite doctest sweep of the lightweight modules (the CI
+        docs job runs the full --doctest-modules pass)."""
+        for module_name in (
+            "repro.queries.support",
+            "repro.serve.cache",
+            "repro.serve.batch",
+        ):
+            module = importlib.import_module(module_name)
+            result = doctest.testmod(module, verbose=False)
+            assert result.failed == 0, module_name

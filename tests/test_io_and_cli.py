@@ -113,6 +113,82 @@ class TestGeneratorSerialization:
         assert restored.sample(20).shape == (20, 2)
 
 
+class TestReleaseLoadValidation:
+    """Release.load routes through repro.io, so malformed input fails the
+    same way everywhere (regression tests for the former inline JSON read)."""
+
+    def test_malformed_json_is_valueerror_naming_the_path(self, tmp_path):
+        from repro.api.release import Release
+
+        path = tmp_path / "broken.json"
+        path.write_text("{this is not json")
+        with pytest.raises(ValueError, match="not valid JSON") as excinfo:
+            Release.load(path)
+        assert "broken.json" in str(excinfo.value)
+
+    def test_wrong_format_is_valueerror(self, tmp_path):
+        from repro.api.release import Release
+
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(ValueError, match="not a privhp-generator document"):
+            Release.load(path)
+
+    def test_future_version_is_valueerror(self, tmp_path, interval, rng):
+        from repro.api.release import Release
+
+        generator = fitted_generator(interval, rng.random(200))
+        document = generator_to_dict(generator)
+        document["version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="newer than supported"):
+            Release.load(path)
+
+    def test_non_object_document_is_valueerror(self, tmp_path):
+        from repro.api.release import Release
+
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            Release.load(path)
+
+    def test_missing_tree_is_valueerror(self, tmp_path):
+        from repro.api.release import Release
+
+        path = tmp_path / "treeless.json"
+        path.write_text(
+            json.dumps(
+                {"format": "privhp-generator", "version": 1, "domain": {"type": "UnitInterval"}}
+            )
+        )
+        with pytest.raises(ValueError, match="requires a 'tree' object"):
+            Release.load(path)
+
+    def test_load_generator_and_release_load_agree_on_errors(self, tmp_path):
+        from repro.api.release import Release
+        from repro.io.serialization import load_generator
+
+        path = tmp_path / "broken.json"
+        path.write_text("{oops")
+        with pytest.raises(ValueError) as release_error:
+            Release.load(path)
+        with pytest.raises(ValueError) as generator_error:
+            load_generator(path)
+        assert str(release_error.value) == str(generator_error.value)
+
+    def test_valid_release_round_trip_still_works(self, tmp_path, interval, rng):
+        from repro.api.release import Release
+
+        generator = fitted_generator(interval, rng.random(300))
+        release = Release(generator, epsilon=1.0, items_processed=300, memory_words=123)
+        release.save(tmp_path / "release.json")
+        loaded = Release.load(tmp_path / "release.json", sampling_seed=5)
+        assert loaded.epsilon == 1.0
+        assert loaded.items_processed == 300
+        assert loaded.memory_words == 123
+
+
 class TestCLI:
     def test_summarize_generate_evaluate_pipeline(self, tmp_path, rng, capsys):
         data = rng.beta(2, 6, size=1500)

@@ -1,0 +1,542 @@
+"""Tests for the query-serving subsystem (repro.serve) and the Release
+query surface.
+
+The acceptance property pinned here: HTTP and batch answers are
+byte-identical to in-process engine answers on the same release, across all
+five domains -- every transport funnels through one evaluation path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api.builder import PrivHPBuilder
+from repro.api.release import Release
+from repro.cli import main as cli_main
+from repro.queries.quantiles import QuantileEngine
+from repro.queries.range_queries import RangeQueryEngine
+from repro.queries.support import QUERY_TYPES, supported_queries
+from repro.serve.batch import load_workload, run_workload, run_workload_file
+from repro.serve.cache import QueryCache
+from repro.serve.http import create_server
+from repro.serve.service import QueryService, answer_query, normalize_query, query_key
+from repro.serve.store import ReleaseStore
+
+
+# --------------------------------------------------------------------------- #
+# fitted releases for every domain (small streams keep this fast)
+# --------------------------------------------------------------------------- #
+def _fit(domain_spec: str, data) -> Release:
+    return (
+        PrivHPBuilder(domain_spec)
+        .epsilon(1.0)
+        .pruning_k(4)
+        .stream_size(len(data))
+        .seed(3)
+        .build()
+        .update_batch(data)
+        .release()
+    )
+
+
+@pytest.fixture(scope="module")
+def releases() -> dict[str, Release]:
+    rng = np.random.default_rng(7)
+    size = 2000
+    geo_points = np.column_stack(
+        [rng.uniform(24.0, 49.0, size), rng.uniform(-125.0, -66.0, size)]
+    )
+    return {
+        "interval": _fit("interval", rng.beta(2.0, 5.0, size)),
+        "hypercube": _fit("hypercube:2", rng.random((size, 2))),
+        "ipv4": _fit("ipv4", rng.integers(0, 2**32, size)),
+        "geo": _fit("geo:24,49,-125,-66", geo_points),
+        # 4096 keeps the universe deeper than the paper-default hierarchy
+        # depth at n=2000 (a 1024 universe has zero-diameter levels there).
+        "discrete": _fit("discrete:4096", rng.integers(0, 4096, size)),
+    }
+
+
+#: One representative query per supported type, per domain.
+DOMAIN_QUERIES = {
+    "interval": [
+        {"type": "mass", "lower": 0.2, "upper": 0.6},
+        {"type": "range_count", "lower": 0.0, "upper": 0.5},
+        {"type": "cdf", "point": 0.3},
+        {"type": "quantile", "q": 0.5},
+        {"type": "quantile", "q": [0.25, 0.5, 0.75]},
+    ],
+    "hypercube": [
+        {"type": "mass", "lower": [0.1, 0.2], "upper": [0.6, 0.9]},
+        {"type": "range_count", "lower": [0.0, 0.0], "upper": [0.5, 0.5]},
+        {"type": "marginal", "axis": 0, "bins": 8},
+    ],
+    "ipv4": [
+        {"type": "mass", "lower": 0, "upper": 2**31},
+        {"type": "range_count", "lower": 2**20, "upper": 2**30},
+        {"type": "cdf", "point": 2**31},
+        {"type": "quantile", "q": 0.5},
+    ],
+    "geo": [
+        {"type": "mass", "lower": [30.0, -120.0], "upper": [45.0, -80.0]},
+        {"type": "range_count", "lower": [24.0, -125.0], "upper": [49.0, -66.0]},
+        {"type": "marginal", "axis": 1, "bins": 4},
+    ],
+    "discrete": [
+        {"type": "mass", "lower": 100, "upper": 2000},
+        {"type": "range_count", "lower": 0, "upper": 4095},
+        {"type": "cdf", "point": 2048},
+        {"type": "quantile", "q": 0.9},
+    ],
+}
+
+
+def _engine_answer(release: Release, query: dict):
+    """The ground-truth answer straight from the repro.queries engines."""
+    engine = RangeQueryEngine(release.tree, release.domain)
+    if query["type"] == "mass":
+        return engine.mass(query["lower"], query["upper"])
+    if query["type"] == "range_count":
+        return engine.count(query["lower"], query["upper"])
+    if query["type"] == "cdf":
+        return engine.cdf(query["point"])
+    if query["type"] == "quantile":
+        quantile_engine = QuantileEngine(release.tree, release.domain)
+        q = query["q"]
+        if isinstance(q, list):
+            return [value.item() if hasattr(value, "item") else value
+                    for value in quantile_engine.quantiles(q)]
+        value = quantile_engine.quantile(q)
+        return value.item() if hasattr(value, "item") else value
+    return [float(v) for v in engine.marginal(query["axis"], bins=query["bins"])]
+
+
+# --------------------------------------------------------------------------- #
+# QueryCache
+# --------------------------------------------------------------------------- #
+class TestQueryCache:
+    def test_lookup_computes_once(self):
+        cache = QueryCache(maxsize=4)
+        calls = []
+        assert cache.lookup("k", lambda: calls.append(1) or 42) == 42
+        assert cache.lookup("k", lambda: calls.append(1) or 43) == 42
+        assert len(calls) == 1
+
+    def test_stats_track_hits_and_misses(self):
+        cache = QueryCache(maxsize=4)
+        cache.lookup("a", lambda: 1)
+        cache.lookup("a", lambda: 1)
+        cache.lookup("b", lambda: 2)
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["size"]) == (1, 2, 2)
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_lru_eviction(self):
+        cache = QueryCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'; 'b' is now least recent
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_clear_resets_everything(self):
+        cache = QueryCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 0
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            QueryCache(maxsize=0)
+
+
+# --------------------------------------------------------------------------- #
+# query normalisation and the Release query surface
+# --------------------------------------------------------------------------- #
+class TestNormalizeQuery:
+    def test_unknown_type_rejected(self, releases):
+        with pytest.raises(ValueError, match="unknown query type"):
+            normalize_query(releases["interval"], {"type": "median"})
+
+    def test_unsupported_type_for_domain_rejected(self, releases):
+        with pytest.raises(ValueError, match="not supported on GeoDomain"):
+            normalize_query(releases["geo"], {"type": "quantile", "q": 0.5})
+        with pytest.raises(ValueError, match="not supported on UnitInterval"):
+            normalize_query(releases["interval"], {"type": "marginal", "axis": 0})
+
+    def test_missing_parameters_rejected(self, releases):
+        with pytest.raises(ValueError, match="lower"):
+            normalize_query(releases["interval"], {"type": "mass", "upper": 1.0})
+        with pytest.raises(ValueError, match="requires q"):
+            normalize_query(releases["interval"], {"type": "quantile"})
+        with pytest.raises(ValueError, match="requires point"):
+            normalize_query(releases["interval"], {"type": "cdf"})
+        with pytest.raises(ValueError, match="requires axis"):
+            normalize_query(releases["hypercube"], {"type": "marginal"})
+
+    def test_non_dict_rejected(self, releases):
+        with pytest.raises(ValueError, match="JSON object"):
+            normalize_query(releases["interval"], [1, 2])
+
+    def test_canonical_form_is_spelling_independent(self, releases):
+        release = releases["hypercube"]
+        a = normalize_query(release, {"type": "mass", "lower": (0.1, 0.2), "upper": [0.5, 0.5]})
+        b = normalize_query(release, {"type": "mass", "lower": [0.1, 0.2], "upper": (0.5, 0.5)})
+        assert query_key("r", a) == query_key("r", b)
+
+    def test_marginal_default_bins(self, releases):
+        canonical = normalize_query(releases["hypercube"], {"type": "marginal", "axis": 1})
+        assert canonical["bins"] == 32
+
+
+class TestReleaseQuerySurface:
+    def test_engines_are_lazy_and_cached(self, releases):
+        release = releases["interval"]
+        assert release.range_engine() is release.range_engine()
+        assert release.quantile_engine() is release.quantile_engine()
+
+    def test_supported_queries_match_support_table(self, releases):
+        for release in releases.values():
+            assert release.supported_queries() == supported_queries(release.domain)
+            for query_type in release.supported_queries():
+                assert query_type in QUERY_TYPES
+
+    @pytest.mark.parametrize("name", sorted(DOMAIN_QUERIES))
+    def test_release_methods_match_engines(self, releases, name):
+        release = releases[name]
+        for query in DOMAIN_QUERIES[name]:
+            assert answer_query(release, query) == _engine_answer(release, query)
+
+    def test_quantile_engine_rejected_on_vector_domains(self, releases):
+        with pytest.raises(TypeError, match="ordered domain"):
+            releases["hypercube"].quantile(0.5)
+
+    def test_ipv4_accepts_dotted_quad_bounds(self, releases):
+        release = releases["ipv4"]
+        by_string = release.mass("0.0.0.0", "128.0.0.0")
+        by_int = release.mass(0, 2**31)
+        assert by_string == by_int
+
+
+# --------------------------------------------------------------------------- #
+# ReleaseStore
+# --------------------------------------------------------------------------- #
+class TestReleaseStore:
+    def test_scans_directory_and_loads_lazily(self, tmp_path, releases):
+        releases["interval"].save(tmp_path / "alpha.json")
+        releases["ipv4"].save(tmp_path / "beta.json")
+        store = ReleaseStore(tmp_path)
+        assert store.names() == ["alpha", "beta"]
+        assert store._loaded == {}  # nothing loaded yet
+        assert store.get("alpha").mass(0.0, 1.0) == pytest.approx(1.0)
+        assert "alpha" in store._loaded and "beta" not in store._loaded
+        assert store.get("alpha") is store.get("alpha")
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            ReleaseStore(tmp_path / "nope")
+
+    def test_unknown_name_is_keyerror(self, tmp_path, releases):
+        releases["interval"].save(tmp_path / "only.json")
+        store = ReleaseStore(tmp_path)
+        with pytest.raises(KeyError, match="unknown release"):
+            store.get("other")
+
+    def test_invalid_file_is_valueerror_and_listed_with_error(self, tmp_path, releases):
+        releases["interval"].save(tmp_path / "good.json")
+        (tmp_path / "bad.json").write_text("{not json")
+        store = ReleaseStore(tmp_path)
+        with pytest.raises(ValueError, match="not valid JSON"):
+            store.get("bad")
+        rows = {row["name"]: row for row in store.describe()}
+        assert "error" in rows["bad"] and rows["good"]["domain"] == "UnitInterval"
+        assert rows["good"]["queries"] == list(supported_queries(releases["interval"].domain))
+
+    def test_refresh_picks_up_new_and_dropped_files(self, tmp_path, releases):
+        store = ReleaseStore(tmp_path)
+        assert store.names() == []
+        releases["interval"].save(tmp_path / "late.json")
+        assert store.refresh() == ["late"]
+        store.get("late")
+        (tmp_path / "late.json").unlink()
+        assert store.refresh() == []
+        with pytest.raises(KeyError):
+            store.get("late")
+
+    def test_domain_routing(self, tmp_path, releases):
+        releases["interval"].save(tmp_path / "scalar.json")
+        releases["ipv4"].save(tmp_path / "addresses.json")
+        store = ReleaseStore(tmp_path)
+        assert store.names_for_domain("IPv4Domain") == ["addresses"]
+        name, release = store.resolve(domain="unitinterval")
+        assert name == "scalar" and isinstance(release, Release)
+        with pytest.raises(KeyError, match="matches no release"):
+            store.resolve(domain="Hypercube")
+
+    def test_domain_routing_skips_invalid_files(self, tmp_path, releases):
+        releases["interval"].save(tmp_path / "good.json")
+        (tmp_path / "workload.json").write_text("[1, 2, 3]")  # legit non-release JSON
+        store = ReleaseStore(tmp_path)
+        assert store.names_for_domain("UnitInterval") == ["good"]
+        name, _ = store.resolve(domain="UnitInterval")
+        assert name == "good"
+
+    def test_ambiguous_domain_routing_rejected(self, tmp_path, releases):
+        releases["interval"].save(tmp_path / "one.json")
+        releases["interval"].save(tmp_path / "two.json")
+        store = ReleaseStore(tmp_path)
+        with pytest.raises(ValueError, match="ambiguous"):
+            store.resolve(domain="UnitInterval")
+
+    def test_in_memory_add(self, releases):
+        store = ReleaseStore()
+        store.add("mem", releases["interval"])
+        assert "mem" in store and len(store) == 1
+        assert store.get("mem") is releases["interval"]
+
+    def test_refresh_keeps_in_memory_releases(self, tmp_path, releases):
+        store = ReleaseStore(tmp_path)
+        store.add("mem", releases["interval"])
+        assert store.refresh() == ["mem"]
+        assert store.get("mem") is releases["interval"]
+
+
+# --------------------------------------------------------------------------- #
+# QueryService
+# --------------------------------------------------------------------------- #
+class TestQueryService:
+    def _service(self, releases, names=("interval",)):
+        store = ReleaseStore()
+        for name in names:
+            store.add(name, releases[name])
+        return QueryService(store)
+
+    def test_answers_match_engines_and_cache(self, releases):
+        service = self._service(releases)
+        query = {"type": "mass", "lower": 0.2, "upper": 0.6}
+        first = service.answer(query, release="interval")
+        second = service.answer(query, release="interval")
+        assert first["answer"] == _engine_answer(releases["interval"], query)
+        assert (first["cached"], second["cached"]) == (False, True)
+        assert second["answer"] == first["answer"]
+
+    def test_single_release_store_needs_no_routing(self, releases):
+        service = self._service(releases)
+        result = service.answer({"type": "cdf", "point": 0.5})
+        assert result["release"] == "interval"
+
+    def test_multi_release_store_requires_routing(self, releases):
+        service = self._service(releases, names=("interval", "ipv4"))
+        with pytest.raises(ValueError, match="by 'release' name or 'domain'"):
+            service.answer({"type": "cdf", "point": 0.5})
+        result = service.answer({"type": "cdf", "point": 2**31}, domain="IPv4Domain")
+        assert result["release"] == "ipv4"
+
+    def test_int_and_float_spellings_share_a_cache_entry(self, releases):
+        service = self._service(releases)
+        first = service.answer({"type": "mass", "lower": 0, "upper": 1})
+        second = service.answer({"type": "mass", "lower": 0.0, "upper": 1.0})
+        assert second["cached"] is True
+        assert second["answer"] == first["answer"]
+
+    def test_stats_counts_releases_and_cache(self, releases):
+        service = self._service(releases)
+        service.answer({"type": "quantile", "q": 0.5})
+        stats = service.stats()
+        assert stats["releases"] == 1 and stats["cache"]["misses"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# transports: batch and HTTP are byte-identical to in-process engines
+# --------------------------------------------------------------------------- #
+@contextlib.contextmanager
+def _running_server(store: ReleaseStore):
+    server = create_server(store, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _post(url: str, payload: dict):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+class TestTransportsAreByteIdentical:
+    @pytest.mark.parametrize("name", sorted(DOMAIN_QUERIES))
+    def test_batch_matches_engines(self, tmp_path, releases, name):
+        release = releases[name]
+        release_path = tmp_path / f"{name}.json"
+        release.save(release_path)
+        workload_path = tmp_path / "workload.json"
+        workload_path.write_text(json.dumps(DOMAIN_QUERIES[name]))
+
+        document = run_workload_file(release_path, workload_path)
+        loaded = Release.load(release_path)
+        assert document["num_queries"] == len(DOMAIN_QUERIES[name])
+        for query, row in zip(DOMAIN_QUERIES[name], document["results"]):
+            expected = _engine_answer(loaded, query)
+            assert row["answer"] == expected
+            # byte-identical once serialised, too
+            assert json.dumps(row["answer"]) == json.dumps(expected)
+
+    def test_http_matches_engines_across_all_domains(self, tmp_path, releases):
+        for name, release in releases.items():
+            release.save(tmp_path / f"{name}.json")
+        store = ReleaseStore(tmp_path)
+        with _running_server(store) as base:
+            for name, queries in sorted(DOMAIN_QUERIES.items()):
+                loaded = store.get(name)
+                for query in queries:
+                    result = _post(base + "/query", {"release": name, "query": query})
+                    expected = _engine_answer(loaded, query)
+                    assert result["answer"] == expected, (name, query)
+                    assert json.dumps(result["answer"]) == json.dumps(expected)
+
+    def test_http_batch_route_and_cache_flag(self, tmp_path, releases):
+        releases["interval"].save(tmp_path / "only.json")
+        with _running_server(ReleaseStore(tmp_path)) as base:
+            payload = {"release": "only", "queries": DOMAIN_QUERIES["interval"]}
+            first = _post(base + "/query", payload)
+            second = _post(base + "/query", payload)
+            assert [row["cached"] for row in first["results"]] == [False] * 5
+            assert [row["cached"] for row in second["results"]] == [True] * 5
+            assert [row["answer"] for row in first["results"]] == [
+                row["answer"] for row in second["results"]
+            ]
+
+    def test_http_sampling_is_never_exposed(self, tmp_path, releases):
+        # Serving is read-only post-processing: the only POST route is /query.
+        releases["interval"].save(tmp_path / "only.json")
+        with _running_server(ReleaseStore(tmp_path)) as base:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base + "/sample", {"size": 10})
+            assert excinfo.value.code == 404
+
+
+class TestHTTPEndpoints:
+    @pytest.fixture()
+    def served(self, tmp_path, releases):
+        releases["interval"].save(tmp_path / "scalar.json")
+        releases["hypercube"].save(tmp_path / "plane.json")
+        with _running_server(ReleaseStore(tmp_path)) as base:
+            yield base
+
+    def test_healthz(self, served):
+        payload = json.loads(urllib.request.urlopen(served + "/healthz").read())
+        assert payload == {"status": "ok", "releases": 2}
+
+    def test_releases_listing(self, served):
+        payload = json.loads(urllib.request.urlopen(served + "/releases").read())
+        rows = {row["name"]: row for row in payload["releases"]}
+        assert rows["scalar"]["domain"] == "UnitInterval"
+        assert rows["plane"]["queries"] == ["mass", "range_count", "marginal"]
+
+    def test_stats_reports_cache(self, served):
+        _post(served + "/query", {"release": "scalar", "query": {"type": "cdf", "point": 0.5}})
+        payload = json.loads(urllib.request.urlopen(served + "/stats").read())
+        assert payload["cache"]["misses"] == 1
+
+    @pytest.mark.parametrize(
+        "payload, code, message",
+        [
+            ({"release": "missing", "query": {"type": "cdf", "point": 0.5}}, 404, "unknown release"),
+            ({"release": "scalar", "query": {"type": "nope"}}, 400, "unknown query type"),
+            ({"release": "scalar"}, 400, "'query' object or a 'queries' list"),
+            ({"release": "scalar", "queries": {"type": "cdf"}}, 400, "must be a list"),
+            ({"release": "scalar", "query": {"type": "marginal", "axis": 0}}, 400, "not supported"),
+            # two releases served, so omitting the routing is a client error
+            ({"query": {"type": "cdf", "point": 0.5}}, 400, "must address a release"),
+        ],
+    )
+    def test_error_statuses(self, served, payload, code, message):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(served + "/query", payload)
+        assert excinfo.value.code == code
+        body = json.loads(excinfo.value.read())
+        assert message in body["error"]
+
+    def test_unknown_get_path_is_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(served + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_invalid_json_body_is_400(self, served):
+        request = urllib.request.Request(served + "/query", data=b"{oops")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+
+# --------------------------------------------------------------------------- #
+# batch workload files and the CLI
+# --------------------------------------------------------------------------- #
+class TestBatchWorkloads:
+    def test_load_workload_accepts_list_and_object(self, tmp_path):
+        queries = [{"type": "cdf", "point": 0.5}]
+        (tmp_path / "list.json").write_text(json.dumps(queries))
+        (tmp_path / "object.json").write_text(json.dumps({"queries": queries}))
+        assert load_workload(tmp_path / "list.json") == queries
+        assert load_workload(tmp_path / "object.json") == queries
+
+    def test_load_workload_rejects_garbage(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{broken")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_workload(tmp_path / "bad.json")
+        (tmp_path / "scalar.json").write_text("42")
+        with pytest.raises(ValueError, match="must be a JSON list"):
+            load_workload(tmp_path / "scalar.json")
+
+    def test_run_workload_validates_each_query(self, releases):
+        with pytest.raises(ValueError, match="unknown query type"):
+            run_workload(releases["interval"], [{"type": "wat"}])
+
+    def test_cli_query_prints_and_writes(self, tmp_path, releases, capsys):
+        release_path = tmp_path / "release.json"
+        releases["interval"].save(release_path)
+        workload = tmp_path / "queries.json"
+        workload.write_text(json.dumps(DOMAIN_QUERIES["interval"]))
+
+        assert cli_main(["query", str(release_path), "--workload", str(workload)]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["num_queries"] == 5
+
+        output = tmp_path / "answers.json"
+        assert cli_main(
+            ["query", str(release_path), "--workload", str(workload), "--output", str(output)]
+        ) == 0
+        written = json.loads(output.read_text())
+        assert written["results"] == printed["results"]
+
+    def test_cli_query_bad_workload_exits_cleanly(self, tmp_path, releases, capsys):
+        release_path = tmp_path / "release.json"
+        releases["interval"].save(release_path)
+        workload = tmp_path / "queries.json"
+        workload.write_text("{broken")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["query", str(release_path), "--workload", str(workload)])
+        assert excinfo.value.code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_cli_serve_missing_store_exits_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["serve", "--store", str(tmp_path / "nope"), "--port", "0"])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in Markdown files.
+
+Scans ``[text](target)`` links in the given files/directories and checks
+that every *relative* target resolves to a file in the repository, and that
+``#fragment`` anchors (in-page or cross-file) match a heading in the target
+document using GitHub's slug rules.  External links (``http://``,
+``https://``, ``mailto:``) are not fetched -- CI must not depend on the
+network -- and are skipped.
+
+Used by the CI docs job::
+
+    python tools/check_links.py README.md docs
+
+Exit status 0 when every link resolves, 1 otherwise (broken links listed on
+stderr).  Importable: ``tests/test_docs.py`` runs :func:`check_paths` so the
+tier-1 suite catches broken links locally too.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+__all__ = ["check_file", "check_paths", "extract_links", "heading_slugs", "main"]
+
+#: ``[text](target)`` with no nested brackets; images share the syntax.
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks and inline code spans (links there are
+    examples, not navigation)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def extract_links(text: str) -> list[str]:
+    """Every Markdown link target in ``text``, code blocks excluded."""
+    return _LINK_PATTERN.findall(_strip_code_blocks(text))
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, punctuation dropped,
+    spaces to hyphens (backticks contribute their content)."""
+    heading = heading.strip().lower().replace("`", "")
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(text: str) -> set[str]:
+    """The anchor slugs of every heading in a Markdown document."""
+    return {github_slug(match) for match in _HEADING_PATTERN.findall(text)}
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Broken-link messages for one Markdown file (empty when clean)."""
+    text = path.read_text()
+    errors = []
+    for target in extract_links(text):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        raw_path, _, fragment = target.partition("#")
+        if raw_path:
+            resolved = (path.parent / raw_path).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link target {target!r} ({resolved} missing)")
+                continue
+            if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+                if github_slug(fragment) not in heading_slugs(resolved.read_text()):
+                    errors.append(f"{path}: anchor {target!r} matches no heading in {resolved}")
+        elif fragment:
+            if github_slug(fragment) not in heading_slugs(text):
+                errors.append(f"{path}: in-page anchor {target!r} matches no heading")
+    return errors
+
+
+def check_paths(paths) -> list[str]:
+    """Broken-link messages across files and (recursively) directories."""
+    errors = []
+    seen_any = False
+    for entry in paths:
+        entry = pathlib.Path(entry)
+        if entry.is_dir():
+            files = sorted(entry.rglob("*.md"))
+        elif entry.exists():
+            files = [entry]
+        else:
+            errors.append(f"{entry}: no such file or directory")
+            continue
+        for markdown_file in files:
+            seen_any = True
+            errors.extend(check_file(markdown_file))
+    if not seen_any:
+        errors.append("no Markdown files found to check")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments:
+        print("usage: check_links.py FILE_OR_DIR [FILE_OR_DIR ...]", file=sys.stderr)
+        return 2
+    errors = check_paths(arguments)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print("all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
