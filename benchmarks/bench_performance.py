@@ -24,10 +24,10 @@ RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_performanc
 def merge_benchmark_result(update: dict, path: pathlib.Path = RESULT_PATH) -> dict:
     """Merge ``update`` into the tracked benchmark JSON, preserving other keys.
 
-    ``BENCH_performance.json`` now records several benchmark families
-    (ingestion throughput at the top level, query serving under
-    ``query_serving``); each smoke entry point updates only its own keys so
-    running one never erases the others.
+    ``BENCH_performance.json`` records several benchmark families, one
+    top-level section each (``ingestion``, ``query_serving``, ``continual``);
+    each smoke entry point updates only its own section so running one never
+    erases the others.
     """
     document = {}
     if path.exists():
@@ -46,11 +46,11 @@ def run_batch_speedup_smoke(stream_size: int = 100_000) -> dict:
     """Run the loop-vs-batch ingestion comparison and record the result.
 
     The row (items/sec for both paths plus their ratio) is merged into
-    ``BENCH_performance.json`` at the repository root so CI can track the
-    ingestion-throughput trajectory across commits.
+    ``BENCH_performance.json`` under the ``"ingestion"`` section so CI can
+    track the ingestion-throughput trajectory across commits.
     """
     row = batch_speedup_experiment(stream_size=stream_size)
-    merge_benchmark_result(row)
+    merge_benchmark_result({"ingestion": row})
     return row
 
 

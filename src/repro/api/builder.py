@@ -68,6 +68,8 @@ class PrivHPBuilder:
         self._seed: int | None = None
         self._explicit_config: PrivHPConfig | None = None
         self._overrides: dict = {}
+        self._continual = False
+        self._horizon: int | None = None
 
     # ------------------------------------------------------------------ #
     # fluent setters (each returns self)
@@ -100,6 +102,31 @@ class PrivHPBuilder:
     def config(self, config: PrivHPConfig) -> "PrivHPBuilder":
         """Use a fully resolved config, bypassing the paper defaults."""
         self._explicit_config = config
+        return self
+
+    def continual(self, horizon: int | None = None) -> "PrivHPBuilder":
+        """Build continual-observation summarizers (private at every point).
+
+        ``horizon`` bounds the stream length the binary-mechanism counters
+        must survive; it defaults to ``stream_size``.  :meth:`build` then
+        returns a :class:`repro.continual.privhp.PrivHPContinual`, whose
+        ``snapshot()`` yields a full release at any point of the stream.
+
+        Example:
+            >>> import numpy as np
+            >>> summarizer = (
+            ...     PrivHPBuilder("interval")
+            ...     .stream_size(256)
+            ...     .seed(0)
+            ...     .continual()
+            ...     .build()
+            ...     .update_batch(np.linspace(0.0, 1.0, 128))
+            ... )
+            >>> summarizer.snapshot().items_processed
+            128
+        """
+        self._continual = True
+        self._horizon = None if horizon is None else int(horizon)
         return self
 
     def override(self, **changes) -> "PrivHPBuilder":
@@ -167,26 +194,73 @@ class PrivHPBuilder:
             raise ValueError("a domain is required; call .domain(...) first")
         return self._domain
 
-    def build(self, rng: np.random.Generator | int | None = None) -> PrivHP:
-        """A standard (noisy-at-initialisation) summarizer."""
+    def _resolve_horizon(self) -> int:
+        horizon = self._horizon if self._horizon is not None else self._stream_size
+        if horizon is None:
+            raise ValueError(
+                "a continual summarizer needs a horizon; call .continual(horizon=n) "
+                "or .stream_size(n)"
+            )
+        return int(horizon)
+
+    def build(self, rng: np.random.Generator | int | None = None):
+        """A standard (noisy-at-initialisation) summarizer.
+
+        With :meth:`continual` set, returns a
+        :class:`~repro.continual.privhp.PrivHPContinual` instead of a
+        :class:`~repro.core.privhp.PrivHP`; both satisfy
+        :class:`~repro.api.summarizer.StreamSummarizer`.
+        """
+        if self._continual:
+            from repro.continual.privhp import PrivHPContinual
+
+            return PrivHPContinual(
+                self._require_domain(),
+                self.build_config(),
+                horizon=self._resolve_horizon(),
+                rng=rng,
+            )
         return PrivHP(self._require_domain(), self.build_config(), rng=rng)
 
     def build_shard(self) -> PrivHP:
         """One raw shard summarizer (noise deferred to the merged release)."""
+        if self._continual:
+            raise ValueError(
+                "continual summarizers have no raw shard mode (noise cannot be "
+                "deferred under continual observation); use build_shards(), whose "
+                "shards each carry independent noise and merge additively"
+            )
         return PrivHP(self._require_domain(), self.build_config(), add_noise=False)
 
-    def build_shards(self, count: int) -> list[PrivHP]:
-        """``count`` raw shard summarizers sharing one config and hash seeds.
+    def build_shards(self, count: int) -> list:
+        """``count`` shard summarizers sharing one config and hash seeds.
 
-        Ingest disjoint sub-streams into them (in parallel if desired), then
-        combine with :meth:`repro.core.privhp.PrivHP.merge_all` and call
-        ``release()`` on the result; the privacy budget is spent exactly once
-        at that release.
+        One-shot shards are *raw* (noise-free): ingest disjoint sub-streams
+        into them (in parallel if desired), then combine with
+        :meth:`repro.core.privhp.PrivHP.merge_all` and call ``release()`` on
+        the result; the privacy budget is spent exactly once at that release.
+
+        Continual shards (after :meth:`continual`) instead each carry their
+        own noise from *independent* generators spawned off the builder seed
+        (continual noise can never be deferred); merging with
+        :meth:`repro.continual.privhp.PrivHPContinual.merge_all` sums state
+        and noise, and each shard is already private on its own sub-stream.
         """
         if count < 1:
             raise ValueError(f"shard count must be at least 1, got {count}")
         config = self.build_config()
         domain = self._require_domain()
+        if self._continual:
+            from repro.continual.privhp import PrivHPContinual
+
+            horizon = self._resolve_horizon()
+            children = np.random.SeedSequence(config.seed).spawn(count)
+            return [
+                PrivHPContinual(
+                    domain, config, horizon=horizon, rng=np.random.default_rng(child)
+                )
+                for child in children
+            ]
         return [PrivHP(domain, config, add_noise=False) for _ in range(count)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience

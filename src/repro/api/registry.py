@@ -211,7 +211,7 @@ def _ensure_builtin_methods() -> None:
     if _builtin_methods_registered:
         return
 
-    from repro.baselines.base import PrivHPMethod
+    from repro.baselines.base import PrivHPContinualMethod, PrivHPMethod
     from repro.baselines.nonprivate import NonPrivateHistogramMethod
     from repro.baselines.pmm import PMMMethod
     from repro.baselines.privtree import PrivTreeMethod
@@ -220,6 +220,7 @@ def _ensure_builtin_methods() -> None:
     from repro.baselines.srrw import SRRWMethod
 
     register_method("privhp", PrivHPMethod)
+    register_method("privhp-continual", PrivHPContinualMethod)
     register_method("pmm", PMMMethod)
     register_method("privtree", PrivTreeMethod)
     register_method("quantile", QuantileMethod)

@@ -6,13 +6,16 @@ linear combination of shard summaries, can persist and resume its full
 mid-stream state, and releases exactly once into a
 :class:`~repro.api.release.Release` that owns the sample-side half.
 
-:class:`repro.core.privhp.PrivHP` is the canonical implementation; any future
-summarizer (e.g. a continual-release variant) that satisfies this protocol
-plugs into the same CLI, baselines adapter and experiment harness unchanged.
+:class:`repro.core.privhp.PrivHP` is the canonical implementation and
+:class:`repro.continual.privhp.PrivHPContinual` the continual-observation one
+(same contract, plus anytime ``snapshot()`` releases); any summarizer that
+satisfies this protocol plugs into the same CLI, baselines adapter,
+experiment harness and serving layer unchanged.
 """
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Protocol, runtime_checkable
 
 __all__ = ["StreamSummarizer", "DEFAULT_BATCH_SIZE", "ingest_batches"]
@@ -22,10 +25,14 @@ DEFAULT_BATCH_SIZE = 8192
 
 
 def ingest_batches(summarizer, data, batch_size: int = DEFAULT_BATCH_SIZE):
-    """Feed a sized data source through ``update_batch`` in bounded chunks.
+    """Feed a data source through ``update_batch`` in bounded chunks.
 
     The shared chunking loop behind the CLI, the baselines adapter, the
     experiment harness and the examples; returns the summarizer for chaining.
+    Sized, sliceable sources (arrays, lists) are chunked by slicing; unsized
+    or forward-only iterables (generators, socket readers) are chunked
+    lazily, buffering at most ``batch_size`` items at a time, so streaming
+    sources never have to be materialised.
 
     Example:
         >>> import numpy as np
@@ -34,12 +41,22 @@ def ingest_batches(summarizer, data, batch_size: int = DEFAULT_BATCH_SIZE):
         >>> summarizer = ingest_batches(builder.build(), np.linspace(0, 1, 100), batch_size=32)
         >>> summarizer.items_processed
         100
+        >>> lazy = (value / 100 for value in range(100))
+        >>> ingest_batches(builder.seed(1).build(), lazy, batch_size=32).items_processed
+        100
     """
     if batch_size < 1:
         raise ValueError(f"batch size must be at least 1, got {batch_size}")
-    for start in range(0, len(data), batch_size):
-        summarizer.update_batch(data[start : start + batch_size])
-    return summarizer
+    if hasattr(data, "__len__") and hasattr(data, "__getitem__"):
+        for start in range(0, len(data), batch_size):
+            summarizer.update_batch(data[start : start + batch_size])
+        return summarizer
+    iterator = iter(data)
+    while True:
+        chunk = list(islice(iterator, batch_size))
+        if not chunk:
+            return summarizer
+        summarizer.update_batch(chunk)
 
 
 @runtime_checkable

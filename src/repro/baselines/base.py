@@ -20,7 +20,7 @@ from repro.core.privhp import PrivHP
 from repro.core.sampler import SyntheticDataGenerator
 from repro.domain.base import Domain
 
-__all__ = ["SyntheticDataMethod", "PrivHPMethod"]
+__all__ = ["SyntheticDataMethod", "PrivHPMethod", "PrivHPContinualMethod"]
 
 
 class SyntheticDataMethod(ABC):
@@ -112,18 +112,9 @@ class PrivHPMethod(SyntheticDataMethod):
             else self.build_config(self._resolve_stream_size(data))
         )
         algorithm = PrivHP(self.domain, config, rng=rng)
-        if hasattr(data, "__len__") and hasattr(data, "__getitem__"):
-            ingest_batches(algorithm, data, self.batch_size)
-        else:
-            # Unsized / forward-only sources: buffer one bounded batch at a time.
-            batch: list = []
-            for point in data:
-                batch.append(point)
-                if len(batch) >= self.batch_size:
-                    algorithm.update_batch(batch)
-                    batch.clear()
-            if batch:
-                algorithm.update_batch(batch)
+        # ingest_batches chunks unsized / forward-only sources lazily, so one
+        # call covers arrays and generators alike.
+        ingest_batches(algorithm, data, self.batch_size)
         self._last = algorithm
         return algorithm.finalize()
 
@@ -136,3 +127,53 @@ class PrivHPMethod(SyntheticDataMethod):
     def last_run(self) -> PrivHP | None:
         """The PrivHP instance from the most recent fit (for introspection)."""
         return self._last
+
+
+class PrivHPContinualMethod(PrivHPMethod):
+    """Adapter running continual-observation PrivHP through the method protocol.
+
+    Fits a :class:`repro.continual.privhp.PrivHPContinual` (private at every
+    point of the stream) and returns the generator of its final snapshot, so
+    the continual variant slots into the same evaluation tables as the
+    one-shot methods.  ``horizon`` defaults to the resolved stream size.
+    """
+
+    name = "PrivHP-Continual"
+
+    def __init__(
+        self,
+        domain: Domain,
+        epsilon: float,
+        pruning_k: int,
+        config: PrivHPConfig | None = None,
+        stream_size: int | None = None,
+        horizon: int | None = None,
+        **config_overrides,
+    ) -> None:
+        super().__init__(
+            domain,
+            epsilon,
+            pruning_k,
+            config=config,
+            stream_size=stream_size,
+            **config_overrides,
+        )
+        self._horizon = None if horizon is None else int(horizon)
+
+    def fit(self, data, rng: np.random.Generator | int | None = None) -> SyntheticDataGenerator:
+        from repro.continual.privhp import PrivHPContinual
+
+        if self._explicit_config is not None and self._horizon is not None:
+            config, horizon = self._explicit_config, self._horizon
+        else:
+            stream_size = self._resolve_stream_size(data)
+            config = (
+                self._explicit_config
+                if self._explicit_config is not None
+                else self.build_config(stream_size)
+            )
+            horizon = self._horizon if self._horizon is not None else stream_size
+        algorithm = PrivHPContinual(self.domain, config, horizon=horizon, rng=rng)
+        ingest_batches(algorithm, data, self.batch_size)
+        self._last = algorithm
+        return algorithm.snapshot().generator

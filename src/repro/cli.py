@@ -1,9 +1,12 @@
 """Command-line interface for PrivHP, built on the unified ``repro.api`` surface.
 
-Seven sub-commands cover the workflow:
+Eight sub-commands cover the workflow:
 
 * ``summarize`` -- stream a CSV of sensitive values through PrivHP (batched,
   optionally sharded) and write the released (epsilon-DP) generator to JSON.
+  With ``--continual`` (and an optional ``--horizon``) the fit runs the
+  continual-observation variant, whose state is private at every point of
+  the stream.
 * ``generate`` -- load a released generator and emit synthetic data as CSV.
   ``--seed`` reseeds *sampling only*; the persisted tree counts are never
   re-noised.
@@ -13,6 +16,8 @@ Seven sub-commands cover the workflow:
   existing), without releasing.
 * ``resume`` -- restore a state file, optionally ingest more data, and
   release.
+* ``snapshot`` -- write a mid-stream release from a *continual* checkpoint
+  without consuming it (the state file stays resumable).
 * ``serve`` -- expose a directory of releases as a JSON-over-HTTP query
   endpoint (``repro.serve``); pure post-processing, no privacy cost.
 * ``query`` -- answer a JSON workload file against one release, no server
@@ -24,7 +29,9 @@ Example::
         --domain auto --shards 4 --output release.json
     python -m repro.cli generate --release release.json --size 10000 \
         --output synthetic.csv
-    python -m repro.cli checkpoint --input day1.csv --state state.json
+    python -m repro.cli checkpoint --input day1.csv --state state.json \
+        --continual --stream-size 2000000
+    python -m repro.cli snapshot --state state.json --output day1_release.json
     python -m repro.cli checkpoint --input day2.csv --state state.json
     python -m repro.cli resume --state state.json --output release.json
     python -m repro.cli serve --store releases/ --port 8080
@@ -101,6 +108,20 @@ def _add_fit_arguments(parser: argparse.ArgumentParser, deferred_defaults: bool 
         default=DEFAULT_BATCH_SIZE,
         help="items per vectorised ingestion batch",
     )
+    parser.add_argument(
+        "--continual",
+        action="store_true",
+        default=None if deferred_defaults else False,
+        help="fit the continual-observation variant (state private at every "
+        "point of the stream; snapshot-able mid-stream)",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="maximum stream length the continual counters must survive "
+        "(default: the expected stream size)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,6 +182,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(defaults to the first input's length)",
     )
 
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="write a mid-stream release from a continual checkpoint "
+        "(the state file is left untouched and stays resumable)",
+    )
+    snapshot.add_argument(
+        "--state", required=True, help="continual checkpoint JSON from 'checkpoint --continual'"
+    )
+    snapshot.add_argument("--output", required=True, help="path for the release JSON")
+    snapshot.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for sampling from the snapshot only; the private state is never re-noised",
+    )
+
     resume = subparsers.add_parser(
         "resume", help="restore a checkpoint, optionally ingest more data, and release"
     )
@@ -212,6 +249,10 @@ def _build_summarizer(args: argparse.Namespace, data: np.ndarray, stream_size: i
         .stream_size(stream_size)
         .seed(args.seed)
     )
+    if getattr(args, "continual", False):
+        builder = builder.continual(horizon=args.horizon)
+    elif getattr(args, "horizon", None) is not None:
+        raise ValueError("--horizon only applies together with --continual")
     return builder, domain
 
 
@@ -225,15 +266,18 @@ def _command_summarize(args: argparse.Namespace) -> int:
         shards = builder.build_shards(args.shards)
         for shard, part in zip(shards, np.array_split(data, args.shards)):
             ingest_batches(shard, part, args.batch_size)
-        summarizer = PrivHP.merge_all(shards)
+        # PrivHP shards merge raw (one noise injection at release); continual
+        # shards merge their already-private states.  Both expose merge_all.
+        summarizer = type(shards[0]).merge_all(shards)
     else:
         summarizer = builder.build()
         ingest_batches(summarizer, data, args.batch_size)
     release = summarizer.release()
     release.metadata.update({"pruning_k": args.k, "stream_size": int(len(data))})
     release.save(args.output)
+    variant = "continual " if args.continual else ""
     print(
-        f"wrote release to {args.output} (epsilon={args.epsilon}, "
+        f"wrote {variant}release to {args.output} (epsilon={args.epsilon}, "
         f"shards={args.shards}, memory={release.memory_words} words)"
     )
     return 0
@@ -275,6 +319,10 @@ def _command_checkpoint(args: argparse.Namespace) -> int:
         ]
         if args.stream_size is not None:
             ignored.append("--stream-size")
+        if args.continual:
+            ignored.append("--continual")
+        if args.horizon is not None:
+            ignored.append("--horizon")
         if ignored:
             raise ValueError(
                 f"{', '.join(ignored)} only apply when creating a new state "
@@ -287,6 +335,17 @@ def _command_checkpoint(args: argparse.Namespace) -> int:
         for _flag, attribute, default, _type, _help in _FIT_ARGUMENTS:
             if getattr(args, attribute) is None:
                 setattr(args, attribute, default)
+        if args.continual is None:
+            args.continual = False
+        if args.continual and args.horizon is None and args.stream_size is None:
+            # A continual state that will be extended across runs needs its
+            # counters sized for the *total* stream; defaulting to the first
+            # slice's length would exhaust the horizon on the second run.
+            raise ValueError(
+                "creating a continual state requires --horizon (or "
+                "--stream-size) covering the total stream across all future "
+                "checkpoint runs, not just this input"
+            )
         stream_size = args.stream_size if args.stream_size is not None else len(data)
         builder, domain = _build_summarizer(args, data, stream_size)
         data = domain.coerce_stream(data)
@@ -296,6 +355,24 @@ def _command_checkpoint(args: argparse.Namespace) -> int:
     print(
         f"checkpointed {summarizer.items_processed} items to {state_path} "
         f"(memory={summarizer.memory_words()} words)"
+    )
+    return 0
+
+
+def _command_snapshot(args: argparse.Namespace) -> int:
+    summarizer = load_checkpoint(args.state)
+    if not hasattr(summarizer, "snapshot"):
+        raise ValueError(
+            f"{args.state} holds a one-shot checkpoint; only continual states "
+            "(created with 'checkpoint --continual') support mid-stream "
+            "snapshots -- use 'resume' to finish and release it instead"
+        )
+    release = summarizer.snapshot(sampling_seed=args.seed)
+    release.save(args.output)
+    print(
+        f"wrote snapshot of {release.items_processed} items to {args.output} "
+        f"(epsilon={release.epsilon}, memory={release.memory_words} words); "
+        f"{args.state} is unchanged and stays resumable"
     )
     return 0
 
@@ -363,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _command_generate,
         "evaluate": _command_evaluate,
         "checkpoint": _command_checkpoint,
+        "snapshot": _command_snapshot,
         "resume": _command_resume,
         "serve": _command_serve,
         "query": _command_query,
@@ -373,10 +451,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     try:
         return handler(args)
-    except (ValueError, OSError) as error:
+    except (ValueError, OSError, RuntimeError) as error:
         # Bad user input (unknown domain, flag conflicts, malformed or
-        # missing files) surfaces as a clean usage error with exit code 2,
-        # not a traceback.
+        # missing files, a continual horizon exhausted by extra input)
+        # surfaces as a clean usage error with exit code 2, not a traceback.
         parser.error(str(error))
         return 2  # pragma: no cover - parser.error raises SystemExit
 

@@ -1,4 +1,4 @@
-"""PrivHP under continual observation.
+"""PrivHP under continual observation: a batch-native ``StreamSummarizer``.
 
 The 1-pass algorithm releases its partition once, after the stream.  Replacing
 the per-node Laplace counters with binary-mechanism counters and the private
@@ -8,31 +8,77 @@ the stream*, so a synthetic generator for the prefix seen so far can be
 snapshot at any time -- and arbitrarily often -- without additional privacy
 cost (each snapshot is post-processing of the continually-private state).
 
+Unlike the original item-at-a-time sketch of this idea, the summarizer is
+**batch-native**: every exact tree level is one
+:class:`~repro.continual.counter.BinaryMechanismCounterBank` and every deep
+level one :class:`~repro.continual.sketch.ContinualPrivateCountMinSketch`,
+all advancing a shared event-driven time axis (one event per
+:meth:`PrivHPContinual.update_batch` call, or per single
+:meth:`PrivHPContinual.update`).  A batch costs one vectorised
+``locate_batch`` pass, one ``bincount`` per exact level and one aggregated
+sketch step per deep level -- the same shape as :class:`repro.core.privhp.PrivHP`'s
+hot path -- so the continual variant ingests at batch speed instead of the
+historical per-item crawl.
+
+It satisfies the full :class:`repro.api.summarizer.StreamSummarizer`
+protocol: batched ingestion, shard :meth:`PrivHPContinual.merge`, versioned
+:meth:`PrivHPContinual.checkpoint` / :meth:`PrivHPContinual.restore` (the
+``repro.io`` checkpoint envelope resumes byte-for-byte), and
+:meth:`PrivHPContinual.release`.  On top of the protocol,
+:meth:`PrivHPContinual.snapshot` produces a full
+:class:`repro.api.release.Release` at any point of the stream -- the hook the
+live-serving path (:meth:`repro.serve.store.ReleaseStore.register_live`)
+builds on.
+
 The trade-offs are the standard ones for continual observation: an extra
-``O(log n)`` factor in both the per-release noise and the memory.
+``O(log n)`` factor in both the per-release noise and the memory, and noise
+that is baked into the state (so merging shards sums their noise instead of
+deferring one injection to release time).
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable
+from dataclasses import asdict
 
 import numpy as np
 
+from repro.continual.counter import BinaryMechanismCounterBank
+from repro.continual.sketch import ContinualPrivateCountMinSketch
 from repro.core.budget import allocate_budgets
 from repro.core.config import PrivHPConfig
 from repro.core.partition import grow_partition
+from repro.core.privhp import _jsonify_rng_state
 from repro.core.sampler import SyntheticDataGenerator
-from repro.core.tree import PartitionTree
-from repro.continual.counter import BinaryMechanismCounter
-from repro.continual.sketch import ContinualPrivateCountMinSketch
-from repro.domain.base import Cell, Domain
+from repro.core.tree import PartitionTree, cell_at
+from repro.domain.base import Domain
 from repro.privacy.accountant import BudgetAccountant
 
 __all__ = ["PrivHPContinual"]
 
+#: Version tag of the checkpoint payload produced by :meth:`PrivHPContinual.checkpoint`.
+CONTINUAL_STATE_VERSION = 1
+
+#: Identifies continual checkpoints inside the shared ``repro.io`` envelope.
+CONTINUAL_STATE_KIND = "privhp-continual"
+
 
 class PrivHPContinual:
-    """PrivHP whose state is differentially private under continual observation."""
+    """PrivHP whose state is differentially private under continual observation.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.api.builder import PrivHPBuilder
+        >>> summarizer = (
+        ...     PrivHPBuilder("interval").stream_size(128).seed(0).continual().build()
+        ... )
+        >>> mid = summarizer.update_batch(np.linspace(0.0, 1.0, 64)).snapshot()
+        >>> mid.items_processed
+        64
+        >>> summarizer.update_batch(np.linspace(0.0, 1.0, 64)).release().items_processed
+        128
+    """
 
     def __init__(
         self,
@@ -43,13 +89,37 @@ class PrivHPContinual:
     ) -> None:
         if horizon < 1:
             raise ValueError(f"horizon must be at least 1, got {horizon}")
+        if config.depth > 62:
+            raise ValueError(
+                f"continual PrivHP supports depth <= 62 (cell codes must fit "
+                f"an int64), got {config.depth}"
+            )
         self.domain = domain
         self.config = config
         self.horizon = int(horizon)
-        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(
-            rng if rng is not None else config.seed
-        )
+        # Same randomness contract as PrivHP: a Generator is used as-is, an
+        # int must agree with config.seed, and hash seeds always derive from
+        # config.seed so shards share their hash families.
+        if rng is None:
+            self._rng = np.random.default_rng(config.seed)
+            hash_base = config.seed
+        elif isinstance(rng, np.random.Generator):
+            self._rng = rng
+            hash_base = config.seed
+        else:
+            rng = int(rng)
+            if config.seed is not None and rng != config.seed:
+                raise ValueError(
+                    f"explicit rng seed {rng} disagrees with config.seed {config.seed}; "
+                    "pass one of them (or a Generator)"
+                )
+            self._rng = np.random.default_rng(rng)
+            hash_base = config.seed if config.seed is not None else rng
+        self._hash_base = int(hash_base) if hash_base is not None else 0
         self._items_processed = 0
+        self._events = 0
+        self._finalized = False
+        self._lock = threading.RLock()
 
         self.level_budgets = allocate_budgets(
             domain=domain,
@@ -62,18 +132,16 @@ class PrivHPContinual:
         )
         self.accountant = BudgetAccountant(total_budget=config.epsilon)
 
-        # One continual counter per exact-tree node.
-        self._counters: dict[Cell, BinaryMechanismCounter] = {}
-        skeleton = PartitionTree.complete(config.level_cutoff)
-        for theta in skeleton:
-            sigma = self.level_budgets[len(theta)]
-            self._counters[theta] = BinaryMechanismCounter(sigma, self.horizon, rng=self._rng)
+        # One continual counter bank per exact level (all 2^level cells share
+        # the event time axis), one continual sketch per deep level.
+        self._banks: dict[int, BinaryMechanismCounterBank] = {}
         for level in range(config.level_cutoff + 1):
-            self.accountant.spend(self.level_budgets[level], label=f"continual tree level {level}")
-
-        # One continual sketch per deep level.
+            sigma = self.level_budgets[level]
+            self._banks[level] = BinaryMechanismCounterBank(
+                epsilon=sigma, horizon=self.horizon, size=1 << level, rng=self._rng
+            )
+            self.accountant.spend(sigma, label=f"continual tree level {level}")
         self._sketches: dict[int, ContinualPrivateCountMinSketch] = {}
-        base_seed = config.seed if config.seed is not None else 0
         for level in range(config.level_cutoff + 1, config.depth + 1):
             sigma = self.level_budgets[level]
             self._sketches[level] = ContinualPrivateCountMinSketch(
@@ -81,76 +149,378 @@ class PrivHPContinual:
                 depth=config.sketch_depth,
                 epsilon=sigma,
                 horizon=self.horizon,
-                seed=base_seed + level,
+                seed=self._sketch_hash_seed(level),
                 rng=self._rng,
             )
             self.accountant.spend(sigma, label=f"continual sketch level {level}")
         self.accountant.assert_within_budget()
 
+    def _sketch_hash_seed(self, level: int) -> int:
+        """Per-level hash seed, derived from one root seed via SeedSequence
+        (the same derivation as PrivHP, so configs agree across variants)."""
+        sequence = np.random.SeedSequence(entropy=self._hash_base, spawn_key=(level,))
+        return int(sequence.generate_state(1)[0])
+
     # ------------------------------------------------------------------ #
     # streaming
     # ------------------------------------------------------------------ #
     def update(self, point) -> None:
-        """Process one stream item; state remains private after every update."""
-        if self._items_processed >= self.horizon:
-            raise RuntimeError(
-                f"stream horizon of {self.horizon} items exhausted; "
-                "construct PrivHPContinual with a larger horizon"
-            )
-        path = self.domain.locate(point, self.config.depth)
-        for level in range(self.config.depth + 1):
-            theta = path[:level]
-            if level <= self.config.level_cutoff:
-                self._counters[theta].step(1.0)
-            else:
-                self._sketches[level].update(theta, 1.0)
-        self._items_processed += 1
+        """Process one stream item (one event); state stays private throughout."""
+        self.update_batch([point])
+
+    def update_batch(self, points) -> "PrivHPContinual":
+        """Vectorised ingestion of a whole batch as one continual event.
+
+        One :meth:`~repro.domain.base.Domain.locate_batch` pass locates every
+        point, each exact level aggregates its batch with a prefix
+        ``bincount`` and advances its counter bank one step, and each deep
+        level takes one aggregated sketch step over the batch's distinct
+        cells.  The exact counts after the batch are identical to item-wise
+        processing (up to float summation order); the noise layout follows
+        the event time axis, so private snapshots remain available after
+        every batch.  Returns ``self`` for chaining.
+        """
+        with self._lock:
+            if self._finalized:
+                raise RuntimeError(
+                    "PrivHPContinual has been finalized; no further updates are allowed"
+                )
+            depth = self.config.depth
+            bits = self.domain.locate_batch(points, depth)
+            batch_size = int(bits.shape[0])
+            if batch_size == 0:
+                return self
+            if self._items_processed + batch_size > self.horizon:
+                raise RuntimeError(
+                    f"stream horizon of {self.horizon} items exhausted; "
+                    "construct PrivHPContinual with a larger horizon"
+                )
+            full_codes = Domain.pack_paths(bits)
+
+            cutoff = self.config.level_cutoff
+            for level in range(cutoff + 1):
+                codes = full_codes >> (depth - level)
+                weights = np.bincount(codes, minlength=1 << level)
+                self._banks[level].step(weights.astype(float))
+
+            for level in range(cutoff + 1, depth + 1):
+                codes = full_codes >> (depth - level)
+                occupied, weights = np.unique(codes, return_counts=True)
+                # (1 << level) | code is exactly canonical_key of the bit
+                # tuple, so the aggregated batch hits the same buckets as
+                # per-item tuple updates.
+                keys = occupied.astype(np.uint64) | (np.uint64(1) << np.uint64(level))
+                self._sketches[level].update_batch(keys, weights.astype(float))
+
+            self._items_processed += batch_size
+            self._events += 1
+            return self
 
     def process(self, stream: Iterable) -> "PrivHPContinual":
-        """Process an iterable of items; returns ``self`` for chaining."""
+        """Process an iterable item by item (one event each); returns ``self``.
+
+        Kept as the continual analogue of :meth:`repro.core.privhp.PrivHP.process`
+        and as the slow baseline the continual benchmark compares against; new
+        code should feed batches through :meth:`update_batch` (see
+        :func:`repro.api.summarizer.ingest_batches`).
+        """
         for point in stream:
             self.update(point)
         return self
 
     # ------------------------------------------------------------------ #
-    # snapshots
+    # sharding: linear merge of continually-private summaries
     # ------------------------------------------------------------------ #
-    def snapshot(self) -> SyntheticDataGenerator:
-        """A synthetic generator for the stream prefix seen so far.
+    def _pad_events_to(self, events: int) -> None:
+        """Advance to ``events`` with zero-weight (data-independent) events."""
+        with self._lock:
+            while self._events < events:
+                for bank in self._banks.values():
+                    bank.pad_to(self._events + 1)
+                for sketch in self._sketches.values():
+                    sketch.pad_events_to(self._events + 1)
+                self._events += 1
 
-        May be called any number of times (including mid-stream); each call is
-        post-processing of the continually-private counters and sketches, so
-        no extra privacy budget is consumed.
+    def merge(self, other: "PrivHPContinual") -> "PrivHPContinual":
+        """Combine two continual shard summaries into one (linear merge).
+
+        Both operands must share configuration, domain, horizon and hash
+        seeds, and must have been built with *independent* noise generators
+        (:meth:`repro.api.builder.PrivHPBuilder.build_shards` arranges this) --
+        continual noise is baked into the state the moment it is drawn, so
+        unlike one-shot PrivHP shards there is no raw mode and the merged
+        state carries the sum of the shards' noise.  Event counts are aligned
+        first with zero-weight padding events, which are data-independent and
+        therefore privacy-free.
         """
-        tree = PartitionTree()
-        for theta, counter in self._counters.items():
-            tree.add_node(theta, counter.query())
-        grow_partition(
-            tree=tree,
-            sketches=self._sketches,
-            pruning_k=self.config.pruning_k,
-            level_cutoff=self.config.level_cutoff,
-            depth=self.config.depth,
-            apply_consistency=self.config.apply_consistency,
+        from repro.io.serialization import domain_to_dict
+
+        if not isinstance(other, PrivHPContinual):
+            raise TypeError("can only merge with another PrivHPContinual")
+        if self._finalized or other._finalized:
+            raise RuntimeError("cannot merge a summarizer that has already been released")
+        if self.config != other.config:
+            raise ValueError("cannot merge summarizers with different configurations")
+        if self.horizon != other.horizon:
+            raise ValueError("cannot merge summarizers with different horizons")
+        if domain_to_dict(self.domain) != domain_to_dict(other.domain):
+            raise ValueError("cannot merge summarizers over different domains")
+        if self._hash_base != other._hash_base:
+            raise ValueError("cannot merge summarizers with different hash seed bases")
+
+        target_events = max(self._events, other._events)
+        self._pad_events_to(target_events)
+        other._pad_events_to(target_events)
+
+        cls = type(self)
+        merged = cls.__new__(cls)
+        merged.domain = self.domain
+        merged.config = self.config
+        merged.horizon = self.horizon
+        merged._rng = self._rng
+        merged._hash_base = self._hash_base
+        merged._items_processed = self._items_processed + other._items_processed
+        merged._events = target_events
+        merged._finalized = False
+        merged._lock = threading.RLock()
+        merged.level_budgets = self.level_budgets
+        merged.accountant = BudgetAccountant(total_budget=self.config.epsilon)
+        for entry in self.accountant.ledger:
+            merged.accountant.spend(entry.epsilon, label=entry.label)
+        merged._banks = {
+            level: bank.merged_with(other._banks[level])
+            for level, bank in self._banks.items()
+        }
+        merged._sketches = {
+            level: sketch.merge(other._sketches[level])
+            for level, sketch in self._sketches.items()
+        }
+        return merged
+
+    @classmethod
+    def merge_all(cls, shards: Iterable["PrivHPContinual"]) -> "PrivHPContinual":
+        """Left fold of :meth:`merge` over an iterable of shard summaries."""
+        shards = list(shards)
+        if not shards:
+            raise ValueError("merge_all requires at least one shard")
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore (durable mid-stream state)
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> dict:
+        """A JSON-serialisable snapshot of the full mid-stream state.
+
+        Captures every counter bank, sketch, the privacy ledger and the exact
+        generator state, so ``restore(checkpoint())`` continues the stream --
+        and snapshots -- byte-for-byte identically to the original instance.
+        Use :func:`repro.io.serialization.save_checkpoint` for the versioned
+        on-disk envelope (it round-trips continual and one-shot summarizers
+        through the same format).  Unlike a raw one-shot shard, a continual
+        checkpoint is always as private as the summary itself: the noise is
+        already in the state.
+        """
+        from repro.io.serialization import domain_to_dict
+
+        with self._lock:
+            if self._finalized:
+                raise RuntimeError(
+                    "cannot checkpoint a released summarizer; persist the Release instead"
+                )
+            return {
+                "state_version": CONTINUAL_STATE_VERSION,
+                "summarizer": CONTINUAL_STATE_KIND,
+                "config": asdict(self.config),
+                "domain": domain_to_dict(self.domain),
+                "horizon": self.horizon,
+                "items_processed": self._items_processed,
+                "events": self._events,
+                "hash_base": self._hash_base,
+                "banks": [
+                    {"level": level, "state": bank.state_dict()}
+                    for level, bank in sorted(self._banks.items())
+                ],
+                "sketches": [
+                    {"level": level, "state": sketch.state_dict()}
+                    for level, sketch in sorted(self._sketches.items())
+                ],
+                "accountant": {
+                    "total_budget": self.accountant.total_budget,
+                    "spends": [[entry.epsilon, entry.label] for entry in self.accountant.ledger],
+                },
+                "rng": {
+                    "bit_generator": type(self._rng.bit_generator).__name__,
+                    "state": _jsonify_rng_state(self._rng.bit_generator.state),
+                },
+            }
+
+    @classmethod
+    def restore(cls, state: dict) -> "PrivHPContinual":
+        """Reconstruct a summarizer from a :meth:`checkpoint` snapshot."""
+        from repro.io.serialization import domain_from_dict
+
+        version = int(state.get("state_version", 0))
+        if version > CONTINUAL_STATE_VERSION:
+            raise ValueError(
+                f"continual checkpoint state version {version} is newer than "
+                f"supported version {CONTINUAL_STATE_VERSION}"
+            )
+        config = PrivHPConfig(**state["config"])
+        domain = domain_from_dict(state["domain"])
+
+        algorithm = cls.__new__(cls)
+        algorithm.domain = domain
+        algorithm.config = config
+        algorithm.horizon = int(state["horizon"])
+        algorithm._hash_base = int(state["hash_base"])
+        algorithm._items_processed = int(state["items_processed"])
+        algorithm._events = int(state["events"])
+        algorithm._finalized = False
+        algorithm._lock = threading.RLock()
+        algorithm.level_budgets = allocate_budgets(
+            domain=domain,
+            epsilon=config.epsilon,
+            depth=config.depth,
+            level_cutoff=config.level_cutoff,
+            pruning_k=config.pruning_k,
+            sketch_depth=config.sketch_depth,
+            method=config.budget_allocation,
         )
-        return SyntheticDataGenerator(tree, self.domain, rng=self._rng)
+        accountant_state = state["accountant"]
+        algorithm.accountant = BudgetAccountant(total_budget=accountant_state["total_budget"])
+        for epsilon, label in accountant_state["spends"]:
+            algorithm.accountant.spend(epsilon, label=label)
+
+        rng_state = state["rng"]
+        bit_generator = getattr(np.random, rng_state["bit_generator"])()
+        bit_generator.state = rng_state["state"]
+        algorithm._rng = np.random.Generator(bit_generator)
+
+        algorithm._banks = {
+            int(entry["level"]): BinaryMechanismCounterBank.from_state(
+                entry["state"], rng=algorithm._rng
+            )
+            for entry in state["banks"]
+        }
+        algorithm._sketches = {
+            int(entry["level"]): ContinualPrivateCountMinSketch.from_state(
+                entry["state"], rng=algorithm._rng
+            )
+            for entry in state["sketches"]
+        }
+        return algorithm
+
+    # ------------------------------------------------------------------ #
+    # snapshots and release
+    # ------------------------------------------------------------------ #
+    def snapshot(self, sampling_seed: int | None = None):
+        """A full :class:`repro.api.release.Release` for the prefix seen so far.
+
+        May be called any number of times (including mid-stream and from
+        serving threads while ingestion continues); each call is
+        post-processing of the continually-private counters and sketches, so
+        no extra privacy budget is consumed.  The release is tagged with the
+        ``items_processed`` at snapshot time -- the version key live serving
+        uses for cache invalidation.
+
+        Snapshots never consume the ingestion noise generator: the sampler is
+        seeded deterministically from ``(seed, items_processed)`` (or from
+        ``sampling_seed``), so taking a snapshot leaves subsequent ingestion
+        -- and checkpoint resume -- byte-for-byte unchanged.
+        """
+        from repro.api.release import Release
+
+        with self._lock:
+            tree = PartitionTree()
+            for level, bank in sorted(self._banks.items()):
+                values = bank.query_all()
+                for code in range(bank.size):
+                    tree.add_node(cell_at(level, code), float(values[code]))
+            grow_partition(
+                tree=tree,
+                sketches=self._sketches,
+                pruning_k=self.config.pruning_k,
+                level_cutoff=self.config.level_cutoff,
+                depth=self.config.depth,
+                apply_consistency=self.config.apply_consistency,
+            )
+            items = self._items_processed
+            events = self._events
+            memory = self.memory_words()
+            ledger = [[entry.epsilon, entry.label] for entry in self.accountant.ledger]
+        if sampling_seed is not None:
+            sampler_rng = np.random.default_rng(sampling_seed)
+        else:
+            sampler_rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=(self._hash_base, items))
+            )
+        generator = SyntheticDataGenerator(tree, self.domain, rng=sampler_rng)
+        return Release(
+            generator=generator,
+            epsilon=self.config.epsilon,
+            items_processed=items,
+            memory_words=memory,
+            metadata={
+                "config": asdict(self.config),
+                "continual": {"horizon": self.horizon, "events": events},
+                "privacy_ledger": ledger,
+            },
+        )
+
+    def release(self):
+        """Finish the stream and return the final :class:`~repro.api.release.Release`.
+
+        Equivalent to a last :meth:`snapshot` followed by sealing the
+        summarizer against further updates (the ``StreamSummarizer``
+        contract).  Unlike the one-shot PrivHP no budget is spent here --
+        everything was paid at initialisation -- and mid-stream snapshots
+        taken earlier remain valid.
+        """
+        with self._lock:
+            if self._finalized:
+                raise RuntimeError("PrivHPContinual has already been finalized")
+            release = self.snapshot()
+            self._finalized = True
+        return release
 
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     @property
+    def epsilon(self) -> float:
+        """Total privacy budget guarding the whole stream of releases."""
+        return self.config.epsilon
+
+    @property
     def items_processed(self) -> int:
         """Number of stream items consumed so far."""
         return self._items_processed
 
+    @property
+    def events(self) -> int:
+        """Number of ingestion events (batches or single items) so far."""
+        return self._events
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`release` has sealed the summarizer."""
+        return self._finalized
+
     def memory_words(self) -> int:
-        """Words held by all continual counters and sketches."""
-        counter_words = sum(counter.memory_words() for counter in self._counters.values())
+        """Words held by all continual counter banks and sketches."""
+        bank_words = sum(bank.memory_words() for bank in self._banks.values())
         sketch_words = sum(sketch.memory_words() for sketch in self._sketches.values())
-        return counter_words + sketch_words
+        return bank_words + sketch_words
+
+    def privacy_summary(self) -> str:
+        """Human-readable ledger of the per-level budget spends."""
+        return self.accountant.summary()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (
             f"PrivHPContinual(epsilon={self.config.epsilon}, k={self.config.pruning_k}, "
-            f"items={self._items_processed}/{self.horizon})"
+            f"items={self._items_processed}/{self.horizon}, events={self._events})"
         )

@@ -1,10 +1,18 @@
 """A Count-Min sketch that can be read privately at any point of the stream.
 
-Each cell of the sketch is a :class:`~repro.continual.counter.BinaryMechanismCounter`;
-because the sketch is linear, a single stream element increments exactly one
-cell per row, so per-row sensitivity is 1 and the whole table is
-epsilon-differentially private under continual observation when each cell's
-counter is run with budget ``epsilon / depth``.
+Every cell of the sketch is a binary-mechanism counter; because the sketch is
+linear, a single stream element increments exactly one cell per row, so
+per-row sensitivity is 1 and the whole table is epsilon-differentially
+private under continual observation when each cell's counter is run with
+budget ``epsilon / depth``.
+
+The cells live in one :class:`~repro.continual.counter.BinaryMechanismCounterBank`
+sharing a single event-driven time axis: each :meth:`update` /
+:meth:`ContinualPrivateCountMinSketch.update_batch` call is one synchronized
+step of the whole ``depth x width`` table (cells the event does not touch
+step with weight 0).  That makes the time axis data-independent and lets one
+``bincount`` per row replace per-cell Python updates -- the batch-native hot
+path of the continual summarizer.
 
 Memory is a factor ``O(log horizon)`` above the one-shot private sketch,
 matching the usual cost of continual observation.
@@ -14,14 +22,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.continual.counter import BinaryMechanismCounter
-from repro.sketch.hashing import HashFamily
+from repro.continual.counter import BinaryMechanismCounterBank
+from repro.sketch.hashing import HashFamily, canonical_key
 
 __all__ = ["ContinualPrivateCountMinSketch"]
 
 
 class ContinualPrivateCountMinSketch:
-    """Count-Min sketch whose counters release privately at every step."""
+    """Count-Min sketch whose cells release privately at every event.
+
+    Example:
+        >>> sketch = ContinualPrivateCountMinSketch(
+        ...     width=16, depth=2, epsilon=1000.0, horizon=8, seed=0, rng=0
+        ... )
+        >>> sketch.update("hot", 5.0)
+        >>> sketch.update("hot", 2.0)
+        >>> round(sketch.query("hot"))
+        7
+    """
 
     def __init__(
         self,
@@ -40,39 +58,181 @@ class ContinualPrivateCountMinSketch:
         self.depth = int(depth)
         self.epsilon = float(epsilon)
         self.horizon = int(horizon)
+        self.seed = seed
         self._hashes = HashFamily(depth=self.depth, width=self.width, seed=seed)
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        cell_epsilon = self.epsilon / self.depth
-        self._cells = [
-            [
-                BinaryMechanismCounter(cell_epsilon, horizon, rng=self._rng)
-                for _ in range(self.width)
-            ]
-            for _ in range(self.depth)
-        ]
+        # Per-cell budget: one element touches one cell per row, so the rows
+        # compose and each cell's counter runs with epsilon / depth.
+        self._bank = BinaryMechanismCounterBank(
+            epsilon=self.epsilon / self.depth,
+            horizon=self.horizon,
+            size=self.depth * self.width,
+            rng=self._rng,
+        )
         self._updates = 0
+        self._released: np.ndarray | None = None
 
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
     def update(self, key, count: float = 1.0) -> None:
-        """Add ``count`` to the key's cell in every row."""
+        """Add ``count`` to the key's cell in every row (one event)."""
+        weights = np.zeros((self.depth, self.width))
         for row in range(self.depth):
-            bucket = self._hashes.bucket(row, key)
-            self._cells[row][bucket].step(count)
-        self._updates += 1
+            weights[row, self._hashes.bucket(row, key)] = count
+        self._step(weights, updates=1)
+
+    def update_many(self, keys, counts=None) -> None:
+        """Add several (key, count) pairs in one synchronized event."""
+        keys = list(keys)
+        if counts is None:
+            counts = [1.0] * len(keys)
+        weights = np.zeros((self.depth, self.width))
+        for key, count in zip(keys, counts):
+            for row in range(self.depth):
+                weights[row, self._hashes.bucket(row, key)] += float(count)
+        self._step(weights, updates=len(keys))
+
+    def update_batch(self, keys, counts) -> None:
+        """Aggregated vectorised update: one event for a whole batch.
+
+        ``keys`` must be pre-canonicalised integer keys (what
+        :func:`repro.sketch.hashing.canonical_key` would produce; the batched
+        ingestion path packs hierarchy cells this way) and ``counts`` their
+        aggregated weights.  One ``bincount`` per row builds the weight table
+        and the bank advances a single step, so the cost is
+        ``O(batch * depth + depth * width * levels)`` independent of how many
+        items the aggregated weights represent.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        counts = np.asarray(counts, dtype=float)
+        if keys.shape != counts.shape:
+            raise ValueError("keys and counts must have matching shapes")
+        weights = np.empty((self.depth, self.width))
+        for row in range(self.depth):
+            buckets = self._hashes.buckets_batch(row, keys)
+            weights[row] = np.bincount(buckets, weights=counts, minlength=self.width)
+        self._step(weights, updates=int(keys.size))
+
+    def _step(self, weights: np.ndarray, updates: int) -> None:
+        self._bank.step(weights.ravel())
+        self._updates += updates
+        self._released = None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def released_table(self) -> np.ndarray:
+        """The current noisy ``depth x width`` table (cached per event)."""
+        if self._released is None:
+            self._released = self._bank.query_all().reshape(self.depth, self.width)
+        return self._released
 
     def query(self, key) -> float:
         """Noisy point estimate: minimum of the rows' current releases."""
+        table = self.released_table()
         return float(
-            min(
-                self._cells[row][self._hashes.bucket(row, key)].query()
-                for row in range(self.depth)
-            )
+            min(table[row, self._hashes.bucket(row, key)] for row in range(self.depth))
         )
 
+    def query_many(self, keys) -> np.ndarray:
+        """Vector of noisy point estimates for pre-canonicalisable keys."""
+        keys = np.asarray([canonical_key(key) for key in keys], dtype=np.uint64)
+        table = self.released_table()
+        estimates = np.full(keys.shape, np.inf)
+        for row in range(self.depth):
+            buckets = self._hashes.buckets_batch(row, keys)
+            estimates = np.minimum(estimates, table[row, buckets])
+        return estimates
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
     @property
     def updates(self) -> int:
-        """Number of update operations performed."""
+        """Number of (key, count) pairs recorded so far."""
         return self._updates
 
+    @property
+    def events(self) -> int:
+        """Number of synchronized steps the table has taken."""
+        return self._bank.steps
+
     def memory_words(self) -> int:
-        """Total words across all per-cell continual counters."""
-        return sum(cell.memory_words() for row in self._cells for cell in row)
+        """Total words across the shared continual counter bank."""
+        return self._bank.memory_words()
+
+    # ------------------------------------------------------------------ #
+    # merging and persistence
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "ContinualPrivateCountMinSketch") -> "ContinualPrivateCountMinSketch":
+        """Linear merge of two shard sketches built with identical parameters.
+
+        Both sketches must share width, depth, epsilon, horizon, hash seed
+        and event count (the continual summarizer aligns event counts with
+        zero-weight padding before merging).  Noise adds with the tables --
+        the unavoidable cost of merging continually-private state.
+        """
+        if not isinstance(other, ContinualPrivateCountMinSketch):
+            raise TypeError("can only merge with another ContinualPrivateCountMinSketch")
+        if (self.width, self.depth, self.epsilon, self.horizon, self.seed) != (
+            other.width,
+            other.depth,
+            other.epsilon,
+            other.horizon,
+            other.seed,
+        ):
+            raise ValueError(
+                "sketches must share width, depth, epsilon, horizon and seed to merge"
+            )
+        merged = ContinualPrivateCountMinSketch(
+            width=self.width,
+            depth=self.depth,
+            epsilon=self.epsilon,
+            horizon=self.horizon,
+            seed=self.seed,
+            rng=self._rng,
+        )
+        merged._bank = self._bank.merged_with(other._bank)
+        merged._updates = self._updates + other._updates
+        return merged
+
+    def pad_events_to(self, events: int) -> None:
+        """Advance to ``events`` steps with zero-weight (data-free) events."""
+        self._bank.pad_to(events)
+        self._released = None
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable state (the RNG is owned by the summarizer)."""
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "epsilon": self.epsilon,
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "updates": self._updates,
+            "bank": self._bank.state_dict(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, rng: np.random.Generator | int | None = None
+    ) -> "ContinualPrivateCountMinSketch":
+        """Rebuild a sketch from :meth:`state_dict` (pair with the restored RNG)."""
+        sketch = cls(
+            width=int(state["width"]),
+            depth=int(state["depth"]),
+            epsilon=float(state["epsilon"]),
+            horizon=int(state["horizon"]),
+            seed=state["seed"],
+            rng=rng,
+        )
+        sketch._bank = BinaryMechanismCounterBank.from_state(state["bank"], rng=sketch._rng)
+        sketch._updates = int(state["updates"])
+        return sketch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"ContinualPrivateCountMinSketch(width={self.width}, depth={self.depth}, "
+            f"epsilon={self.epsilon}, events={self.events}/{self.horizon})"
+        )

@@ -42,8 +42,8 @@ from repro.core.budget import allocate_budgets
 from repro.core.config import PrivHPConfig
 from repro.core.partition import grow_partition
 from repro.core.sampler import SyntheticDataGenerator
-from repro.core.tree import PartitionTree
-from repro.domain.base import Cell, Domain
+from repro.core.tree import PartitionTree, cell_at as _cell_of
+from repro.domain.base import Domain
 from repro.privacy.accountant import BudgetAccountant
 from repro.sketch.private import PrivateCountMinSketch
 
@@ -51,11 +51,6 @@ __all__ = ["PrivHP"]
 
 #: Version tag of the checkpoint payload produced by :meth:`PrivHP.checkpoint`.
 CHECKPOINT_STATE_VERSION = 1
-
-
-def _cell_of(level: int, code: int) -> Cell:
-    """The bit tuple of the ``code``-th cell at ``level``."""
-    return tuple((code >> (level - 1 - position)) & 1 for position in range(level))
 
 
 def _jsonify_rng_state(value):

@@ -17,7 +17,17 @@ from collections.abc import Iterator
 
 from repro.domain.base import Cell, validate_cell
 
-__all__ = ["PartitionTree"]
+__all__ = ["PartitionTree", "cell_at"]
+
+
+def cell_at(level: int, code: int) -> Cell:
+    """The bit tuple of the ``code``-th cell at ``level`` (big-endian order).
+
+    Inverse of :meth:`repro.domain.base.Domain.pack_paths` for a single code;
+    the batched ingestion paths use it to translate ``bincount`` indices back
+    into tree cells.
+    """
+    return tuple((code >> (level - 1 - position)) & 1 for position in range(level))
 
 
 class PartitionTree:

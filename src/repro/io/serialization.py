@@ -23,7 +23,10 @@ paused ingestion can resume and release byte-for-byte identically.  A
 checkpoint of a *noisy* summarizer is as private as the summary itself; a
 checkpoint of a raw shard (``add_noise=False``) is NOT yet differentially
 private and must be treated like the sensitive stream until its merged
-release.
+release.  Continual checkpoints (:class:`repro.continual.privhp.PrivHPContinual`,
+tagged ``"summarizer": "privhp-continual"`` in the state payload) are always
+as private as the summary: the binary-mechanism noise is baked into the
+state from the first event.
 """
 
 from __future__ import annotations
@@ -257,7 +260,13 @@ def summarizer_to_dict(summarizer) -> dict:
 
 
 def summarizer_from_dict(document: dict):
-    """Decode a checkpoint document back into a live summarizer."""
+    """Decode a checkpoint document back into a live summarizer.
+
+    The envelope is shared by every summarizer kind; the ``state`` payload
+    carries a ``"summarizer"`` tag (absent for historical one-shot PrivHP
+    checkpoints) that routes to the matching ``restore``.
+    """
+    from repro.continual.privhp import CONTINUAL_STATE_KIND, PrivHPContinual
     from repro.core.privhp import PrivHP
 
     if document.get("format") != CHECKPOINT_FORMAT_NAME:
@@ -267,7 +276,15 @@ def summarizer_from_dict(document: dict):
             f"checkpoint version {document.get('version')} is newer than supported "
             f"version {CHECKPOINT_FORMAT_VERSION}"
         )
-    return PrivHP.restore(document["state"])
+    state = document.get("state")
+    if not isinstance(state, dict):
+        raise ValueError(f"a {CHECKPOINT_FORMAT_NAME} document requires a 'state' object")
+    kind = state.get("summarizer", "privhp")
+    if kind == CONTINUAL_STATE_KIND:
+        return PrivHPContinual.restore(state)
+    if kind != "privhp":
+        raise ValueError(f"unknown summarizer kind {kind!r} in checkpoint")
+    return PrivHP.restore(state)
 
 
 def save_checkpoint(summarizer, path: str | pathlib.Path) -> pathlib.Path:

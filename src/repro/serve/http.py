@@ -4,7 +4,12 @@ No web framework, no dependencies: a ``ThreadingHTTPServer`` whose handler
 translates HTTP requests into :class:`~repro.serve.service.QueryService`
 calls.  Because the service funnels every transport through the same
 engines, an HTTP answer is byte-identical (as a JSON number) to the
-in-process answer on the same release.
+in-process answer on the same release.  Stores with live entries
+(:meth:`~repro.serve.store.ReleaseStore.register_live`) serve snapshots of a
+stream *while it is still being ingested*: continual snapshots are taken
+under the summarizer's lock, so serving threads and the ingesting thread
+never observe torn state, and each HTTP answer matches an in-process
+``snapshot()`` of the same state byte for byte.
 
 Routes:
 

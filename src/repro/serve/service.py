@@ -148,9 +148,17 @@ def _json_scalar(value):
     return value
 
 
-def query_key(release_name: str, canonical_query: dict) -> str:
-    """The cache key of a canonical query against a named release."""
-    return json.dumps([release_name, canonical_query], sort_keys=True, separators=(",", ":"))
+def query_key(release_name: str, canonical_query: dict, version: int | None = None) -> str:
+    """The cache key of a canonical query against a named release.
+
+    ``version`` is the snapshot version (``items_processed``) for live
+    releases -- including it invalidates every memoized answer the moment the
+    underlying stream advances, while static releases (version ``None``) keep
+    one permanent entry per query.
+    """
+    return json.dumps(
+        [release_name, version, canonical_query], sort_keys=True, separators=(",", ":")
+    )
 
 
 class QueryService:
@@ -159,7 +167,11 @@ class QueryService:
     The service resolves each request to a release (by name or by domain),
     canonicalises the query, and serves repeats from the cache; answers are
     identical to calling the engines directly because cold paths *do* call
-    the engines directly.
+    the engines directly.  Live releases (continual summarizers registered
+    through :meth:`~repro.serve.store.ReleaseStore.register_live`) answer
+    from their current snapshot and carry its ``items_processed`` in the
+    cache key and the result, so memoized answers can never outlive the
+    snapshot that produced them.
 
     Example:
         >>> from repro.serve.service import QueryService
@@ -195,7 +207,11 @@ class QueryService:
             release = self.store.names()[0]
         name, resolved = self.store.resolve(name=release, domain=domain)
         canonical = normalize_query(resolved, query)
-        key = query_key(name, canonical)
+        # Live releases are versioned by the snapshot actually answering (its
+        # items_processed), so a stream advancing between queries can never
+        # serve a stale memoized answer; superseded entries age out of the LRU.
+        version = resolved.items_processed if self.store.is_live(name) else None
+        key = query_key(name, canonical, version=version)
         cached = True
 
         def compute():
@@ -204,7 +220,10 @@ class QueryService:
             return _evaluate_canonical(resolved, canonical)
 
         answer = self.cache.lookup(key, compute)
-        return {"release": name, "query": canonical, "answer": answer, "cached": cached}
+        result = {"release": name, "query": canonical, "answer": answer, "cached": cached}
+        if version is not None:
+            result["items_processed"] = version
+        return result
 
     def answer_many(self, queries, release: str | None = None, domain: str | None = None) -> list[dict]:
         """:meth:`answer` over a list of query dicts, in order."""

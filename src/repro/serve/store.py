@@ -7,8 +7,15 @@ disk read, later queries reuse the live object and its cached engines) and
 can also be registered in-memory, which is how tests and notebooks serve
 freshly fitted releases without touching disk.
 
-Only released (post-noise) artefacts ever enter a store, so serving is pure
-post-processing of epsilon-DP state -- the store never sees raw stream data.
+Beyond finished releases, a store can front *live* continual summarizers
+(:meth:`ReleaseStore.register_live`): queries against a live name are
+answered from a snapshot of the summarizer's current state, re-taken
+whenever ingestion has advanced, so a stream is queryable mid-ingestion.
+
+Only released (post-noise) artefacts ever leave a store: static entries are
+post-release by construction, and live entries answer through
+continually-private snapshots, so serving is pure post-processing of
+epsilon-DP state -- the store never exposes raw stream data.
 
 Example:
     >>> from repro.serve.store import ReleaseStore
@@ -44,6 +51,10 @@ class ReleaseStore:
         #: dropped by a rescan) vs. the lazy cache of disk loads.
         self._local: dict[str, Release] = {}
         self._loaded: dict[str, Release] = {}
+        #: Live continual summarizers from :meth:`register_live`, plus the
+        #: most recent snapshot of each, keyed by its ``items_processed``.
+        self._live: dict[str, object] = {}
+        self._live_snapshots: dict[str, Release] = {}
         if self.directory is not None:
             self.refresh()
 
@@ -56,8 +67,8 @@ class ReleaseStore:
         Returns the sorted names now addressable.  Files are not parsed here
         (loading stays lazy); a non-release JSON surfaces a ``ValueError``
         when it is first requested.  Already-loaded releases are kept unless
-        their file disappeared; in-memory releases from :meth:`add` are
-        always kept.
+        their file disappeared; in-memory releases from :meth:`add` and live
+        summarizers from :meth:`register_live` are always kept.
         """
         if self.directory is None:
             return self.names()
@@ -79,12 +90,51 @@ class ReleaseStore:
             raise ValueError("release name must be non-empty")
         self._local[str(name)] = release
 
+    def register_live(self, name: str, summarizer) -> None:
+        """Serve live snapshots of a continual summarizer under ``name``.
+
+        ``summarizer`` must expose ``snapshot() -> Release`` and
+        ``items_processed`` (i.e. a
+        :class:`repro.continual.privhp.PrivHPContinual`).  Queries against the
+        name are answered from a snapshot of the summarizer's *current* state:
+        the snapshot is re-taken whenever ``items_processed`` has advanced and
+        reused otherwise, so a stream can be queried mid-ingestion at the cost
+        of one snapshot per observed version.  Snapshots are pure
+        post-processing of continually-private state -- serving them consumes
+        no extra privacy budget, no matter how often the stream is queried.
+
+        Live names shadow same-named files, survive :meth:`refresh`, and are
+        versioned by ``items_processed`` (see :meth:`version_of`), which is
+        what :class:`repro.serve.service.QueryService` keys its cache on.
+        """
+        if not name:
+            raise ValueError("release name must be non-empty")
+        if not hasattr(summarizer, "snapshot") or not hasattr(summarizer, "items_processed"):
+            raise TypeError(
+                "register_live needs a continual summarizer exposing snapshot() "
+                "and items_processed; finished releases go through add()"
+            )
+        self._live[str(name)] = summarizer
+        self._live_snapshots.pop(str(name), None)
+
+    def is_live(self, name: str) -> bool:
+        """Whether ``name`` serves live snapshots of an ingesting summarizer."""
+        return name in self._live
+
+    def version_of(self, name: str) -> int | None:
+        """The current snapshot version of a live release (``items_processed``
+        of the summarizer right now), or ``None`` for static releases."""
+        summarizer = self._live.get(name)
+        if summarizer is None:
+            return None
+        return int(summarizer.items_processed)
+
     def names(self) -> list[str]:
-        """Sorted names of every addressable release (on disk or in memory)."""
-        return sorted(set(self._paths) | set(self._local))
+        """Sorted names of every addressable release (disk, memory or live)."""
+        return sorted(set(self._paths) | set(self._local) | set(self._live))
 
     def __contains__(self, name: str) -> bool:
-        return name in self._local or name in self._paths
+        return name in self._live or name in self._local or name in self._paths
 
     def __len__(self) -> int:
         return len(self.names())
@@ -95,9 +145,17 @@ class ReleaseStore:
     def get(self, name: str) -> Release:
         """The release registered under ``name``, loading it on first use.
 
-        Raises ``KeyError`` for unknown names and ``ValueError`` for files
-        that are not valid release documents.
+        Live names return a snapshot of the summarizer's current state,
+        refreshed whenever its ``items_processed`` has advanced since the
+        last snapshot.  Raises ``KeyError`` for unknown names and
+        ``ValueError`` for files that are not valid release documents.
         """
+        summarizer = self._live.get(name)
+        if summarizer is not None:
+            snapshot = self._live_snapshots.get(name)
+            if snapshot is None or snapshot.items_processed != int(summarizer.items_processed):
+                snapshot = self._live_snapshots[name] = summarizer.snapshot()
+            return snapshot
         release = self._local.get(name) or self._loaded.get(name)
         if release is not None:
             return release
@@ -166,6 +224,7 @@ class ReleaseStore:
             "memory_words": release.memory_words,
             "leaves": len(release.tree.leaves()),
             "queries": list(release.supported_queries()),
+            "live": self.is_live(name),
         }
 
     def describe(self) -> list[dict]:

@@ -15,8 +15,8 @@ from repro.api.registry import (
     register_domain,
 )
 from repro.api.release import Release
-from repro.api.summarizer import StreamSummarizer
-from repro.baselines.base import PrivHPMethod
+from repro.api.summarizer import StreamSummarizer, ingest_batches
+from repro.baselines.base import PrivHPContinualMethod, PrivHPMethod
 from repro.core.config import PrivHPConfig
 from repro.core.privhp import PrivHP
 from repro.core.tree import PartitionTree
@@ -512,3 +512,104 @@ class TestPrivHPMethodStreaming:
         method.batch_size = 64
         method.fit(rng.random(300), rng=0)
         assert method.last_run.items_processed == 300
+
+
+class TestIngestBatchesLazySources:
+    """ingest_batches accepts unsized iterables by chunking lazily."""
+
+    def build(self, interval, n=200):
+        return PrivHPBuilder(interval).stream_size(n).seed(0).build()
+
+    def test_generator_source_matches_array_source(self, interval, rng):
+        data = rng.random(200)
+        from_array = ingest_batches(self.build(interval), data, 64)
+        from_generator = ingest_batches(
+            self.build(interval), (point for point in data), 64
+        )
+        assert from_generator.items_processed == 200
+        assert from_generator.tree.as_dict() == from_array.tree.as_dict()
+
+    def test_generator_buffers_at_most_one_batch(self, interval):
+        """The lazy path never materialises the stream: update_batch sees
+        chunks bounded by batch_size."""
+        sizes = []
+        summarizer = self.build(interval, n=100)
+        original = summarizer.update_batch
+
+        def recording(points):
+            sizes.append(len(points))
+            return original(points)
+
+        summarizer.update_batch = recording
+        ingest_batches(summarizer, (value / 100 for value in range(100)), 32)
+        assert sizes == [32, 32, 32, 4]
+
+    def test_empty_generator_is_a_no_op(self, interval):
+        summarizer = ingest_batches(self.build(interval), iter(()), 32)
+        assert summarizer.items_processed == 0
+
+    def test_bad_batch_size_rejected_for_lazy_sources_too(self, interval):
+        with pytest.raises(ValueError):
+            ingest_batches(self.build(interval), iter([0.5]), 0)
+
+    def test_continual_summarizer_accepts_generator_source(self, interval, rng):
+        summarizer = (
+            PrivHPBuilder(interval).stream_size(200).seed(0).continual().build()
+        )
+        data = rng.random(200)
+        ingest_batches(summarizer, (point for point in data), 64)
+        assert summarizer.items_processed == 200
+        assert summarizer.events == 4
+
+
+class TestBuilderContinual:
+    def test_build_returns_continual_summarizer(self, interval):
+        from repro.continual.privhp import PrivHPContinual
+
+        summarizer = PrivHPBuilder(interval).stream_size(100).seed(0).continual().build()
+        assert isinstance(summarizer, PrivHPContinual)
+        assert summarizer.horizon == 100
+
+    def test_explicit_horizon_overrides_stream_size(self, interval):
+        summarizer = (
+            PrivHPBuilder(interval).stream_size(100).seed(0).continual(horizon=500).build()
+        )
+        assert summarizer.horizon == 500
+
+    def test_horizon_required(self, interval):
+        builder = PrivHPBuilder(interval).config(
+            PrivHPConfig.from_stream_size(100, epsilon=1.0, pruning_k=4, seed=0)
+        ).continual()
+        with pytest.raises(ValueError, match="horizon"):
+            builder.build()
+
+    def test_continual_shards_have_independent_noise_but_shared_hashes(self, interval):
+        shards = (
+            PrivHPBuilder(interval).stream_size(200).seed(3).continual().build_shards(3)
+        )
+        hash_seeds = {
+            tuple(sketch.seed for sketch in shard._sketches.values()) for shard in shards
+        }
+        assert len(hash_seeds) == 1
+        for shard in shards:
+            shard.update_batch(np.full(10, 0.25))
+        roots = {float(shard._banks[0].query_all()[0]) for shard in shards}
+        assert len(roots) == 3  # same data, different noise draws
+
+
+class TestContinualMethodRegistry:
+    def test_privhp_continual_registered(self):
+        assert "privhp-continual" in available_methods()
+
+    def test_make_method_constructs_continual_adapter(self, interval):
+        method = make_method(
+            "privhp-continual", interval, epsilon=1.0, pruning_k=4, seed=0
+        )
+        assert isinstance(method, PrivHPContinualMethod)
+
+    def test_fit_returns_sampler_over_snapshot(self, interval, rng):
+        method = PrivHPContinualMethod(interval, epsilon=5.0, pruning_k=4, seed=0)
+        sampler = method.fit(rng.random(300), rng=0)
+        assert sampler.sample(20).shape == (20,)
+        assert method.last_run.items_processed == 300
+        assert method.memory_words() > 0

@@ -1,12 +1,18 @@
-"""Tests for the continual-observation extension."""
+"""Tests for the continual-observation extension (batch-native path)."""
+
+import json
 
 import numpy as np
 import pytest
 
-from repro.continual.counter import BinaryMechanismCounter
+from repro.api.builder import PrivHPBuilder
+from repro.api.release import Release
+from repro.api.summarizer import StreamSummarizer, ingest_batches
+from repro.continual.counter import BinaryMechanismCounter, BinaryMechanismCounterBank
 from repro.continual.privhp import PrivHPContinual
 from repro.continual.sketch import ContinualPrivateCountMinSketch
 from repro.core.config import PrivHPConfig
+from repro.core.privhp import PrivHP
 from repro.metrics.wasserstein import wasserstein1_1d
 
 
@@ -65,6 +71,181 @@ class TestBinaryMechanismCounter:
             BinaryMechanismCounter(epsilon=1.0, horizon=0)
 
 
+class TestStepMany:
+    @pytest.mark.parametrize("split", [0, 1, 100, 255, 256, 511])
+    def test_exact_state_matches_item_loop(self, split):
+        """The dyadic partial sums after a block equal the loop's exactly."""
+        values = np.random.default_rng(9).random(511)
+        loop = BinaryMechanismCounter(1.0, 1024, rng=np.random.default_rng(0))
+        block = BinaryMechanismCounter(1.0, 1024, rng=np.random.default_rng(0))
+        for value in values:
+            loop.step(value)
+        for value in values[:split]:
+            block.step(value)
+        block.step_many(values[split:])
+        assert block.steps == loop.steps
+        np.testing.assert_allclose(block._alpha, loop._alpha)
+        assert block.true_count == pytest.approx(loop.true_count)
+
+    def test_chunking_is_invariant(self):
+        """Any chunking of the same stream yields the same exact state."""
+        values = np.random.default_rng(3).random(737)
+        whole = BinaryMechanismCounter(1.0, 1000, rng=np.random.default_rng(1))
+        whole.step_many(values)
+        chunked = BinaryMechanismCounter(1.0, 1000, rng=np.random.default_rng(1))
+        for chunk in np.array_split(values, 13):
+            chunked.step_many(chunk)
+        np.testing.assert_allclose(chunked._alpha, whole._alpha)
+
+    def test_returns_noisy_running_count(self, rng):
+        counter = BinaryMechanismCounter(epsilon=300.0, horizon=512, rng=rng)
+        estimate = counter.step_many(np.ones(100))
+        assert estimate == pytest.approx(100, abs=3.0)
+        assert counter.query() == pytest.approx(estimate)
+
+    def test_empty_block_is_a_no_op(self, rng):
+        counter = BinaryMechanismCounter(epsilon=1.0, horizon=8, rng=rng)
+        counter.step(1.0)
+        before = counter.query()
+        assert counter.step_many([]) == pytest.approx(before)
+        assert counter.steps == 1
+
+    def test_horizon_enforced_before_mutation(self, rng):
+        counter = BinaryMechanismCounter(epsilon=1.0, horizon=10, rng=rng)
+        counter.step_many(np.ones(8))
+        with pytest.raises(RuntimeError):
+            counter.step_many(np.ones(3))
+        assert counter.steps == 8  # the failed block left the state untouched
+
+    def test_draws_at_most_levels_noise_per_block(self):
+        """Batch noise cost is O(log horizon) draws, not one per step."""
+        counter = BinaryMechanismCounter(1.0, 2**14, rng=np.random.default_rng(0))
+        draws = []
+        original = counter._rng.laplace
+        counter._rng = type(
+            "R", (), {"laplace": lambda self, loc, scale, size=None: (
+                draws.append(size), original(loc, scale, size=size))[1]}
+        )()
+        counter.step_many(np.ones(10_000))
+        total_drawn = sum(size for size in draws if size)
+        assert total_drawn <= counter.levels
+
+
+class TestExpectedErrorAndMemoryBounds:
+    """Property-style checks of the paper's O(log n) continual factors."""
+
+    HORIZONS = [2**e for e in range(1, 21)] + [3, 100, 999, 12_345, 700_001]
+
+    @pytest.mark.parametrize("horizon", HORIZONS)
+    def test_memory_words_is_theta_log_horizon(self, horizon):
+        counter = BinaryMechanismCounter(epsilon=1.0, horizon=horizon)
+        log_n = max(1.0, np.log2(horizon))
+        # memory = 2 * levels with levels in [log2(n), log2(n) + 2].
+        assert 2 * log_n <= counter.memory_words() <= 2 * (log_n + 2)
+
+    @pytest.mark.parametrize("horizon", HORIZONS)
+    @pytest.mark.parametrize("epsilon", [0.1, 1.0, 8.0])
+    def test_expected_error_is_levels_squared_over_epsilon(self, horizon, epsilon):
+        counter = BinaryMechanismCounter(epsilon=epsilon, horizon=horizon)
+        assert counter.expected_error() == pytest.approx(
+            counter.levels**2 / epsilon
+        )
+
+    def test_memory_and_error_monotone_in_horizon(self):
+        counters = [
+            BinaryMechanismCounter(epsilon=1.0, horizon=horizon)
+            for horizon in sorted(self.HORIZONS)
+        ]
+        words = [counter.memory_words() for counter in counters]
+        errors = [counter.expected_error() for counter in counters]
+        assert words == sorted(words)
+        assert errors == sorted(errors)
+
+    def test_expected_error_dominates_empirical_error(self):
+        """The bound actually bounds: mean |release - true| <= expected_error."""
+        horizon = 512
+        errors = []
+        for seed in range(30):
+            counter = BinaryMechanismCounter(
+                epsilon=1.0, horizon=horizon, rng=np.random.default_rng(seed)
+            )
+            counter.step_many(np.ones(horizon))
+            errors.append(abs(counter.query() - horizon))
+        assert float(np.mean(errors)) <= counter.expected_error()
+
+
+class TestCounterBank:
+    def test_tracks_per_cell_counts_with_large_budget(self):
+        bank = BinaryMechanismCounterBank(
+            epsilon=300.0, horizon=64, size=4, rng=np.random.default_rng(0)
+        )
+        for _ in range(10):
+            bank.step([1.0, 2.0, 0.0, 5.0])
+        np.testing.assert_allclose(bank.true_counts(), [10.0, 20.0, 0.0, 50.0])
+        np.testing.assert_allclose(bank.query_all(), [10.0, 20.0, 0.0, 50.0], atol=2.0)
+
+    def test_matches_scalar_counters_exactly_in_expectation_structure(self):
+        """A size-1 bank and a scalar counter walk the same dyadic structure."""
+        bank = BinaryMechanismCounterBank(
+            epsilon=1.0, horizon=100, size=1, rng=np.random.default_rng(0)
+        )
+        counter = BinaryMechanismCounter(1.0, 100, rng=np.random.default_rng(0))
+        for value in np.random.default_rng(1).random(77):
+            bank.step([value])
+            counter.step(value)
+        assert bank.true_counts()[0] == pytest.approx(counter.true_count)
+        np.testing.assert_allclose(bank._alpha[0], counter._alpha)
+
+    def test_pad_to_adds_data_free_events(self):
+        bank = BinaryMechanismCounterBank(
+            epsilon=100.0, horizon=32, size=2, rng=np.random.default_rng(0)
+        )
+        bank.step([3.0, 4.0])
+        bank.pad_to(8)
+        assert bank.steps == 8
+        np.testing.assert_allclose(bank.true_counts(), [3.0, 4.0])
+
+    def test_merged_with_sums_counts(self):
+        left = BinaryMechanismCounterBank(
+            epsilon=200.0, horizon=16, size=3, rng=np.random.default_rng(0)
+        )
+        right = BinaryMechanismCounterBank(
+            epsilon=200.0, horizon=16, size=3, rng=np.random.default_rng(1)
+        )
+        left.step([1.0, 0.0, 2.0])
+        right.step([0.0, 5.0, 1.0])
+        merged = left.merged_with(right)
+        np.testing.assert_allclose(merged.true_counts(), [1.0, 5.0, 3.0])
+
+    def test_merge_requires_aligned_steps(self):
+        left = BinaryMechanismCounterBank(1.0, 16, 2, rng=np.random.default_rng(0))
+        right = BinaryMechanismCounterBank(1.0, 16, 2, rng=np.random.default_rng(1))
+        left.step([1.0, 1.0])
+        with pytest.raises(ValueError, match="aligned"):
+            left.merged_with(right)
+
+    def test_state_roundtrip(self):
+        bank = BinaryMechanismCounterBank(2.0, 64, 4, rng=np.random.default_rng(0))
+        for _ in range(5):
+            bank.step(np.arange(4.0))
+        restored = BinaryMechanismCounterBank.from_state(
+            json.loads(json.dumps(bank.state_dict())), rng=np.random.default_rng(9)
+        )
+        assert restored.steps == bank.steps
+        np.testing.assert_allclose(restored.query_all(), bank.query_all())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BinaryMechanismCounterBank(0.0, 8, 2)
+        with pytest.raises(ValueError):
+            BinaryMechanismCounterBank(1.0, 0, 2)
+        with pytest.raises(ValueError):
+            BinaryMechanismCounterBank(1.0, 8, 0)
+        bank = BinaryMechanismCounterBank(1.0, 8, 2)
+        with pytest.raises(ValueError, match="shape"):
+            bank.step([1.0, 2.0, 3.0])
+
+
 class TestContinualSketch:
     def test_estimates_track_counts_with_large_budget(self, rng):
         sketch = ContinualPrivateCountMinSketch(width=64, depth=3, epsilon=300.0,
@@ -83,10 +264,63 @@ class TestContinualSketch:
         # Estimates should grow roughly linearly with the updates.
         assert estimates[-1] > estimates[9]
 
+    def test_update_batch_matches_itemwise_counts(self):
+        """One aggregated event accumulates exactly the itemwise mass."""
+        from repro.sketch.hashing import canonical_key
+
+        itemwise = ContinualPrivateCountMinSketch(
+            width=32, depth=3, epsilon=500.0, horizon=64, seed=0,
+            rng=np.random.default_rng(0),
+        )
+        batched = ContinualPrivateCountMinSketch(
+            width=32, depth=3, epsilon=500.0, horizon=64, seed=0,
+            rng=np.random.default_rng(0),
+        )
+        cells = [(0, 1), (1, 0), (0, 1), (0, 1), (1, 1)]
+        itemwise.update_many(cells)
+        keys = {}
+        for cell in cells:
+            keys[canonical_key(cell)] = keys.get(canonical_key(cell), 0) + 1
+        batched.update_batch(
+            np.array(list(keys), dtype=np.uint64), np.array(list(keys.values()), float)
+        )
+        for cell in set(cells):
+            assert batched.query(cell) == pytest.approx(itemwise.query(cell), abs=1.0)
+
     def test_memory_words_positive(self, rng):
         sketch = ContinualPrivateCountMinSketch(width=8, depth=2, epsilon=1.0,
                                                 horizon=64, rng=rng)
         assert sketch.memory_words() >= 8 * 2 * 2
+
+    def test_merge_sums_estimates(self):
+        left = ContinualPrivateCountMinSketch(
+            width=32, depth=2, epsilon=400.0, horizon=64, seed=3,
+            rng=np.random.default_rng(0),
+        )
+        right = ContinualPrivateCountMinSketch(
+            width=32, depth=2, epsilon=400.0, horizon=64, seed=3,
+            rng=np.random.default_rng(1),
+        )
+        left.update("a", 10.0)
+        right.update("a", 7.0)
+        right.update("b", 2.0)
+        right.pad_events_to(2)
+        left.pad_events_to(2)
+        merged = left.merge(right)
+        assert merged.query("a") == pytest.approx(17.0, abs=2.0)
+        assert merged.updates == 3
+
+    def test_state_roundtrip(self):
+        sketch = ContinualPrivateCountMinSketch(
+            width=16, depth=2, epsilon=5.0, horizon=32, seed=4,
+            rng=np.random.default_rng(0),
+        )
+        sketch.update("x", 3.0)
+        restored = ContinualPrivateCountMinSketch.from_state(
+            json.loads(json.dumps(sketch.state_dict())), rng=np.random.default_rng(1)
+        )
+        assert restored.query("x") == pytest.approx(sketch.query("x"))
+        assert restored.updates == sketch.updates
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
@@ -103,22 +337,67 @@ class TestPrivHPContinual:
     def test_snapshot_mid_stream_and_at_end(self, interval, rng):
         data = rng.beta(2, 6, size=600)
         model = PrivHPContinual(interval, self.make_config(600), horizon=600, rng=0)
-        model.process(data[:300])
-        mid_generator = model.snapshot()
-        mid_samples = mid_generator.sample(200)
+        model.update_batch(data[:300])
+        mid_release = model.snapshot()
+        assert isinstance(mid_release, Release)
+        assert mid_release.items_processed == 300
+        mid_samples = mid_release.sample(200)
         assert np.all((mid_samples >= 0) & (mid_samples <= 1))
 
-        model.process(data[300:])
-        end_generator = model.snapshot()
-        error = wasserstein1_1d(data, end_generator.sample(600))
+        model.update_batch(data[300:])
+        end_release = model.snapshot()
+        assert end_release.items_processed == 600
+        error = wasserstein1_1d(data, end_release.sample(600))
         assert error < 0.15
 
-    def test_multiple_snapshots_allowed(self, interval, rng):
+    def test_multiple_snapshots_allowed_and_identical(self, interval, rng):
         model = PrivHPContinual(interval, self.make_config(200), horizon=200, rng=0)
-        model.process(rng.random(100))
+        model.update_batch(rng.random(100))
         first = model.snapshot()
         second = model.snapshot()
-        assert first.total_mass == pytest.approx(second.total_mass)
+        assert first.generator.total_mass == pytest.approx(second.generator.total_mass)
+        # Snapshots of unchanged state are byte-identical documents.
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+    def test_snapshot_does_not_perturb_ingestion(self, interval, rng):
+        """Taking snapshots leaves the subsequent stream byte-for-byte alone."""
+        data = rng.random(400)
+        config = self.make_config(400)
+        quiet = PrivHPContinual(interval, config, horizon=400, rng=0)
+        noisy = PrivHPContinual(interval, config, horizon=400, rng=0)
+        quiet.update_batch(data[:200])
+        noisy.update_batch(data[:200])
+        noisy.snapshot().sample(50)
+        noisy.snapshot()
+        quiet.update_batch(data[200:])
+        noisy.update_batch(data[200:])
+        assert json.dumps(quiet.snapshot().to_dict(), sort_keys=True) == json.dumps(
+            noisy.snapshot().to_dict(), sort_keys=True
+        )
+
+    def test_update_batch_matches_loop_exact_counts(self, interval, rng):
+        """Batch and loop paths accumulate identical exact counts."""
+        data = rng.beta(2, 6, size=256)
+        config = self.make_config(256)
+        loop = PrivHPContinual(interval, config, horizon=256, rng=0)
+        batch = PrivHPContinual(interval, config, horizon=256, rng=0)
+        loop.process(data)
+        batch.update_batch(data)
+        for level, bank in batch._banks.items():
+            np.testing.assert_allclose(
+                bank.true_counts(), loop._banks[level].true_counts()
+            )
+
+    def test_snapshot_release_metadata(self, interval, rng):
+        model = PrivHPContinual(interval, self.make_config(100), horizon=150, rng=0)
+        model.update_batch(rng.random(80))
+        release = model.snapshot()
+        assert release.epsilon == pytest.approx(50.0)
+        assert release.metadata["continual"]["horizon"] == 150
+        assert release.metadata["continual"]["events"] == 1
+        assert release.memory_words == model.memory_words()
 
     def test_budget_ledger_sums_to_epsilon(self, interval):
         config = self.make_config(100, epsilon=2.0)
@@ -130,6 +409,8 @@ class TestPrivHPContinual:
         model.process(rng.random(10))
         with pytest.raises(RuntimeError):
             model.update(0.5)
+        with pytest.raises(RuntimeError):
+            model.update_batch(rng.random(5))
 
     def test_memory_reported(self, interval, rng):
         model = PrivHPContinual(interval, self.make_config(100), horizon=100, rng=0)
@@ -139,3 +420,92 @@ class TestPrivHPContinual:
     def test_invalid_horizon(self, interval):
         with pytest.raises(ValueError):
             PrivHPContinual(interval, self.make_config(10), horizon=0)
+
+    def test_release_seals_the_summarizer(self, interval, rng):
+        model = PrivHPContinual(interval, self.make_config(100), horizon=100, rng=0)
+        model.update_batch(rng.random(60))
+        release = model.release()
+        assert isinstance(release, Release) and release.items_processed == 60
+        with pytest.raises(RuntimeError):
+            model.release()
+        with pytest.raises(RuntimeError):
+            model.update_batch(rng.random(10))
+        with pytest.raises(RuntimeError):
+            model.checkpoint()
+
+    def test_rng_seed_conflict_rejected(self, interval):
+        with pytest.raises(ValueError, match="disagrees"):
+            PrivHPContinual(interval, self.make_config(100, seed=3), horizon=100, rng=4)
+
+
+class TestContinualProtocolConformance:
+    """PrivHPContinual passes the same ingest/merge/checkpoint/release
+    conformance checks as PrivHP (the StreamSummarizer contract)."""
+
+    def build(self, variant, interval, n=400, seed=0):
+        builder = (
+            PrivHPBuilder(interval).epsilon(5.0).pruning_k(4).stream_size(n).seed(seed)
+        )
+        if variant == "continual":
+            builder = builder.continual()
+        return builder
+
+    @pytest.mark.parametrize("variant", ["one-shot", "continual"])
+    def test_satisfies_protocol(self, variant, interval):
+        summarizer = self.build(variant, interval).build()
+        assert isinstance(summarizer, StreamSummarizer)
+        expected = PrivHPContinual if variant == "continual" else PrivHP
+        assert isinstance(summarizer, expected)
+
+    @pytest.mark.parametrize("variant", ["one-shot", "continual"])
+    def test_ingest_and_release(self, variant, interval, rng):
+        data = rng.beta(2, 5, 400)
+        summarizer = ingest_batches(self.build(variant, interval).build(), data, 128)
+        assert summarizer.items_processed == 400
+        assert summarizer.memory_words() > 0
+        release = summarizer.release()
+        assert isinstance(release, Release)
+        assert release.items_processed == 400
+        assert 0.0 <= release.mass(0.0, 0.5) <= 1.0
+
+    @pytest.mark.parametrize("variant", ["one-shot", "continual"])
+    def test_shard_merge_accumulates_all_items(self, variant, interval, rng):
+        data = rng.beta(2, 5, 400)
+        builder = self.build(variant, interval)
+        shards = builder.build_shards(4)
+        for shard, part in zip(shards, np.array_split(data, 4)):
+            ingest_batches(shard, part, 64)
+        merged = type(shards[0]).merge_all(shards)
+        assert merged.items_processed == 400
+        release = merged.release()
+        assert release.items_processed == 400
+
+    @pytest.mark.parametrize("variant", ["one-shot", "continual"])
+    def test_checkpoint_resume_is_byte_identical(self, variant, interval, rng):
+        data = rng.beta(2, 5, 400)
+        original = ingest_batches(self.build(variant, interval).build(), data[:200], 64)
+        state = json.loads(json.dumps(original.checkpoint()))
+        restored = type(original).restore(state)
+        ingest_batches(original, data[200:], 64)
+        ingest_batches(restored, data[200:], 64)
+        assert json.dumps(original.release().to_dict(), sort_keys=True) == json.dumps(
+            restored.release().to_dict(), sort_keys=True
+        )
+
+    def test_continual_merge_validates_operands(self, interval, rng):
+        builder = self.build("continual", interval)
+        left, right = builder.build_shards(2)
+        other_config = self.build("continual", interval, n=800).build()
+        with pytest.raises(ValueError, match="configurations"):
+            left.merge(other_config)
+        with pytest.raises(TypeError):
+            left.merge(object())
+        released = builder.build_shards(1)[0]
+        released.update_batch(rng.random(10))
+        released.release()
+        with pytest.raises(RuntimeError):
+            left.merge(released)
+
+    def test_continual_has_no_raw_shard_mode(self, interval):
+        with pytest.raises(ValueError, match="raw shard"):
+            self.build("continual", interval).build_shard()

@@ -24,9 +24,10 @@ if str(REPO_ROOT / "tools") not in sys.path:
 
 import check_links  # noqa: E402
 
-#: The packages whose public surface must be documented (the docs satellite
-#: of the serving PR: repro.api, repro.queries and repro.serve).
-DOCUMENTED_PACKAGES = ("repro.api", "repro.queries", "repro.serve")
+#: The packages whose public surface must be documented (repro.api,
+#: repro.queries and repro.serve from the serving PR; repro.continual from
+#: the continual-observation PR).
+DOCUMENTED_PACKAGES = ("repro.api", "repro.queries", "repro.serve", "repro.continual")
 
 
 def _iter_modules(package_name: str):

@@ -422,3 +422,192 @@ class TestCLI:
         ]) == 0
         synthetic = np.loadtxt(output_path, delimiter=",")
         assert np.all((synthetic >= 0) & (synthetic < 2**32))
+
+
+class TestContinualCheckpointEnvelope:
+    """Continual summarizers round-trip through the shared repro.io envelope."""
+
+    def build(self, n=300, seed=0):
+        from repro.api.builder import PrivHPBuilder
+
+        return (
+            PrivHPBuilder("interval")
+            .epsilon(5.0)
+            .pruning_k(4)
+            .stream_size(n)
+            .seed(seed)
+            .continual()
+            .build()
+        )
+
+    def test_save_load_dispatches_to_continual_restore(self, tmp_path, rng):
+        from repro.continual.privhp import PrivHPContinual
+        from repro.io.serialization import load_checkpoint, save_checkpoint
+
+        summarizer = self.build()
+        summarizer.update_batch(rng.beta(2, 5, 150))
+        path = save_checkpoint(summarizer, tmp_path / "state.json")
+        restored = load_checkpoint(path)
+        assert isinstance(restored, PrivHPContinual)
+        assert restored.items_processed == 150
+        assert restored.horizon == summarizer.horizon
+
+    def test_resume_from_disk_is_byte_identical(self, tmp_path, rng):
+        from repro.io.serialization import load_checkpoint, save_checkpoint
+
+        data = rng.beta(2, 5, 300)
+        original = self.build()
+        original.update_batch(data[:150])
+        path = save_checkpoint(original, tmp_path / "state.json")
+        restored = load_checkpoint(path)
+        original.update_batch(data[150:])
+        restored.update_batch(data[150:])
+        assert json.dumps(original.snapshot().to_dict(), sort_keys=True) == json.dumps(
+            restored.snapshot().to_dict(), sort_keys=True
+        )
+
+    def test_unknown_summarizer_kind_rejected(self, tmp_path, rng):
+        from repro.io.serialization import load_checkpoint, save_checkpoint
+
+        summarizer = self.build()
+        summarizer.update_batch(rng.beta(2, 5, 100))
+        path = save_checkpoint(summarizer, tmp_path / "state.json")
+        document = json.loads(path.read_text())
+        document["state"]["summarizer"] = "privhp-quantum"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unknown summarizer kind"):
+            load_checkpoint(path)
+
+
+class TestContinualCLI:
+    def _write_csv(self, path, data):
+        np.savetxt(path, data, delimiter=",")
+
+    def test_summarize_continual_writes_tagged_release(self, tmp_path, rng):
+        input_path = tmp_path / "data.csv"
+        self._write_csv(input_path, rng.beta(2, 5, 2000))
+        release_path = tmp_path / "release.json"
+        assert cli_main([
+            "summarize", "--input", str(input_path), "--output", str(release_path),
+            "--continual", "--horizon", "5000",
+        ]) == 0
+        document = json.loads(release_path.read_text())
+        assert document["metadata"]["continual"]["horizon"] == 5000
+        assert document["metadata"]["items_processed"] == 2000
+
+    def test_summarize_continual_sharded(self, tmp_path, rng):
+        input_path = tmp_path / "data.csv"
+        self._write_csv(input_path, rng.beta(2, 5, 1800))
+        release_path = tmp_path / "release.json"
+        assert cli_main([
+            "summarize", "--input", str(input_path), "--output", str(release_path),
+            "--continual", "--shards", "3",
+        ]) == 0
+        document = json.loads(release_path.read_text())
+        assert document["metadata"]["items_processed"] == 1800
+
+    def test_horizon_without_continual_rejected(self, tmp_path, rng, capsys):
+        input_path = tmp_path / "data.csv"
+        self._write_csv(input_path, rng.beta(2, 5, 100))
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([
+                "summarize", "--input", str(input_path),
+                "--output", str(tmp_path / "r.json"), "--horizon", "500",
+            ])
+        assert excinfo.value.code == 2
+        assert "--continual" in capsys.readouterr().err
+
+    def test_checkpoint_snapshot_resume_pipeline(self, tmp_path, rng):
+        day1, day2 = tmp_path / "day1.csv", tmp_path / "day2.csv"
+        self._write_csv(day1, rng.beta(2, 5, 1000))
+        self._write_csv(day2, rng.beta(2, 5, 1000))
+        state = tmp_path / "state.json"
+        assert cli_main([
+            "checkpoint", "--input", str(day1), "--state", str(state),
+            "--continual", "--stream-size", "2000",
+        ]) == 0
+        state_before = state.read_text()
+
+        snap = tmp_path / "snap.json"
+        assert cli_main(["snapshot", "--state", str(state), "--output", str(snap)]) == 0
+        snapshot_doc = json.loads(snap.read_text())
+        assert snapshot_doc["metadata"]["items_processed"] == 1000
+        assert state.read_text() == state_before  # snapshot never consumes state
+
+        assert cli_main(["checkpoint", "--input", str(day2), "--state", str(state)]) == 0
+        final = tmp_path / "final.json"
+        assert cli_main(["resume", "--state", str(state), "--output", str(final)]) == 0
+        assert json.loads(final.read_text())["metadata"]["items_processed"] == 2000
+
+    def test_continual_flags_rejected_on_existing_state(self, tmp_path, rng, capsys):
+        data_path = tmp_path / "data.csv"
+        self._write_csv(data_path, rng.beta(2, 5, 200))
+        state = tmp_path / "state.json"
+        assert cli_main([
+            "checkpoint", "--input", str(data_path), "--state", str(state),
+            "--continual", "--horizon", "800",
+        ]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([
+                "checkpoint", "--input", str(data_path), "--state", str(state),
+                "--continual", "--horizon", "900",
+            ])
+        assert excinfo.value.code == 2
+        error = capsys.readouterr().err
+        assert "--continual" in error and "--horizon" in error
+
+    def test_snapshot_of_one_shot_state_rejected(self, tmp_path, rng, capsys):
+        data_path = tmp_path / "data.csv"
+        self._write_csv(data_path, rng.beta(2, 5, 200))
+        state = tmp_path / "state.json"
+        assert cli_main(["checkpoint", "--input", str(data_path), "--state", str(state)]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["snapshot", "--state", str(state), "--output", str(tmp_path / "s.json")])
+        assert excinfo.value.code == 2
+        assert "one-shot" in capsys.readouterr().err
+
+    def test_snapshot_release_is_queryable(self, tmp_path, rng):
+        data_path = tmp_path / "data.csv"
+        self._write_csv(data_path, rng.beta(2, 5, 1000))
+        state = tmp_path / "state.json"
+        snap = tmp_path / "snap.json"
+        workload = tmp_path / "workload.json"
+        answers = tmp_path / "answers.json"
+        workload.write_text(json.dumps([{"type": "mass", "lower": 0.0, "upper": 0.5}]))
+        assert cli_main([
+            "checkpoint", "--input", str(data_path), "--state", str(state),
+            "--continual", "--horizon", "1000",
+        ]) == 0
+        assert cli_main(["snapshot", "--state", str(state), "--output", str(snap)]) == 0
+        assert cli_main([
+            "query", str(snap), "--workload", str(workload), "--output", str(answers),
+        ]) == 0
+        result = json.loads(answers.read_text())["results"][0]["answer"]
+        assert 0.0 <= result <= 1.0
+
+    def test_fresh_continual_state_requires_a_total_horizon(self, tmp_path, rng, capsys):
+        """Without --horizon/--stream-size the day1/day2 workflow would
+        exhaust the counters on day 2, so creation is rejected up front."""
+        data_path = tmp_path / "data.csv"
+        self._write_csv(data_path, rng.beta(2, 5, 100))
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([
+                "checkpoint", "--input", str(data_path),
+                "--state", str(tmp_path / "state.json"), "--continual",
+            ])
+        assert excinfo.value.code == 2
+        assert "--horizon" in capsys.readouterr().err
+
+    def test_exhausted_horizon_is_a_clean_usage_error(self, tmp_path, rng, capsys):
+        """Overrunning a continual horizon via the CLI exits 2, no traceback."""
+        data_path = tmp_path / "data.csv"
+        self._write_csv(data_path, rng.beta(2, 5, 200))
+        state = tmp_path / "state.json"
+        assert cli_main([
+            "checkpoint", "--input", str(data_path), "--state", str(state),
+            "--continual", "--horizon", "300",
+        ]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["checkpoint", "--input", str(data_path), "--state", str(state)])
+        assert excinfo.value.code == 2
+        assert "horizon" in capsys.readouterr().err

@@ -540,3 +540,126 @@ class TestBatchWorkloads:
             cli_main(["serve", "--store", str(tmp_path / "nope"), "--port", "0"])
         assert excinfo.value.code == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# live snapshot serving (continual summarizers registered in a store)
+# --------------------------------------------------------------------------- #
+def _live_summarizer(n=3000, epsilon=5.0, seed=0):
+    return (
+        PrivHPBuilder("interval")
+        .epsilon(epsilon)
+        .pruning_k(4)
+        .stream_size(n)
+        .seed(seed)
+        .continual()
+        .build()
+    )
+
+
+class TestLiveServing:
+    def test_register_live_requires_a_snapshot_source(self, releases):
+        store = ReleaseStore()
+        with pytest.raises(TypeError, match="snapshot"):
+            store.register_live("bad", releases["interval"])
+        with pytest.raises(ValueError):
+            store.register_live("", _live_summarizer())
+
+    def test_live_names_are_addressable_and_flagged(self):
+        summarizer = _live_summarizer()
+        summarizer.update_batch(np.random.default_rng(1).beta(2, 5, 1000))
+        store = ReleaseStore()
+        store.register_live("stream", summarizer)
+        assert "stream" in store and store.names() == ["stream"]
+        assert store.is_live("stream") and store.version_of("stream") == 1000
+        info = store.info("stream")
+        assert info["live"] is True and info["items_processed"] == 1000
+
+    def test_snapshot_refreshes_only_when_stream_advances(self):
+        summarizer = _live_summarizer()
+        summarizer.update_batch(np.random.default_rng(1).beta(2, 5, 1000))
+        store = ReleaseStore()
+        store.register_live("stream", summarizer)
+        first = store.get("stream")
+        assert store.get("stream") is first  # unchanged stream: same snapshot
+        summarizer.update_batch(np.random.default_rng(2).beta(2, 5, 500))
+        second = store.get("stream")
+        assert second is not first
+        assert (first.items_processed, second.items_processed) == (1000, 1500)
+
+    def test_cache_invalidated_when_stream_advances(self):
+        summarizer = _live_summarizer()
+        data = np.random.default_rng(3).beta(2, 5, 3000)
+        summarizer.update_batch(data[:1500])
+        store = ReleaseStore()
+        store.register_live("stream", summarizer)
+        service = QueryService(store)
+        query = {"type": "mass", "lower": 0.0, "upper": 0.25}
+        first = service.answer(query)
+        repeat = service.answer(query)
+        assert (first["cached"], repeat["cached"]) == (False, True)
+        assert repeat["items_processed"] == 1500
+        summarizer.update_batch(data[1500:])
+        fresh = service.answer(query)
+        assert fresh["cached"] is False  # the old memoized answer is dead
+        assert fresh["items_processed"] == 3000
+        assert service.answer(query)["cached"] is True
+
+    def test_mid_stream_http_answers_match_in_process_snapshot(self):
+        """Acceptance: an HTTP answer against a live stream is byte-identical
+        to answering an in-process snapshot() of the same state."""
+        summarizer = _live_summarizer()
+        data = np.random.default_rng(4).beta(2, 5, 3000)
+        summarizer.update_batch(data[:2000])
+        store = ReleaseStore()
+        store.register_live("stream", summarizer)
+        queries = [
+            {"type": "mass", "lower": 0.1, "upper": 0.6},
+            {"type": "cdf", "point": 0.5},
+            {"type": "quantile", "q": [0.25, 0.5, 0.75]},
+            {"type": "range_count", "lower": 0.0, "upper": 1.0},
+        ]
+        with _running_server(store) as base:
+            local = summarizer.snapshot()
+            for query in queries:
+                served = _post(base + "/query", {"release": "stream", "query": query})
+                expected = answer_query(local, query)
+                assert served["answer"] == expected, query
+                assert served["items_processed"] == 2000
+            # ingest more mid-serving; answers follow the new state
+            summarizer.update_batch(data[2000:])
+            local = summarizer.snapshot()
+            for query in queries:
+                served = _post(base + "/query", {"release": "stream", "query": query})
+                assert served["answer"] == answer_query(local, query), query
+                assert served["items_processed"] == 3000
+
+    def test_serving_while_ingesting_is_race_free(self):
+        """Concurrent ingestion and querying never observe torn state: every
+        served answer equals the answer of a consistent snapshot."""
+        summarizer = _live_summarizer(n=20_000)
+        data = np.random.default_rng(5).beta(2, 5, 20_000)
+        store = ReleaseStore()
+        store.register_live("stream", summarizer)
+        service = QueryService(store)
+        errors = []
+
+        def ingest():
+            try:
+                for chunk in np.array_split(data, 40):
+                    summarizer.update_batch(chunk)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        thread = threading.Thread(target=ingest)
+        thread.start()
+        query = {"type": "mass", "lower": 0.0, "upper": 0.5}
+        answers = []
+        while thread.is_alive():
+            answers.append(service.answer(query)["answer"])
+        thread.join()
+        assert not errors
+        final = service.answer(query)
+        assert final["items_processed"] == 20_000
+        for answer in answers:
+            assert 0.0 <= answer <= 1.0
