@@ -1,0 +1,115 @@
+"""Experiment-matrix throughput: cells/second, serial vs process-parallel.
+
+The matrix runner (``repro.experiments.runner``) exists so the full
+reproduction grid can be executed at hardware speed; this benchmark pins the
+parallel path down with one row: cells/second at ``--workers 1`` versus
+``--workers <cpu count>`` on a 16-cell PrivHP grid, including the result
+store's atomic-write overhead (each run writes a real on-disk store, exactly
+like ``repro matrix``).
+
+The smoke entry point (``python benchmarks/bench_matrix.py``) merges the row
+into ``BENCH_performance.json`` under ``"experiment_matrix"`` (preserving the
+other benchmark families) and enforces the acceptance gate: parallel speedup
+``>= 2x`` whenever the machine has at least 4 cores.  On smaller machines the
+row is still recorded but the gate is skipped -- there is nothing meaningful
+to gate on one core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from bench_performance import merge_benchmark_result
+from repro.experiments.runner import MatrixSpec, run_matrix
+
+#: Acceptance gate: the process pool must beat the serial loop by at least
+#: this factor, enforced only on machines with >= GATE_MIN_CORES cores.
+SPEEDUP_GATE = 2.0
+GATE_MIN_CORES = 4
+
+
+def bench_spec(trials: int = 8, stream_size: int = 4096) -> MatrixSpec:
+    """The benchmark grid: 2 methods x ``trials`` seeds on one dataset axis."""
+    return MatrixSpec(
+        name="bench-matrix",
+        methods=("privhp", "nonprivate"),
+        domains=("interval",),
+        generators=("gaussian_mixture",),
+        epsilons=(1.0,),
+        stream_sizes=(int(stream_size),),
+        trials=int(trials),
+        base_seed=0,
+        pruning_k=8,
+    )
+
+
+def _timed_run(spec: MatrixSpec, workers: int) -> float:
+    out_dir = tempfile.mkdtemp(prefix="bench-matrix-")
+    try:
+        start = time.perf_counter()
+        run_matrix(spec, out_dir=out_dir, workers=workers)
+        return time.perf_counter() - start
+    finally:
+        shutil.rmtree(out_dir, ignore_errors=True)
+
+
+def measure_matrix_throughput(
+    trials: int = 8,
+    stream_size: int = 4096,
+    workers: int | None = None,
+) -> dict:
+    """Measure serial vs parallel grid execution; returns the benchmark row."""
+    cores = os.cpu_count() or 1
+    if workers is None:
+        workers = max(1, cores)
+    spec = bench_spec(trials=trials, stream_size=stream_size)
+    cells = len(spec.cells())
+
+    serial_seconds = _timed_run(spec, workers=1)
+    parallel_seconds = _timed_run(spec, workers=workers)
+    return {
+        "cells": cells,
+        "stream_size": int(stream_size),
+        "cores": cores,
+        "workers": int(workers),
+        "serial_cells_per_second": cells / serial_seconds,
+        "parallel_cells_per_second": cells / parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "gate_applied": cores >= GATE_MIN_CORES,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=8, help="seeds per method")
+    parser.add_argument("--stream-size", type=int, default=4096, help="items per cell")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker count (default: the machine's core count)",
+    )
+    args = parser.parse_args()
+
+    row = measure_matrix_throughput(
+        trials=args.trials, stream_size=args.stream_size, workers=args.workers
+    )
+    merge_benchmark_result({"experiment_matrix": row})
+    print(json.dumps(row, indent=2, sort_keys=True))
+    if row["gate_applied"] and row["speedup"] < SPEEDUP_GATE:
+        raise SystemExit(
+            f"parallel matrix speedup {row['speedup']:.2f}x is below the "
+            f"{SPEEDUP_GATE}x gate on {row['cores']} cores"
+        )
+    if not row["gate_applied"]:
+        print(
+            f"(speedup gate skipped: {row['cores']} core(s) < {GATE_MIN_CORES})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

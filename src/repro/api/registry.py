@@ -38,6 +38,7 @@ __all__ = [
     "infer_domain",
     "register_method",
     "make_method",
+    "method_factory",
     "available_methods",
 ]
 
@@ -184,6 +185,26 @@ def available_methods() -> list[str]:
     return sorted(_METHOD_FACTORIES)
 
 
+def method_factory(name: str) -> Callable:
+    """The registered factory behind a method name.
+
+    Lets callers inspect the factory's signature before instantiating -- the
+    experiment-matrix runner uses this to pass ``epsilon``/``pruning_k`` only
+    to methods that actually take them (the non-private floor takes neither).
+
+    Example:
+        >>> method_factory("privhp").__name__
+        'PrivHPMethod'
+    """
+    _ensure_builtin_methods()
+    key = str(name).strip().lower()
+    if key not in _METHOD_FACTORIES:
+        raise ValueError(
+            f"unknown method {name!r}; known methods: {', '.join(available_methods())}"
+        )
+    return _METHOD_FACTORIES[key]
+
+
 def make_method(name: str, *args, **kwargs):
     """Instantiate a registered method (arguments forwarded to the factory).
 
@@ -192,13 +213,7 @@ def make_method(name: str, *args, **kwargs):
         >>> make_method("privhp", UnitInterval(), epsilon=1.0, pruning_k=4).name
         'PrivHP'
     """
-    _ensure_builtin_methods()
-    key = str(name).strip().lower()
-    if key not in _METHOD_FACTORIES:
-        raise ValueError(
-            f"unknown method {name!r}; known methods: {', '.join(available_methods())}"
-        )
-    return _METHOD_FACTORIES[key](*args, **kwargs)
+    return method_factory(name)(*args, **kwargs)
 
 
 _builtin_methods_registered = False

@@ -1,6 +1,6 @@
 """Command-line interface for PrivHP, built on the unified ``repro.api`` surface.
 
-Eight sub-commands cover the workflow:
+Nine sub-commands cover the workflow:
 
 * ``summarize`` -- stream a CSV of sensitive values through PrivHP (batched,
   optionally sharded) and write the released (epsilon-DP) generator to JSON.
@@ -22,8 +22,15 @@ Eight sub-commands cover the workflow:
   endpoint (``repro.serve``); pure post-processing, no privacy cost.
 * ``query`` -- answer a JSON workload file against one release, no server
   needed.
+* ``matrix`` -- run a declarative experiment grid (methods x domains x
+  generators x epsilon x n x trials) through the parallel, resumable matrix
+  runner; ``--smoke`` runs the built-in CI grid and gates the accuracy
+  ordering.
 
 Example::
+
+    python -m repro.cli matrix spec.json --out results/ --workers 4 --resume
+    python -m repro.cli matrix --smoke --out smoke-results/
 
     python -m repro.cli summarize --input values.csv --epsilon 1.0 --k 8 \
         --domain auto --shards 4 --output release.json
@@ -237,6 +244,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="path for the answers JSON (default: print to stdout)",
     )
 
+    matrix = subparsers.add_parser(
+        "matrix",
+        help="run a declarative experiment grid (parallel, resumable)",
+    )
+    matrix.add_argument(
+        "spec", nargs="?", default=None,
+        help="MatrixSpec JSON file (omit with --smoke)",
+    )
+    matrix.add_argument(
+        "--out", default="matrix-results",
+        help="result directory (results.jsonl, aggregate.json/.csv, spec.json)",
+    )
+    matrix.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; results are byte-identical for any value",
+    )
+    matrix.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already recorded in the result store",
+    )
+    matrix.add_argument(
+        "--smoke", action="store_true",
+        help="run the built-in smoke grid and fail on the accuracy-ordering gate",
+    )
+    matrix.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
     return parser
 
 
@@ -431,6 +466,48 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_matrix(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import format_table
+    from repro.experiments.runner import (
+        check_smoke_ordering,
+        load_spec,
+        run_matrix,
+        smoke_spec,
+    )
+
+    if args.smoke and args.spec is not None:
+        raise ValueError("--smoke runs the built-in grid; drop the SPEC argument")
+    if not args.smoke and args.spec is None:
+        raise ValueError("pass a MatrixSpec JSON file or --smoke")
+    spec = smoke_spec() if args.smoke else load_spec(args.spec)
+
+    def progress(completed: int, total: int, key: str) -> None:
+        if not args.quiet:
+            print(f"[{completed}/{total}] {key}")
+
+    outcome = run_matrix(
+        spec,
+        out_dir=args.out,
+        workers=args.workers,
+        resume=args.resume,
+        progress=progress,
+    )
+    print(format_table(outcome["aggregate"]))
+    print(
+        f"grid {spec.name!r}: {outcome['executed']} cell(s) executed, "
+        f"{outcome['skipped']} resumed; artifacts in {args.out}/ "
+        "(results.jsonl, aggregate.json, aggregate.csv)"
+    )
+    if args.smoke:
+        violations = check_smoke_ordering(outcome["aggregate"])
+        if violations:
+            for violation in violations:
+                print(f"ACCURACY GATE VIOLATION: {violation}", file=sys.stderr)
+            return 1
+        print("accuracy ordering gate passed (floor <= private, PrivHP <= Smooth)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by ``python -m repro.cli`` and the tests."""
     parser = build_parser()
@@ -444,6 +521,7 @@ def main(argv: list[str] | None = None) -> int:
         "resume": _command_resume,
         "serve": _command_serve,
         "query": _command_query,
+        "matrix": _command_matrix,
     }
     handler = commands.get(args.command)
     if handler is None:

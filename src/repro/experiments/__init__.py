@@ -7,7 +7,16 @@ dictionaries so benchmarks, tests and examples can all consume them.
 """
 
 from repro.experiments.harness import format_table, run_methods, seeded_rng
-from repro.experiments.table1 import run_table1
+from repro.experiments.runner import (
+    MatrixSpec,
+    ResultStore,
+    aggregate_records,
+    check_smoke_ordering,
+    load_spec,
+    run_matrix,
+    smoke_spec,
+)
+from repro.experiments.table1 import run_table1, table1_spec
 from repro.experiments.tradeoffs import (
     epsilon_tradeoff,
     memory_tradeoff,
@@ -22,16 +31,24 @@ from repro.experiments.ablations import (
 )
 
 __all__ = [
+    "MatrixSpec",
+    "ResultStore",
+    "aggregate_records",
     "budget_ablation",
+    "check_smoke_ordering",
     "consistency_ablation",
     "epsilon_tradeoff",
     "format_table",
+    "load_spec",
     "memory_tradeoff",
+    "run_matrix",
     "run_methods",
     "run_table1",
     "seeded_rng",
     "sketch_ablation",
     "skew_experiment",
+    "smoke_spec",
     "stream_length_tradeoff",
+    "table1_spec",
     "throughput_experiment",
 ]

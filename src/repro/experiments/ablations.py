@@ -8,27 +8,63 @@ These probe the design choices DESIGN.md calls out:
 * **Sketch parameters** (Lemma 4): error as a function of sketch width and
   depth, and Count-Min versus the counter-based Misra-Gries summary the
   related work uses.
+
+The method-level ablations are PrivHP configuration variants on the
+``methods`` axis of a :class:`repro.experiments.runner.MatrixSpec`; the
+sketch ablation probes the sketch structures directly and stays a plain
+loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import PrivHPMethod
-from repro.domain.hypercube import Hypercube
 from repro.domain.interval import UnitInterval
-from repro.metrics.evaluation import evaluate_method
+from repro.experiments.harness import domain_spec_for_dimension, measured_row
+from repro.experiments.runner import MatrixSpec, run_matrix
 from repro.sketch.countmin import CountMinSketch
 from repro.sketch.misra_gries import MisraGries
-from repro.stream.generators import gaussian_mixture_stream, zipf_cell_stream
+from repro.stream.generators import zipf_cell_stream
 
 __all__ = ["budget_ablation", "consistency_ablation", "sketch_ablation"]
 
 
-def _make_domain(dimension: int):
-    if dimension == 1:
-        return UnitInterval()
-    return Hypercube(dimension)
+def _privhp_variant_rows(
+    variants: dict[str, dict],
+    parameter_name: str,
+    parameter_values: dict[str, object],
+    dimension: int,
+    stream_size: int,
+    epsilon: float,
+    pruning_k: int,
+    repetitions: int,
+    seed: int,
+    workers: int,
+) -> list[dict]:
+    """Evaluate labelled PrivHP config variants on one shared grid point."""
+    spec = MatrixSpec(
+        name=f"ablation-{parameter_name}",
+        methods=tuple(
+            {"name": "privhp", "label": label, "params": params}
+            for label, params in variants.items()
+        ),
+        domains=(domain_spec_for_dimension(dimension),),
+        generators=("gaussian_mixture",),
+        epsilons=(float(epsilon),),
+        stream_sizes=(int(stream_size),),
+        trials=int(repetitions),
+        base_seed=int(seed),
+        pruning_k=int(pruning_k),
+    )
+    outcome = run_matrix(spec, workers=workers)
+    by_label = {row["method"]: row for row in outcome["aggregate"]}
+
+    rows = []
+    for label in variants:
+        row = measured_row(by_label[label])
+        row[parameter_name] = parameter_values[label]
+        rows.append(row)
+    return rows
 
 
 def budget_ablation(
@@ -38,31 +74,24 @@ def budget_ablation(
     pruning_k: int = 8,
     repetitions: int = 3,
     seed: int = 0,
+    workers: int = 1,
 ) -> list[dict]:
     """Optimal (Lemma 5) versus uniform per-level budget allocation."""
-    domain = _make_domain(dimension)
-    rng = np.random.default_rng(seed)
-    data = gaussian_mixture_stream(stream_size, dimension=dimension, rng=rng)
-
-    rows = []
-    for allocation in ("optimal", "uniform"):
-        method = PrivHPMethod(
-            domain,
-            epsilon=epsilon,
-            pruning_k=pruning_k,
-            seed=seed,
-            budget_allocation=allocation,
-        )
-        result = evaluate_method(
-            method,
-            data,
-            domain,
-            repetitions=repetitions,
-            rng=np.random.default_rng(seed),
-            parameters={"allocation": allocation},
-        )
-        rows.append(result.as_row())
-    return rows
+    return _privhp_variant_rows(
+        variants={
+            "budget-optimal": {"budget_allocation": "optimal"},
+            "budget-uniform": {"budget_allocation": "uniform"},
+        },
+        parameter_name="allocation",
+        parameter_values={"budget-optimal": "optimal", "budget-uniform": "uniform"},
+        dimension=dimension,
+        stream_size=stream_size,
+        epsilon=epsilon,
+        pruning_k=pruning_k,
+        repetitions=repetitions,
+        seed=seed,
+        workers=workers,
+    )
 
 
 def consistency_ablation(
@@ -72,31 +101,24 @@ def consistency_ablation(
     pruning_k: int = 8,
     repetitions: int = 3,
     seed: int = 0,
+    workers: int = 1,
 ) -> list[dict]:
     """Algorithm 3 enabled versus disabled while growing the partition."""
-    domain = _make_domain(dimension)
-    rng = np.random.default_rng(seed)
-    data = gaussian_mixture_stream(stream_size, dimension=dimension, rng=rng)
-
-    rows = []
-    for enabled in (True, False):
-        method = PrivHPMethod(
-            domain,
-            epsilon=epsilon,
-            pruning_k=pruning_k,
-            seed=seed,
-            apply_consistency=enabled,
-        )
-        result = evaluate_method(
-            method,
-            data,
-            domain,
-            repetitions=repetitions,
-            rng=np.random.default_rng(seed),
-            parameters={"consistency": enabled},
-        )
-        rows.append(result.as_row())
-    return rows
+    return _privhp_variant_rows(
+        variants={
+            "consistency-on": {"apply_consistency": True},
+            "consistency-off": {"apply_consistency": False},
+        },
+        parameter_name="consistency",
+        parameter_values={"consistency-on": True, "consistency-off": False},
+        dimension=dimension,
+        stream_size=stream_size,
+        epsilon=epsilon,
+        pruning_k=pruning_k,
+        repetitions=repetitions,
+        seed=seed,
+        workers=workers,
+    )
 
 
 def sketch_ablation(

@@ -23,12 +23,36 @@ __all__ = [
     "run_methods",
     "format_table",
     "rows_from_results",
+    "domain_spec_for_dimension",
+    "measured_row",
 ]
 
 
 def seeded_rng(seed: int | None) -> np.random.Generator:
     """A fresh generator from a seed (or OS entropy when ``seed`` is None)."""
     return np.random.default_rng(seed)
+
+
+def domain_spec_for_dimension(dimension: int) -> str:
+    """The registry spec string for the unit domain of a given dimension."""
+    return "interval" if dimension == 1 else f"hypercube:{int(dimension)}"
+
+
+def measured_row(aggregate_row: dict) -> dict:
+    """Map a matrix-runner aggregate row to the legacy measured-row columns.
+
+    The experiment modules (table1, tradeoffs, ablations, skew) all report
+    this same 6-column core, extended with their sweep parameter; sharing
+    the mapping keeps their row schemas in lockstep.
+    """
+    return {
+        "method": aggregate_row["method_name"],
+        "wasserstein": aggregate_row["wasserstein"],
+        "wasserstein_std": aggregate_row["wasserstein_std"],
+        "memory_words": aggregate_row["memory_words"],
+        "fit_seconds": aggregate_row.get("fit_seconds", 0.0),
+        "sample_seconds": aggregate_row.get("sample_seconds", 0.0),
+    }
 
 
 def fit_release(

@@ -1,0 +1,919 @@
+"""Declarative experiment-matrix runner with a resumable result store.
+
+The paper's tables are grids: methods x domains x workload generators x
+epsilon x stream length x trials.  Each experiment module used to hand-roll
+its own sweep loop; this module turns the grid into data:
+
+* :class:`MatrixSpec` -- a JSON-loadable description of the grid.  The
+  ``methods`` and ``generators`` axes accept plain registry names or
+  ``{"name", "label", "params"}`` variants, so parameter sweeps (pruning
+  ``k``, Zipf exponent, budget allocation) are just labelled axis entries.
+* :func:`execute_cell` -- evaluates one cell.  Every cell derives its RNG
+  from :class:`numpy.random.SeedSequence` spawn keys built from the cell's
+  *coordinates* (never from scheduling order), and datasets are keyed by
+  ``(domain, generator, n, trial)`` only -- all methods at a grid point see
+  the same data, and results are byte-identical for any worker count.
+* :class:`ResultStore` -- an on-disk ``results.jsonl`` of canonical-JSON
+  lines, one flushed+fsynced append per completed cell, holding only
+  deterministic fields; wall-clock timings go to a separate
+  ``timings.jsonl`` sidecar.  An interrupt can at worst truncate the final
+  line (detected and discarded on reload); completed cell keys are skipped
+  on restart, and ``finalize`` rewrites the file key-sorted through a
+  temp + rename, which is what makes ``--resume`` safe and completed runs
+  byte-identical.
+* :func:`run_matrix` -- fans cells out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (or runs inline for
+  ``workers=1``), records results as they complete, and rolls them up with
+  :func:`aggregate_records` into the mean/stderr-over-trials rows the paper
+  tables use (written as ``aggregate.json`` + ``aggregate.csv``).
+
+The experiment modules (``table1``, ``tradeoffs``, ``ablations``, ``skew``)
+declare their grids as :class:`MatrixSpec` values and execute through
+:func:`run_matrix`; the CLI exposes the same path as ``repro matrix``.
+
+Example:
+    >>> spec = MatrixSpec(
+    ...     name="demo",
+    ...     methods=("nonprivate",),
+    ...     domains=("interval",),
+    ...     generators=("uniform",),
+    ...     epsilons=(1.0,),
+    ...     stream_sizes=(64,),
+    ... )
+    >>> [cell.key for cell in spec.cells()]
+    ['method=nonprivate;domain=interval;generator=uniform;epsilon=1.0;n=64;trial=0']
+    >>> MatrixSpec.from_dict(spec.to_dict()) == spec
+    True
+"""
+
+from __future__ import annotations
+
+import csv
+import inspect
+import io
+import json
+import os
+import pathlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.registry import available_methods, make_domain, method_factory
+from repro.domain.discrete import DiscreteDomain
+from repro.domain.geo import GeoDomain
+from repro.domain.hypercube import Hypercube
+from repro.domain.interval import UnitInterval
+from repro.domain.ipv4 import IPv4Domain
+from repro.io.serialization import write_text_atomic
+from repro.metrics.evaluation import evaluate_method
+from repro.stream.generators import available_generators, make_stream
+
+__all__ = [
+    "AxisEntry",
+    "MatrixSpec",
+    "MatrixCell",
+    "MatrixSpecError",
+    "MatrixCellError",
+    "ResultStore",
+    "execute_cell",
+    "run_matrix",
+    "aggregate_records",
+    "dataset_for",
+    "load_spec",
+    "smoke_spec",
+    "check_smoke_ordering",
+]
+
+
+class MatrixSpecError(ValueError):
+    """A matrix spec document is malformed (bad axis, unknown name, ...)."""
+
+
+class MatrixCellError(RuntimeError):
+    """One grid cell failed to execute; the message names the cell key."""
+
+
+# --------------------------------------------------------------------------- #
+# spec
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AxisEntry:
+    """One labelled entry of the ``methods`` or ``generators`` axis.
+
+    ``name`` is the registry name; ``label`` distinguishes variants of the
+    same name within one axis (e.g. ``privhp-k2`` vs ``privhp-k32``);
+    ``params`` are extra keyword arguments for the factory.
+
+    Example:
+        >>> AxisEntry.parse("privhp").label
+        'privhp'
+        >>> AxisEntry.parse({"name": "zipf", "label": "zipf-2", "params": {"exponent": 2.0}}).params
+        {'exponent': 2.0}
+    """
+
+    name: str
+    label: str
+    params: dict = field(default_factory=dict)
+
+    @staticmethod
+    def parse(value, axis: str = "axis") -> "AxisEntry":
+        """Normalise a spec axis entry (bare name string or variant dict)."""
+        if isinstance(value, AxisEntry):
+            return value
+        if isinstance(value, str):
+            name = value.strip().lower()
+            if not name:
+                raise MatrixSpecError(f"{axis} entries must be non-empty names")
+            return AxisEntry(name=name, label=name, params={})
+        if isinstance(value, dict):
+            unknown = sorted(set(value) - {"name", "label", "params"})
+            if unknown:
+                raise MatrixSpecError(
+                    f"{axis} entry has unknown field(s) {', '.join(unknown)}; "
+                    "expected name, label, params"
+                )
+            if "name" not in value or not str(value["name"]).strip():
+                raise MatrixSpecError(f"{axis} entry is missing its 'name'")
+            name = str(value["name"]).strip().lower()
+            label = str(value.get("label", name)).strip() or name
+            params = value.get("params", {})
+            if not isinstance(params, dict):
+                raise MatrixSpecError(
+                    f"{axis} entry {label!r}: 'params' must be an object, "
+                    f"got {type(params).__name__}"
+                )
+            return AxisEntry(name=name, label=label, params=dict(params))
+        raise MatrixSpecError(
+            f"{axis} entries must be names or {{name, label, params}} objects, "
+            f"got {type(value).__name__}"
+        )
+
+    def to_dict(self) -> dict | str:
+        if not self.params and self.label == self.name:
+            return self.name
+        return {"name": self.name, "label": self.label, "params": dict(self.params)}
+
+
+#: SeedSequence spawn-key stream tags: datasets are keyed by grid coordinates
+#: shared across methods; evaluation RNG is keyed by the individual cell.
+_DATA_STREAM = 0
+_EVAL_STREAM = 1
+
+_SPEC_FIELDS = {
+    "name",
+    "methods",
+    "domains",
+    "generators",
+    "epsilons",
+    "stream_sizes",
+    "trials",
+    "base_seed",
+    "pruning_k",
+    "repetitions",
+    "synthetic_size",
+}
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One point of the grid: a method on a dataset at one trial seed."""
+
+    index: int
+    method: AxisEntry
+    domain: str
+    generator: AxisEntry
+    epsilon: float
+    size: int
+    trial: int
+    dataset_coords: tuple[int, int, int, int]
+    base_seed: int
+    pruning_k: int
+    repetitions: int
+    synthetic_size: int | None
+
+    @property
+    def key(self) -> str:
+        """Canonical identifier used for dedup, resume and sorting."""
+        return (
+            f"method={self.method.label};domain={self.domain};"
+            f"generator={self.generator.label};epsilon={self.epsilon!r};"
+            f"n={self.size};trial={self.trial}"
+        )
+
+    def payload(self) -> dict:
+        """A plain picklable dict for the worker processes."""
+        return {
+            "key": self.key,
+            "index": self.index,
+            "method": {
+                "name": self.method.name,
+                "label": self.method.label,
+                "params": dict(self.method.params),
+            },
+            "domain": self.domain,
+            "generator": {
+                "name": self.generator.name,
+                "label": self.generator.label,
+                "params": dict(self.generator.params),
+            },
+            "epsilon": self.epsilon,
+            "size": self.size,
+            "trial": self.trial,
+            "dataset_coords": list(self.dataset_coords),
+            "base_seed": self.base_seed,
+            "pruning_k": self.pruning_k,
+            "repetitions": self.repetitions,
+            "synthetic_size": self.synthetic_size,
+        }
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A declarative experiment grid, JSON-loadable and validated on build.
+
+    Axes: ``methods`` x ``domains`` x ``generators`` x ``epsilons`` x
+    ``stream_sizes`` x ``trials``.  ``trials`` is the seed axis: trial ``t``
+    of a grid point reuses the same dataset across every method and epsilon,
+    so rows are comparable, and aggregation reports mean/stderr over trials.
+
+    Example:
+        >>> spec = MatrixSpec.from_dict({
+        ...     "name": "sweep",
+        ...     "methods": ["nonprivate", {"name": "privhp", "label": "privhp-k4",
+        ...                                "params": {"pruning_k": 4}}],
+        ...     "domains": ["interval"],
+        ...     "generators": [{"name": "zipf", "params": {"exponent": 1.5}}],
+        ...     "epsilons": [1.0],
+        ...     "stream_sizes": [256],
+        ...     "trials": 2,
+        ... })
+        >>> len(spec.cells())
+        4
+    """
+
+    name: str
+    methods: tuple
+    domains: tuple
+    generators: tuple
+    epsilons: tuple
+    stream_sizes: tuple
+    trials: int = 1
+    base_seed: int = 0
+    pruning_k: int = 8
+    repetitions: int = 1
+    synthetic_size: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "methods", tuple(
+            AxisEntry.parse(entry, "methods") for entry in _non_empty(self.methods, "methods")
+        ))
+        object.__setattr__(self, "generators", tuple(
+            AxisEntry.parse(entry, "generators")
+            for entry in _non_empty(self.generators, "generators")
+        ))
+        object.__setattr__(self, "domains", tuple(
+            str(entry).strip() for entry in _non_empty(self.domains, "domains")
+        ))
+        object.__setattr__(self, "epsilons", tuple(
+            _positive_float(value, "epsilons") for value in _non_empty(self.epsilons, "epsilons")
+        ))
+        object.__setattr__(self, "stream_sizes", tuple(
+            _positive_int(value, "stream_sizes")
+            for value in _non_empty(self.stream_sizes, "stream_sizes")
+        ))
+        if not str(self.name).strip():
+            raise MatrixSpecError("spec 'name' must be a non-empty string")
+        object.__setattr__(self, "name", str(self.name).strip())
+        object.__setattr__(self, "trials", _positive_int(self.trials, "trials"))
+        object.__setattr__(self, "base_seed", int(self.base_seed))
+        object.__setattr__(self, "pruning_k", _positive_int(self.pruning_k, "pruning_k"))
+        object.__setattr__(self, "repetitions", _positive_int(self.repetitions, "repetitions"))
+        if self.synthetic_size is not None:
+            object.__setattr__(
+                self, "synthetic_size", _positive_int(self.synthetic_size, "synthetic_size")
+            )
+        self._validate()
+
+    # -------------------------------------------------------------- #
+    def _validate(self) -> None:
+        known_methods = set(available_methods())
+        known_generators = set(available_generators())
+        for entry in self.methods:
+            if entry.name not in known_methods:
+                raise MatrixSpecError(
+                    f"unknown method {entry.name!r}; known methods: "
+                    f"{', '.join(sorted(known_methods))}"
+                )
+        for entry in self.generators:
+            if entry.name not in known_generators:
+                raise MatrixSpecError(
+                    f"unknown generator {entry.name!r}; known generators: "
+                    f"{', '.join(sorted(known_generators))}"
+                )
+        for domain_spec in self.domains:
+            if domain_spec.lower().partition(":")[0] == "auto":
+                raise MatrixSpecError(
+                    "domain 'auto' cannot appear in a matrix spec; name the "
+                    "domain explicitly (e.g. 'interval', 'hypercube:2')"
+                )
+            try:
+                make_domain(domain_spec)
+            except ValueError as error:
+                raise MatrixSpecError(f"bad domain spec {domain_spec!r}: {error}") from error
+        for axis_name, labels in (
+            ("methods", [entry.label for entry in self.methods]),
+            ("generators", [entry.label for entry in self.generators]),
+            ("domains", list(self.domains)),
+            ("epsilons", list(self.epsilons)),
+            ("stream_sizes", list(self.stream_sizes)),
+        ):
+            duplicates = sorted({str(v) for v in labels if labels.count(v) > 1})
+            if duplicates:
+                raise MatrixSpecError(
+                    f"duplicate {axis_name} entries would collide in the result "
+                    f"store: {', '.join(duplicates)} (give variants distinct labels)"
+                )
+
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def from_dict(document: dict) -> "MatrixSpec":
+        """Build and validate a spec from a plain JSON document."""
+        if not isinstance(document, dict):
+            raise MatrixSpecError(
+                f"a matrix spec must be a JSON object, got {type(document).__name__}"
+            )
+        unknown = sorted(set(document) - _SPEC_FIELDS)
+        if unknown:
+            raise MatrixSpecError(
+                f"unknown spec field(s): {', '.join(unknown)}; known fields: "
+                f"{', '.join(sorted(_SPEC_FIELDS))}"
+            )
+        missing = sorted(
+            {"name", "methods", "domains", "generators", "epsilons", "stream_sizes"}
+            - set(document)
+        )
+        if missing:
+            raise MatrixSpecError(f"spec is missing required field(s): {', '.join(missing)}")
+        return MatrixSpec(**document)
+
+    def to_dict(self) -> dict:
+        """The JSON form (round-trips through :meth:`from_dict`)."""
+        document = {
+            "name": self.name,
+            "methods": [entry.to_dict() for entry in self.methods],
+            "domains": list(self.domains),
+            "generators": [entry.to_dict() for entry in self.generators],
+            "epsilons": list(self.epsilons),
+            "stream_sizes": list(self.stream_sizes),
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "pruning_k": self.pruning_k,
+            "repetitions": self.repetitions,
+        }
+        if self.synthetic_size is not None:
+            document["synthetic_size"] = self.synthetic_size
+        return document
+
+    def cells(self) -> list[MatrixCell]:
+        """Enumerate the grid in canonical order (trial varies fastest)."""
+        cells: list[MatrixCell] = []
+        index = 0
+        for di, domain in enumerate(self.domains):
+            for gi, generator in enumerate(self.generators):
+                for si, size in enumerate(self.stream_sizes):
+                    for epsilon in self.epsilons:
+                        for method in self.methods:
+                            for trial in range(self.trials):
+                                cells.append(MatrixCell(
+                                    index=index,
+                                    method=method,
+                                    domain=domain,
+                                    generator=generator,
+                                    epsilon=epsilon,
+                                    size=size,
+                                    trial=trial,
+                                    dataset_coords=(di, gi, si, trial),
+                                    base_seed=self.base_seed,
+                                    pruning_k=self.pruning_k,
+                                    repetitions=self.repetitions,
+                                    synthetic_size=self.synthetic_size,
+                                ))
+                                index += 1
+        return cells
+
+
+def _non_empty(values, axis: str):
+    if isinstance(values, (str, bytes)) or not hasattr(values, "__iter__"):
+        raise MatrixSpecError(f"spec field {axis!r} must be a non-empty list")
+    values = list(values)
+    if not values:
+        raise MatrixSpecError(f"spec field {axis!r} must be a non-empty list")
+    return values
+
+
+def _positive_float(value, axis: str) -> float:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise MatrixSpecError(f"{axis} entries must be numbers, got {value!r}") from None
+    if not value > 0 or not np.isfinite(value):
+        raise MatrixSpecError(f"{axis} entries must be positive and finite, got {value!r}")
+    return value
+
+
+def _positive_int(value, axis: str) -> int:
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError):
+        raise MatrixSpecError(f"{axis} must be an integer, got {value!r}") from None
+    if as_int != value or as_int < 1:
+        raise MatrixSpecError(f"{axis} must be a positive integer, got {value!r}")
+    return as_int
+
+
+def load_spec(path: str | pathlib.Path) -> MatrixSpec:
+    """Load and validate a :class:`MatrixSpec` from a JSON file."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise MatrixSpecError(f"cannot read spec file {path}: {error}") from error
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise MatrixSpecError(f"spec file {path} is not valid JSON: {error}") from error
+    return MatrixSpec.from_dict(document)
+
+
+# --------------------------------------------------------------------------- #
+# cell execution
+# --------------------------------------------------------------------------- #
+def _domain_dimension(domain) -> int:
+    if isinstance(domain, GeoDomain):
+        return 2
+    return int(getattr(domain, "dimension", 1))
+
+
+def _materialize(domain, unit: np.ndarray) -> np.ndarray:
+    """Map unit-cube generator output into the domain's native points."""
+    if isinstance(domain, (UnitInterval, Hypercube)):
+        return unit
+    if isinstance(domain, GeoDomain):
+        points = np.empty_like(unit)
+        points[:, 0] = domain.lat_min + unit[:, 0] * (domain.lat_max - domain.lat_min)
+        points[:, 1] = domain.lon_min + unit[:, 1] * (domain.lon_max - domain.lon_min)
+        return points
+    if isinstance(domain, DiscreteDomain):
+        return np.clip((unit * domain.size).astype(np.int64), 0, domain.size - 1)
+    if isinstance(domain, IPv4Domain):
+        universe = 2 ** 32
+        return np.clip((unit * universe).astype(np.int64), 0, universe - 1)
+    raise ValueError(
+        f"matrix runner cannot generate workloads for domain {type(domain).__name__}; "
+        "supported: interval, hypercube, geo, discrete, ipv4"
+    )
+
+
+def _cell_dataset(domain, payload: dict) -> np.ndarray:
+    coords = tuple(int(value) for value in payload["dataset_coords"])
+    sequence = np.random.SeedSequence(
+        payload["base_seed"], spawn_key=(_DATA_STREAM, *coords)
+    )
+    unit = make_stream(
+        payload["generator"]["name"],
+        payload["size"],
+        dimension=_domain_dimension(domain),
+        rng=np.random.default_rng(sequence),
+        **payload["generator"]["params"],
+    )
+    return _materialize(domain, unit)
+
+
+def dataset_for(
+    spec: MatrixSpec,
+    domain_index: int = 0,
+    generator_index: int = 0,
+    size_index: int = 0,
+    trial: int = 0,
+) -> np.ndarray:
+    """Reproduce the exact dataset one grid point saw (method-independent).
+
+    Adapters use this to compute data-dependent theory quantities (tail
+    norms, predicted bounds) on precisely the data the cells were fitted on.
+    """
+    domain = make_domain(spec.domains[domain_index])
+    payload = {
+        "base_seed": spec.base_seed,
+        "dataset_coords": (domain_index, generator_index, size_index, trial),
+        "generator": {
+            "name": spec.generators[generator_index].name,
+            "params": dict(spec.generators[generator_index].params),
+        },
+        "size": spec.stream_sizes[size_index],
+    }
+    return _cell_dataset(domain, payload)
+
+
+def _build_method(domain, payload: dict):
+    entry = payload["method"]
+    factory = method_factory(entry["name"])
+    signature = inspect.signature(factory)
+    named = {
+        parameter.name
+        for parameter in signature.parameters.values()
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    }
+    kwargs = dict(entry["params"])
+    if "epsilon" in named and "epsilon" not in kwargs:
+        kwargs["epsilon"] = payload["epsilon"]
+    if "pruning_k" in named and "pruning_k" not in kwargs:
+        kwargs["pruning_k"] = payload["pruning_k"]
+    try:
+        return factory(domain, **kwargs)
+    except TypeError as error:
+        raise ValueError(
+            f"bad parameters for method {entry['label']!r}: {error}"
+        ) from error
+
+
+def execute_cell(payload: dict) -> dict:
+    """Run one grid cell; returns ``{"key", "row", "timing"}``.
+
+    ``row`` contains only deterministic fields (safe to persist for
+    byte-identical reruns); ``timing`` carries the wall-clock measurements.
+    Runs in worker processes, so it takes and returns plain dicts.
+    """
+    key = payload["key"]
+    try:
+        domain = make_domain(payload["domain"])
+        data = _cell_dataset(domain, payload)
+        method = _build_method(domain, payload)
+        evaluation_rng = np.random.default_rng(np.random.SeedSequence(
+            payload["base_seed"], spawn_key=(_EVAL_STREAM, payload["index"])
+        ))
+        result = evaluate_method(
+            method,
+            data,
+            domain,
+            synthetic_size=payload["synthetic_size"],
+            repetitions=payload["repetitions"],
+            rng=evaluation_rng,
+            parameters={
+                "method_label": payload["method"]["label"],
+                "domain": payload["domain"],
+                "generator": payload["generator"]["label"],
+                "epsilon": payload["epsilon"],
+                "n": payload["size"],
+                "trial": payload["trial"],
+            },
+        )
+    except Exception as error:
+        raise MatrixCellError(f"cell {key} failed: {error}") from error
+    return {
+        "key": key,
+        "row": result.as_row(include_timings=False),
+        "timing": {
+            "key": key,
+            "fit_seconds": result.fit_seconds,
+            "sample_seconds": result.sample_seconds,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# result store
+# --------------------------------------------------------------------------- #
+def _canonical_json(document: dict) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Append-only, crash-safe, resumable store of cell results.
+
+    ``results.jsonl`` holds one canonical-JSON line per completed cell.
+    Each record is a single flushed+fsynced append of one complete line, so
+    per-cell cost stays O(1) however large the grid grows; the only damage
+    an interrupt can do is truncate the *final* line, which the loader
+    detects (no trailing newline), discards, and repairs -- that cell simply
+    re-runs on resume.  ``finalize`` sorts the lines by cell key and
+    rewrites the file atomically (temp + ``os.replace``, like ``spec.json``
+    and the aggregate artifacts), making a completed run's file
+    byte-identical regardless of worker count or completion order.  Timings
+    (nondeterministic) live in a separate ``timings.jsonl``.
+
+    Example:
+        >>> import tempfile
+        >>> store = ResultStore(tempfile.mkdtemp())
+        >>> store.record("cell-b", {"wasserstein": 0.5})
+        >>> store.record("cell-a", {"wasserstein": 0.25})
+        >>> store.finalize()
+        >>> [record["key"] for record in store.records()]
+        ['cell-a', 'cell-b']
+    """
+
+    RESULTS_NAME = "results.jsonl"
+    TIMINGS_NAME = "timings.jsonl"
+    SPEC_NAME = "spec.json"
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.directory / self.RESULTS_NAME
+        self.timings_path = self.directory / self.TIMINGS_NAME
+        self.spec_path = self.directory / self.SPEC_NAME
+        self._lines: list[str] = []
+        self._keys: set[str] = set()
+        if self.results_path.exists():
+            text = self.results_path.read_text()
+            if text and not text.endswith("\n"):
+                # An interrupt mid-append truncated the final line; drop it
+                # (the cell re-runs on resume) and repair the file.
+                text = text[: text.rfind("\n") + 1]
+                write_text_atomic(self.results_path, text)
+            for number, line in enumerate(text.splitlines(), 1):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                except (json.JSONDecodeError, TypeError, KeyError) as error:
+                    raise ValueError(
+                        f"{self.results_path} line {number} is not a valid result "
+                        f"record: {error}"
+                    ) from error
+                self._lines.append(line)
+                self._keys.add(key)
+
+    def ensure_spec(self, spec: MatrixSpec) -> None:
+        """Pin the spec to the directory; refuses to mix different grids."""
+        text = json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+        if self.spec_path.exists():
+            try:
+                existing = json.loads(self.spec_path.read_text())
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{self.spec_path} is corrupt: {error}") from error
+            if existing != spec.to_dict():
+                raise ValueError(
+                    f"{self.directory} already holds results for a different "
+                    f"spec ({existing.get('name', '?')!r}); use a fresh --out "
+                    "directory for a different grid"
+                )
+            return
+        write_text_atomic(self.spec_path, text)
+
+    def completed_keys(self) -> set[str]:
+        """Keys of cells already recorded (skipped on resume)."""
+        return set(self._keys)
+
+    def record(self, key: str, row: dict, timing: dict | None = None) -> None:
+        """Persist one completed cell (one flushed+fsynced appended line)."""
+        if key in self._keys:
+            raise ValueError(f"cell {key} is already recorded")
+        line = _canonical_json({"key": key, **row})
+        self._lines.append(line)
+        self._keys.add(key)
+        with self.results_path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if timing is not None:
+            with self.timings_path.open("a") as handle:
+                handle.write(_canonical_json(timing) + "\n")
+
+    def finalize(self) -> None:
+        """Sort ``results.jsonl`` by cell key (canonical completed form)."""
+        self._lines.sort(key=lambda line: json.loads(line)["key"])
+        write_text_atomic(self.results_path, "\n".join(self._lines) + "\n")
+
+    def records(self) -> list[dict]:
+        """All recorded rows (dicts including their ``key``)."""
+        return [json.loads(line) for line in self._lines]
+
+
+# --------------------------------------------------------------------------- #
+# aggregation
+# --------------------------------------------------------------------------- #
+def aggregate_records(records: list[dict]) -> list[dict]:
+    """Roll cell records up to mean/stderr-over-trials rows per grid point.
+
+    Rows are grouped by (domain, generator, n, epsilon, method label) and
+    sorted by that tuple, so the output is deterministic regardless of the
+    records' completion order.  Timing fields are averaged when present
+    (in-memory runs) and simply absent otherwise (store reruns).
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for record in records:
+        group = (
+            record["domain"],
+            record["generator"],
+            record["n"],
+            record["epsilon"],
+            record["method_label"],
+        )
+        groups.setdefault(group, []).append(record)
+
+    rows = []
+    for group in sorted(groups, key=lambda g: (g[0], g[1], g[2], g[3], str(g[4]))):
+        members = sorted(groups[group], key=lambda record: record["trial"])
+        domain, generator, size, epsilon, label = group
+        means = np.array([member["wasserstein"] for member in members], dtype=float)
+        row = {
+            "method": label,
+            "method_name": members[0]["method"],
+            "domain": domain,
+            "generator": generator,
+            "epsilon": float(epsilon),
+            "n": int(size),
+            "trials": len(members),
+            "wasserstein": float(means.mean()),
+            "wasserstein_std": float(means.std()),
+            "wasserstein_stderr": float(means.std() / np.sqrt(len(members))),
+            "memory_words": int(max(member["memory_words"] for member in members)),
+        }
+        for timing_field in ("fit_seconds", "sample_seconds"):
+            values = [member[timing_field] for member in members if timing_field in member]
+            if values:
+                row[timing_field] = float(np.mean(values))
+        rows.append(row)
+    return rows
+
+
+#: Column order for the aggregate CSV artifact.
+_AGGREGATE_COLUMNS = (
+    "method",
+    "method_name",
+    "domain",
+    "generator",
+    "epsilon",
+    "n",
+    "trials",
+    "wasserstein",
+    "wasserstein_std",
+    "wasserstein_stderr",
+    "memory_words",
+)
+
+
+def _write_aggregate(directory: pathlib.Path, rows: list[dict]) -> None:
+    """Write ``aggregate.json`` and ``aggregate.csv`` artifacts atomically."""
+    deterministic = [
+        {column: row[column] for column in _AGGREGATE_COLUMNS if column in row}
+        for row in rows
+    ]
+    write_text_atomic(
+        directory / "aggregate.json",
+        json.dumps(deterministic, indent=2, sort_keys=True) + "\n",
+    )
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_AGGREGATE_COLUMNS, restval="")
+    writer.writeheader()
+    for row in deterministic:
+        writer.writerow(row)
+    write_text_atomic(directory / "aggregate.csv", buffer.getvalue())
+
+
+# --------------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------------- #
+def run_matrix(
+    spec: MatrixSpec,
+    out_dir: str | pathlib.Path | None = None,
+    workers: int = 1,
+    resume: bool = False,
+    progress=None,
+) -> dict:
+    """Execute a grid, optionally resumable on disk, optionally in parallel.
+
+    Returns ``{"records", "aggregate", "executed", "skipped"}``.  With
+    ``out_dir`` the store is consulted first: completed cells are skipped
+    when ``resume=True`` (an existing non-empty store without ``resume`` is
+    an error so stale results are never silently mixed), and
+    ``aggregate.json``/``aggregate.csv`` artifacts are written next to
+    ``results.jsonl``.  ``workers > 1`` fans cells out over a process pool;
+    results are identical to a single-worker run because all randomness is
+    keyed by cell coordinates.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    cells = spec.cells()
+    store: ResultStore | None = None
+    done: set[str] = set()
+    if out_dir is not None:
+        store = ResultStore(out_dir)
+        store.ensure_spec(spec)
+        done = store.completed_keys()
+        if done and not resume:
+            raise ValueError(
+                f"{store.results_path} already holds {len(done)} completed "
+                "cell(s); pass --resume to continue it or use a fresh --out "
+                "directory"
+            )
+    pending = [cell for cell in cells if cell.key not in done]
+
+    fresh: dict[str, dict] = {}
+
+    def absorb(outcome: dict) -> None:
+        row = outcome["row"]
+        if store is not None:
+            store.record(outcome["key"], row, outcome["timing"])
+        # In-memory consumers (the experiment adapters) also want timings.
+        fresh[outcome["key"]] = {**row, **{
+            k: v for k, v in outcome["timing"].items() if k != "key"
+        }, "key": outcome["key"]}
+        if progress is not None:
+            progress(len(done) + len(fresh), len(cells), outcome["key"])
+
+    if pending:
+        if workers == 1:
+            for cell in pending:
+                absorb(execute_cell(cell.payload()))
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                futures = [pool.submit(execute_cell, cell.payload()) for cell in pending]
+                for future in as_completed(futures):
+                    absorb(future.result())
+
+    if store is not None:
+        store.finalize()
+        records = store.records()
+        aggregate = aggregate_records(records)
+        _write_aggregate(store.directory, aggregate)
+    else:
+        records = [fresh[cell.key] for cell in cells]
+        aggregate = aggregate_records(records)
+    return {
+        "spec": spec,
+        "records": records,
+        "aggregate": aggregate,
+        "executed": len(pending),
+        "skipped": len(cells) - len(pending),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# smoke preset + CI accuracy gate
+# --------------------------------------------------------------------------- #
+def smoke_spec() -> MatrixSpec:
+    """The small built-in grid behind ``repro matrix --smoke`` (CI's gate)."""
+    return MatrixSpec(
+        name="smoke",
+        methods=("nonprivate", "privhp", "smooth"),
+        domains=("interval",),
+        generators=("gaussian_mixture",),
+        epsilons=(1.0,),
+        stream_sizes=(1024,),
+        trials=3,
+        base_seed=0,
+        pruning_k=8,
+    )
+
+
+def check_smoke_ordering(rows: list[dict]) -> list[str]:
+    """Accuracy sanity gate over aggregate rows; returns violation messages.
+
+    At every grid point that contains them: the non-private floor must not
+    measure worse than any private method, and PrivHP must not measure worse
+    than the Smooth baseline (the paper's headline ordering).
+
+    Example:
+        >>> rows = [
+        ...     {"method": "nonprivate", "domain": "interval", "generator": "g",
+        ...      "epsilon": 1.0, "n": 64, "wasserstein": 0.01},
+        ...     {"method": "privhp", "domain": "interval", "generator": "g",
+        ...      "epsilon": 1.0, "n": 64, "wasserstein": 0.05},
+        ...     {"method": "smooth", "domain": "interval", "generator": "g",
+        ...      "epsilon": 1.0, "n": 64, "wasserstein": 0.04},
+        ... ]
+        >>> check_smoke_ordering(rows)
+        ['interval/g/eps=1.0/n=64: PrivHP error 0.05 exceeds Smooth error 0.04']
+    """
+    violations = []
+    groups: dict[tuple, dict[str, dict]] = {}
+    for row in rows:
+        point = (row["domain"], row["generator"], row["epsilon"], row["n"])
+        groups.setdefault(point, {})[row["method"]] = row
+    for point in sorted(groups, key=str):
+        by_label = groups[point]
+        where = f"{point[0]}/{point[1]}/eps={point[2]}/n={point[3]}"
+        if "privhp" in by_label and "smooth" in by_label:
+            privhp = by_label["privhp"]["wasserstein"]
+            smooth = by_label["smooth"]["wasserstein"]
+            if privhp > smooth:
+                violations.append(
+                    f"{where}: PrivHP error {privhp:g} exceeds Smooth error {smooth:g}"
+                )
+        if "nonprivate" in by_label:
+            floor = by_label["nonprivate"]["wasserstein"]
+            for label, row in sorted(by_label.items()):
+                if label == "nonprivate":
+                    continue
+                if floor > row["wasserstein"]:
+                    violations.append(
+                        f"{where}: non-private floor {floor:g} exceeds "
+                        f"{label} error {row['wasserstein']:g}"
+                    )
+    return violations

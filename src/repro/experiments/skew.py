@@ -3,21 +3,21 @@
 Theorem 3's ``Delta_approx`` term scales with ``||tail_k||_1``: for highly
 skewed streams (mass concentrated in few cells) pruning is nearly free, while
 for uniform streams it dominates.  The experiment sweeps the Zipf exponent of
-the workload, records the measured tail norm and the measured utility of
-PrivHP, and reports the theoretical bound so the monotone relationship between
-skew and utility can be verified.
+the workload -- declared as labelled ``zipf`` generator variants on the
+``generators`` axis of a :class:`repro.experiments.runner.MatrixSpec` --
+records the measured tail norm and the measured utility of PrivHP, and
+reports the theoretical bound so the monotone relationship between skew and
+utility can be verified.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import PrivHPMethod
-from repro.domain.hypercube import Hypercube
-from repro.domain.interval import UnitInterval
-from repro.metrics.evaluation import evaluate_method
+from repro.api.registry import make_domain
+from repro.experiments.harness import domain_spec_for_dimension, measured_row
+from repro.experiments.runner import MatrixSpec, dataset_for, run_matrix
 from repro.metrics.tail import tail_norm
-from repro.stream.generators import zipf_cell_stream
 from repro.theory.bounds import corollary1_bound
 
 __all__ = ["skew_experiment"]
@@ -32,35 +32,48 @@ def skew_experiment(
     repetitions: int = 3,
     seed: int = 0,
     cell_level: int = 8,
+    workers: int = 1,
 ) -> list[dict]:
     """Utility of PrivHP as a function of the workload's Zipf skew exponent."""
-    domain = UnitInterval() if dimension == 1 else Hypercube(dimension)
+    spec = MatrixSpec(
+        name="skew",
+        methods=("privhp",),
+        domains=(domain_spec_for_dimension(dimension),),
+        generators=tuple(
+            {"name": "zipf", "label": f"zipf-{float(exponent):g}",
+             "params": {"level": int(cell_level), "exponent": float(exponent)}}
+            for exponent in exponents
+        ),
+        epsilons=(float(epsilon),),
+        stream_sizes=(int(stream_size),),
+        trials=int(repetitions),
+        base_seed=int(seed),
+        pruning_k=int(pruning_k),
+    )
+    outcome = run_matrix(spec, workers=workers)
+    by_generator = {row["generator"]: row for row in outcome["aggregate"]}
+    domain = make_domain(spec.domains[0])
 
     rows = []
-    for exponent in exponents:
-        rng = np.random.default_rng(seed)
-        data = zipf_cell_stream(
-            stream_size,
-            dimension=dimension,
-            level=cell_level,
-            exponent=float(exponent),
-            rng=rng,
-        )
-        method = PrivHPMethod(domain, epsilon=epsilon, pruning_k=pruning_k, seed=seed)
-        result = evaluate_method(
-            method,
-            data,
-            domain,
-            repetitions=repetitions,
-            rng=np.random.default_rng(seed + int(exponent * 100)),
-            parameters={"zipf_exponent": float(exponent)},
-        )
-        tail = tail_norm(data, domain, level=cell_level, k=pruning_k)
-        row = result.as_row()
-        row["tail_norm"] = tail
-        row["tail_fraction"] = tail / stream_size
-        row["predicted_bound"] = corollary1_bound(
-            dimension, stream_size, epsilon, pruning_k, tail
-        )
+    for generator_index, exponent in enumerate(exponents):
+        aggregate_row = by_generator[f"zipf-{float(exponent):g}"]
+        tail = float(np.mean([
+            tail_norm(
+                dataset_for(spec, generator_index=generator_index, trial=trial),
+                domain,
+                level=cell_level,
+                k=pruning_k,
+            )
+            for trial in range(spec.trials)
+        ]))
+        row = measured_row(aggregate_row)
+        row.update({
+            "zipf_exponent": float(exponent),
+            "tail_norm": tail,
+            "tail_fraction": tail / stream_size,
+            "predicted_bound": corollary1_bound(
+                dimension, stream_size, epsilon, pruning_k, tail
+            ),
+        })
         rows.append(row)
     return rows

@@ -8,33 +8,59 @@ is the *shape*: the hierarchical methods (PMM / SRRW) are the most accurate
 but use memory proportional to ``eps * n`` (or ``d * n``); Smooth trails in
 accuracy; PrivHP lands close to PMM in accuracy while holding one to two
 orders of magnitude less state.
+
+The grid is declared as a :class:`repro.experiments.runner.MatrixSpec`
+(see :func:`table1_spec`) and executed through the shared matrix runner, so
+the same comparison scales out over processes and resumes from a result
+store when driven via ``repro matrix``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import (
-    NonPrivateHistogramMethod,
-    PMMMethod,
-    PrivHPMethod,
-    SRRWMethod,
-    SmoothMethod,
+from repro.api.registry import make_domain
+from repro.experiments.harness import (
+    domain_spec_for_dimension,
+    format_table,
+    measured_row,
 )
-from repro.domain.hypercube import Hypercube
-from repro.domain.interval import UnitInterval
-from repro.experiments.harness import format_table, run_methods
+from repro.experiments.runner import MatrixSpec, dataset_for, run_matrix
 from repro.metrics.tail import tail_norm
-from repro.stream.generators import gaussian_mixture_stream
 from repro.theory.comparison import table1_rows
 
-__all__ = ["run_table1"]
+__all__ = ["run_table1", "table1_spec"]
 
 
-def _make_domain(dimension: int):
-    if dimension == 1:
-        return UnitInterval()
-    return Hypercube(dimension)
+def table1_spec(
+    dimension: int = 1,
+    stream_size: int = 4096,
+    epsilon: float = 1.0,
+    pruning_k: int = 8,
+    repetitions: int = 3,
+    seed: int = 0,
+    include_nonprivate: bool = True,
+) -> MatrixSpec:
+    """The Table-1 comparison grid as a declarative matrix spec."""
+    methods = [
+        {"name": "smooth", "params": {"order": 4 if dimension > 1 else 8}},
+        {"name": "srrw", "params": {"max_depth": 14}},
+        {"name": "pmm", "params": {"max_depth": 14}},
+        "privhp",
+    ]
+    if include_nonprivate:
+        methods.append("nonprivate")
+    return MatrixSpec(
+        name=f"table1-d{dimension}",
+        methods=tuple(methods),
+        domains=(domain_spec_for_dimension(dimension),),
+        generators=("gaussian_mixture",),
+        epsilons=(float(epsilon),),
+        stream_sizes=(int(stream_size),),
+        trials=int(repetitions),
+        base_seed=int(seed),
+        pruning_k=int(pruning_k),
+    )
 
 
 def run_table1(
@@ -45,36 +71,41 @@ def run_table1(
     repetitions: int = 3,
     seed: int = 0,
     include_nonprivate: bool = True,
+    workers: int = 1,
 ) -> dict:
     """Run the Table-1 comparison and return predicted and measured rows."""
-    domain = _make_domain(dimension)
-    rng = np.random.default_rng(seed)
-    data = gaussian_mixture_stream(stream_size, dimension=dimension, rng=rng)
-
-    methods = [
-        SmoothMethod(domain, epsilon=epsilon, order=4 if dimension > 1 else 8),
-        SRRWMethod(domain, epsilon=epsilon, max_depth=14),
-        PMMMethod(domain, epsilon=epsilon, max_depth=14),
-        PrivHPMethod(domain, epsilon=epsilon, pruning_k=pruning_k, seed=seed),
-    ]
-    if include_nonprivate:
-        methods.append(NonPrivateHistogramMethod(domain))
-
-    results = run_methods(
-        methods,
-        data,
-        domain,
+    spec = table1_spec(
+        dimension=dimension,
+        stream_size=stream_size,
+        epsilon=epsilon,
+        pruning_k=pruning_k,
         repetitions=repetitions,
         seed=seed,
-        parameters={"dimension": dimension, "n": stream_size, "epsilon": epsilon},
+        include_nonprivate=include_nonprivate,
     )
+    outcome = run_matrix(spec, workers=workers)
+    by_label = {row["method"]: row for row in outcome["aggregate"]}
 
-    tail = tail_norm(data, domain, level=min(12, 2 + int(np.log2(stream_size))), k=pruning_k)
+    measured = []
+    for entry in spec.methods:
+        row = measured_row(by_label[entry.label])
+        row.update({"dimension": dimension, "n": stream_size, "epsilon": epsilon})
+        measured.append(row)
+
+    domain = make_domain(spec.domains[0])
+    tail = float(np.mean([
+        tail_norm(
+            dataset_for(spec, trial=trial),
+            domain,
+            level=min(12, 2 + int(np.log2(stream_size))),
+            k=pruning_k,
+        )
+        for trial in range(spec.trials)
+    ]))
     predicted = [
         row.as_dict()
         for row in table1_rows(dimension, stream_size, epsilon, pruning_k, tail)
     ]
-    measured = [result.as_row() for result in results]
     return {
         "dimension": dimension,
         "stream_size": stream_size,

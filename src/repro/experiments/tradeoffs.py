@@ -8,27 +8,58 @@
   ``1/(eps n)`` behaviour of the noise term.
 * :func:`stream_length_tradeoff` sweeps the stream length and records both the
   error and the memory held, verifying the ``O(k log^2 n)`` memory growth.
+
+Each sweep is one axis of a :class:`repro.experiments.runner.MatrixSpec`
+(``k`` as labelled method variants, ``epsilon`` and ``n`` as native axes)
+executed through the shared matrix runner.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import PrivHPMethod
-from repro.domain.hypercube import Hypercube
-from repro.domain.interval import UnitInterval
-from repro.metrics.evaluation import evaluate_method
+from repro.api.registry import make_domain
+from repro.experiments.harness import domain_spec_for_dimension, measured_row
+from repro.experiments.runner import MatrixSpec, dataset_for, run_matrix
 from repro.metrics.tail import tail_norm
-from repro.stream.generators import gaussian_mixture_stream, zipf_cell_stream
 from repro.theory.bounds import corollary1_bound
 
 __all__ = ["memory_tradeoff", "epsilon_tradeoff", "stream_length_tradeoff"]
 
 
-def _make_domain(dimension: int):
-    if dimension == 1:
-        return UnitInterval()
-    return Hypercube(dimension)
+def _workload_entry(workload: str) -> dict | str:
+    if workload == "zipf":
+        return {"name": "zipf", "params": {"exponent": 1.2}}
+    return "gaussian_mixture"
+
+
+def _trial_datasets(spec: MatrixSpec, size_index: int = 0) -> list:
+    """The per-trial datasets of one grid point (shared across methods)."""
+    return [
+        dataset_for(spec, size_index=size_index, trial=trial)
+        for trial in range(spec.trials)
+    ]
+
+
+def _mean_tail(
+    spec: MatrixSpec,
+    pruning_k: int,
+    size_index: int = 0,
+    datasets: list | None = None,
+) -> float:
+    """Mean tail norm over the trial datasets of one grid point.
+
+    ``datasets`` lets a caller sweeping ``k`` over the *same* grid point
+    generate the trial data once instead of once per ``k``.
+    """
+    domain = make_domain(spec.domains[0])
+    level = min(12, 2 + int(np.log2(spec.stream_sizes[size_index])))
+    if datasets is None:
+        datasets = _trial_datasets(spec, size_index)
+    return float(np.mean([
+        tail_norm(data, domain, level=level, k=int(pruning_k))
+        for data in datasets
+    ]))
 
 
 def memory_tradeoff(
@@ -39,28 +70,32 @@ def memory_tradeoff(
     repetitions: int = 3,
     seed: int = 0,
     workload: str = "zipf",
+    workers: int = 1,
 ) -> list[dict]:
     """Utility as a function of the pruning parameter ``k`` (memory knob)."""
-    domain = _make_domain(dimension)
-    rng = np.random.default_rng(seed)
-    if workload == "zipf":
-        data = zipf_cell_stream(stream_size, dimension=dimension, exponent=1.2, rng=rng)
-    else:
-        data = gaussian_mixture_stream(stream_size, dimension=dimension, rng=rng)
+    spec = MatrixSpec(
+        name="memory-tradeoff",
+        methods=tuple(
+            {"name": "privhp", "label": f"privhp-k{int(k)}",
+             "params": {"pruning_k": int(k)}}
+            for k in pruning_values
+        ),
+        domains=(domain_spec_for_dimension(dimension),),
+        generators=(_workload_entry(workload),),
+        epsilons=(float(epsilon),),
+        stream_sizes=(int(stream_size),),
+        trials=int(repetitions),
+        base_seed=int(seed),
+    )
+    outcome = run_matrix(spec, workers=workers)
+    by_label = {row["method"]: row for row in outcome["aggregate"]}
+    datasets = _trial_datasets(spec)
 
     rows = []
     for pruning_k in pruning_values:
-        method = PrivHPMethod(domain, epsilon=epsilon, pruning_k=int(pruning_k), seed=seed)
-        result = evaluate_method(
-            method,
-            data,
-            domain,
-            repetitions=repetitions,
-            rng=np.random.default_rng(seed + int(pruning_k)),
-            parameters={"k": int(pruning_k)},
-        )
-        tail = tail_norm(data, domain, level=min(12, 2 + int(np.log2(stream_size))), k=int(pruning_k))
-        row = result.as_row()
+        row = measured_row(by_label[f"privhp-k{int(pruning_k)}"])
+        row["k"] = int(pruning_k)
+        tail = _mean_tail(spec, int(pruning_k), datasets=datasets)
         row["predicted_bound"] = corollary1_bound(
             dimension, stream_size, epsilon, int(pruning_k), tail
         )
@@ -76,25 +111,28 @@ def epsilon_tradeoff(
     pruning_k: int = 8,
     repetitions: int = 3,
     seed: int = 0,
+    workers: int = 1,
 ) -> list[dict]:
     """Utility as a function of the privacy budget epsilon."""
-    domain = _make_domain(dimension)
-    rng = np.random.default_rng(seed)
-    data = gaussian_mixture_stream(stream_size, dimension=dimension, rng=rng)
+    spec = MatrixSpec(
+        name="epsilon-tradeoff",
+        methods=("privhp",),
+        domains=(domain_spec_for_dimension(dimension),),
+        generators=("gaussian_mixture",),
+        epsilons=tuple(float(value) for value in epsilons),
+        stream_sizes=(int(stream_size),),
+        trials=int(repetitions),
+        base_seed=int(seed),
+        pruning_k=int(pruning_k),
+    )
+    outcome = run_matrix(spec, workers=workers)
+    by_epsilon = {row["epsilon"]: row for row in outcome["aggregate"]}
+    tail = _mean_tail(spec, pruning_k)
 
     rows = []
     for epsilon in epsilons:
-        method = PrivHPMethod(domain, epsilon=float(epsilon), pruning_k=pruning_k, seed=seed)
-        result = evaluate_method(
-            method,
-            data,
-            domain,
-            repetitions=repetitions,
-            rng=np.random.default_rng(seed + int(epsilon * 100)),
-            parameters={"epsilon": float(epsilon)},
-        )
-        tail = tail_norm(data, domain, level=min(12, 2 + int(np.log2(stream_size))), k=pruning_k)
-        row = result.as_row()
+        row = measured_row(by_epsilon[float(epsilon)])
+        row["epsilon"] = float(epsilon)
         row["predicted_bound"] = corollary1_bound(
             dimension, stream_size, float(epsilon), pruning_k, tail
         )
@@ -109,29 +147,30 @@ def stream_length_tradeoff(
     pruning_k: int = 8,
     repetitions: int = 3,
     seed: int = 0,
+    workers: int = 1,
 ) -> list[dict]:
     """Utility and memory as functions of the stream length ``n``."""
-    domain = _make_domain(dimension)
+    spec = MatrixSpec(
+        name="stream-length-tradeoff",
+        methods=("privhp",),
+        domains=(domain_spec_for_dimension(dimension),),
+        generators=("gaussian_mixture",),
+        epsilons=(float(epsilon),),
+        stream_sizes=tuple(int(size) for size in stream_sizes),
+        trials=int(repetitions),
+        base_seed=int(seed),
+        pruning_k=int(pruning_k),
+    )
+    outcome = run_matrix(spec, workers=workers)
+    by_size = {row["n"]: row for row in outcome["aggregate"]}
 
     rows = []
-    for stream_size in stream_sizes:
-        rng = np.random.default_rng(seed)
-        data = gaussian_mixture_stream(int(stream_size), dimension=dimension, rng=rng)
-        method = PrivHPMethod(domain, epsilon=epsilon, pruning_k=pruning_k, seed=seed)
-        result = evaluate_method(
-            method,
-            data,
-            domain,
-            repetitions=repetitions,
-            rng=np.random.default_rng(seed + int(stream_size)),
-            parameters={"n": int(stream_size)},
-        )
-        tail = tail_norm(
-            data, domain, level=min(12, 2 + int(np.log2(stream_size))), k=pruning_k
-        )
-        row = result.as_row()
+    for size_index, stream_size in enumerate(int(size) for size in stream_sizes):
+        row = measured_row(by_size[stream_size])
+        row["n"] = stream_size
+        tail = _mean_tail(spec, pruning_k, size_index=size_index)
         row["predicted_bound"] = corollary1_bound(
-            dimension, int(stream_size), epsilon, pruning_k, tail
+            dimension, stream_size, epsilon, pruning_k, tail
         )
         rows.append(row)
     return rows

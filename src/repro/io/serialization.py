@@ -59,6 +59,7 @@ __all__ = [
     "summarizer_from_dict",
     "save_checkpoint",
     "load_checkpoint",
+    "write_text_atomic",
 ]
 
 FORMAT_NAME = "privhp-generator"
@@ -208,12 +209,22 @@ def generator_from_dict(encoded: dict, seed: int | None = None) -> SyntheticData
     return SyntheticDataGenerator(tree, domain, rng=seed)
 
 
-def _write_text_atomic(path: pathlib.Path, text: str) -> None:
+def write_text_atomic(path: pathlib.Path, text: str) -> None:
     """Write through a sibling temp file + ``os.replace`` so a crash mid-write
-    can never leave an existing file truncated."""
+    can never leave an existing file truncated.
+
+    Shared by release/checkpoint persistence and the experiment-matrix result
+    store, whose resumability contract depends on never observing a partial
+    file.
+    """
+    path = pathlib.Path(path)
     temp = path.with_name(path.name + ".tmp")
     temp.write_text(text)
     os.replace(temp, path)
+
+
+#: Backwards-compatible alias for the pre-public name.
+_write_text_atomic = write_text_atomic
 
 
 def save_generator(

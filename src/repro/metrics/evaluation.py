@@ -38,16 +38,23 @@ class EvaluationResult:
     sample_seconds: float = 0.0
     parameters: dict = field(default_factory=dict)
 
-    def as_row(self) -> dict:
-        """Flat dictionary suitable for tabular reporting."""
+    def as_row(self, include_timings: bool = True) -> dict:
+        """Flat dictionary suitable for tabular reporting.
+
+        With ``include_timings=False`` the wall-clock fields are dropped,
+        leaving only values that are a deterministic function of the data and
+        the RNG seeds -- the form the experiment-matrix result store persists
+        so reruns are byte-identical.
+        """
         row = {
             "method": self.method,
             "wasserstein": self.wasserstein_mean,
             "wasserstein_std": self.wasserstein_std,
             "memory_words": self.memory_words,
-            "fit_seconds": self.fit_seconds,
-            "sample_seconds": self.sample_seconds,
         }
+        if include_timings:
+            row["fit_seconds"] = self.fit_seconds
+            row["sample_seconds"] = self.sample_seconds
         row.update(self.parameters)
         return row
 

@@ -11,8 +11,10 @@ heavy-tailed transaction amounts); DESIGN.md records the substitution.
 
 from repro.stream.stream import DataStream, StreamStats
 from repro.stream.generators import (
+    available_generators,
     beta_stream,
     gaussian_mixture_stream,
+    make_stream,
     sparse_cluster_stream,
     uniform_stream,
     zipf_cell_stream,
@@ -26,10 +28,12 @@ from repro.stream.datasets import (
 __all__ = [
     "DataStream",
     "StreamStats",
+    "available_generators",
     "beta_stream",
     "gaussian_mixture_stream",
     "geo_checkin_stream",
     "ipv4_traffic_stream",
+    "make_stream",
     "sparse_cluster_stream",
     "transaction_amount_stream",
     "uniform_stream",

@@ -24,6 +24,8 @@ __all__ = [
     "zipf_cell_stream",
     "sparse_cluster_stream",
     "beta_stream",
+    "available_generators",
+    "make_stream",
 ]
 
 
@@ -156,3 +158,65 @@ def beta_stream(
         raise ValueError("alpha and beta must be positive")
     generator = _generator(rng)
     return generator.beta(alpha, beta, size=size)
+
+
+#: Name -> generator mapping used by declarative workload specs (the
+#: experiment-matrix runner resolves its ``generators`` axis through this).
+_NAMED_GENERATORS = {
+    "uniform": uniform_stream,
+    "gaussian_mixture": gaussian_mixture_stream,
+    "zipf": zipf_cell_stream,
+    "sparse_cluster": sparse_cluster_stream,
+    "beta": beta_stream,
+}
+
+
+def available_generators() -> list[str]:
+    """Sorted names of the workload generators addressable by name.
+
+    Example:
+        >>> available_generators()
+        ['beta', 'gaussian_mixture', 'sparse_cluster', 'uniform', 'zipf']
+    """
+    return sorted(_NAMED_GENERATORS)
+
+
+def make_stream(
+    name: str,
+    size: int,
+    dimension: int = 1,
+    rng: np.random.Generator | int | None = None,
+    **params,
+) -> np.ndarray:
+    """Generate a named workload (the string form the matrix runner uses).
+
+    ``params`` are forwarded to the underlying generator (e.g. ``exponent``
+    for ``zipf``).  Generators that are one-dimensional only (``beta``)
+    reject ``dimension > 1`` with a clear error instead of silently ignoring
+    the request.
+
+    Example:
+        >>> make_stream("uniform", 4, dimension=2, rng=0).shape
+        (4, 2)
+        >>> make_stream("zipf", 8, rng=0, exponent=2.0).shape
+        (8,)
+    """
+    key = str(name).strip().lower()
+    if key not in _NAMED_GENERATORS:
+        raise ValueError(
+            f"unknown generator {name!r}; known generators: "
+            f"{', '.join(available_generators())}"
+        )
+    factory = _NAMED_GENERATORS[key]
+    kwargs = dict(params)
+    if factory is beta_stream:
+        if dimension != 1:
+            raise ValueError(f"generator {name!r} is one-dimensional only")
+    else:
+        kwargs["dimension"] = dimension
+    try:
+        return factory(size, rng=rng, **kwargs)
+    except TypeError as error:
+        # Unknown keyword arguments in a spec's generator params are user
+        # input errors, not programming errors.
+        raise ValueError(f"bad parameters for generator {name!r}: {error}") from error

@@ -1,0 +1,351 @@
+"""Tests for the experiment-matrix runner (spec, store, parallel execution).
+
+The contracts pinned here are the ones CI relies on:
+
+* results are byte-identical for any worker count (all randomness is keyed
+  by cell coordinates, never by scheduling order);
+* ``--resume`` skips completed cells and completes the grid to the exact
+  same bytes and aggregate a fresh run produces;
+* malformed specs are rejected with clear errors before any cell runs;
+* the smoke accuracy-ordering gate detects violations.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.runner import (
+    AxisEntry,
+    MatrixCellError,
+    MatrixSpec,
+    MatrixSpecError,
+    ResultStore,
+    aggregate_records,
+    check_smoke_ordering,
+    dataset_for,
+    execute_cell,
+    load_spec,
+    run_matrix,
+    smoke_spec,
+)
+
+
+def small_spec(**overrides) -> MatrixSpec:
+    """A 4-cell grid that runs in well under a second."""
+    base = dict(
+        name="tiny",
+        methods=(
+            "nonprivate",
+            {"name": "privhp", "label": "privhp-k4", "params": {"pruning_k": 4}},
+        ),
+        domains=("interval",),
+        generators=("gaussian_mixture",),
+        epsilons=(1.0,),
+        stream_sizes=(192,),
+        trials=2,
+        base_seed=7,
+    )
+    base.update(overrides)
+    return MatrixSpec(**base)
+
+
+class TestMatrixSpec:
+    def test_round_trips_through_json_document(self):
+        spec = small_spec()
+        assert MatrixSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_cells_cover_the_product_with_unique_keys(self):
+        spec = small_spec(epsilons=(0.5, 2.0), trials=3)
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 3  # methods x epsilons x trials
+        assert len({cell.key for cell in cells}) == len(cells)
+        # trial varies fastest within a grid point
+        assert [cell.trial for cell in cells[:3]] == [0, 1, 2]
+
+    def test_same_dataset_for_every_method_at_a_grid_point(self):
+        spec = small_spec()
+        cells = spec.cells()
+        by_method = {}
+        for cell in cells:
+            if cell.trial == 0:
+                by_method[cell.method.label] = cell.dataset_coords
+        assert len(set(by_method.values())) == 1
+        first = dataset_for(spec, trial=0)
+        again = dataset_for(spec, trial=0)
+        np.testing.assert_array_equal(first, again)
+        other_trial = dataset_for(spec, trial=1)
+        assert not np.array_equal(first, other_trial)
+
+    @pytest.mark.parametrize("mutation,needle", [
+        (dict(methods=("no-such-method",)), "unknown method"),
+        (dict(generators=("no-such-generator",)), "unknown generator"),
+        (dict(domains=("hyperwhat:3",)), "bad domain spec"),
+        (dict(domains=("auto",)), "auto"),
+        (dict(epsilons=(0.0,)), "positive"),
+        (dict(epsilons=("abc",)), "numbers"),
+        (dict(stream_sizes=(0,)), "positive integer"),
+        (dict(trials=0), "positive integer"),
+        (dict(methods=()), "non-empty"),
+        (dict(name="  "), "non-empty"),
+    ])
+    def test_bad_axis_values_are_rejected(self, mutation, needle):
+        with pytest.raises(MatrixSpecError, match=needle):
+            small_spec(**mutation)
+
+    def test_duplicate_labels_are_rejected(self):
+        with pytest.raises(MatrixSpecError, match="duplicate"):
+            small_spec(methods=("privhp", "privhp"))
+        with pytest.raises(MatrixSpecError, match="distinct labels"):
+            small_spec(methods=(
+                {"name": "privhp", "params": {"pruning_k": 2}},
+                {"name": "privhp", "params": {"pruning_k": 4}},
+            ))
+
+    def test_axis_entry_with_unknown_fields_is_rejected(self):
+        with pytest.raises(MatrixSpecError, match="unknown field"):
+            AxisEntry.parse({"name": "privhp", "extra": 1}, "methods")
+        with pytest.raises(MatrixSpecError, match="params"):
+            AxisEntry.parse({"name": "privhp", "params": [1, 2]}, "methods")
+
+    def test_from_dict_rejects_unknown_and_missing_fields(self):
+        document = small_spec().to_dict()
+        document["typo_field"] = 1
+        with pytest.raises(MatrixSpecError, match="typo_field"):
+            MatrixSpec.from_dict(document)
+        with pytest.raises(MatrixSpecError, match="missing required"):
+            MatrixSpec.from_dict({"name": "x"})
+        with pytest.raises(MatrixSpecError, match="JSON object"):
+            MatrixSpec.from_dict([1, 2])
+
+    def test_load_spec_errors_are_clear(self, tmp_path):
+        missing = tmp_path / "missing.json"
+        with pytest.raises(MatrixSpecError, match="cannot read"):
+            load_spec(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(MatrixSpecError, match="not valid JSON"):
+            load_spec(bad)
+        listy = tmp_path / "list.json"
+        listy.write_text("[1, 2]")
+        with pytest.raises(MatrixSpecError, match="JSON object"):
+            load_spec(listy)
+
+    def test_smoke_spec_is_valid_and_small(self):
+        spec = smoke_spec()
+        assert len(spec.cells()) <= 16
+        assert {entry.label for entry in spec.methods} >= {"nonprivate", "privhp", "smooth"}
+
+
+class TestCellExecution:
+    def test_cell_failure_names_the_cell(self):
+        spec = small_spec(methods=(
+            {"name": "smooth", "params": {"bogus_parameter": 3}},
+        ))
+        cell = spec.cells()[0]
+        with pytest.raises(MatrixCellError, match="method=smooth.*bogus_parameter"):
+            execute_cell(cell.payload())
+
+    def test_row_is_deterministic_and_timing_is_separate(self):
+        cell = small_spec().cells()[0]
+        first = execute_cell(cell.payload())
+        second = execute_cell(cell.payload())
+        assert first["row"] == second["row"]
+        assert "fit_seconds" not in first["row"]
+        assert set(first["timing"]) == {"key", "fit_seconds", "sample_seconds"}
+
+
+class TestWorkerInvariance:
+    def test_results_jsonl_byte_identical_for_any_worker_count(self, tmp_path):
+        spec = small_spec()
+        run_matrix(spec, out_dir=tmp_path / "w1", workers=1)
+        run_matrix(spec, out_dir=tmp_path / "w4", workers=4)
+        serial = (tmp_path / "w1" / "results.jsonl").read_bytes()
+        parallel = (tmp_path / "w4" / "results.jsonl").read_bytes()
+        assert serial == parallel
+        assert (
+            (tmp_path / "w1" / "aggregate.json").read_bytes()
+            == (tmp_path / "w4" / "aggregate.json").read_bytes()
+        )
+
+    def test_in_memory_run_matches_store_run(self, tmp_path):
+        spec = small_spec()
+        stored = run_matrix(spec, out_dir=tmp_path / "store", workers=1)
+        in_memory = run_matrix(spec, workers=1)
+        drop = {"fit_seconds", "sample_seconds"}
+        trim = lambda rows: [
+            {k: v for k, v in row.items() if k not in drop} for row in rows
+        ]
+        assert trim(stored["aggregate"]) == trim(in_memory["aggregate"])
+
+
+class TestResume:
+    def test_resume_skips_completed_and_reproduces_identical_output(self, tmp_path):
+        spec = small_spec()
+        full_dir = tmp_path / "full"
+        full = run_matrix(spec, out_dir=full_dir, workers=1)
+        full_bytes = (full_dir / "results.jsonl").read_bytes()
+
+        partial_dir = tmp_path / "partial"
+        partial_dir.mkdir()
+        lines = full_bytes.decode().splitlines()
+        (partial_dir / "results.jsonl").write_text("\n".join(lines[:1]) + "\n")
+        (partial_dir / "spec.json").write_text((full_dir / "spec.json").read_text())
+
+        resumed = run_matrix(spec, out_dir=partial_dir, workers=1, resume=True)
+        assert resumed["skipped"] == 1
+        assert resumed["executed"] == len(spec.cells()) - 1
+        assert (partial_dir / "results.jsonl").read_bytes() == full_bytes
+        assert (
+            (partial_dir / "aggregate.json").read_bytes()
+            == (full_dir / "aggregate.json").read_bytes()
+        )
+
+    def test_resume_of_a_complete_store_runs_nothing(self, tmp_path):
+        spec = small_spec()
+        run_matrix(spec, out_dir=tmp_path, workers=1)
+        again = run_matrix(spec, out_dir=tmp_path, workers=1, resume=True)
+        assert again["executed"] == 0
+        assert again["skipped"] == len(spec.cells())
+
+    def test_nonempty_store_without_resume_is_an_error(self, tmp_path):
+        spec = small_spec()
+        run_matrix(spec, out_dir=tmp_path, workers=1)
+        with pytest.raises(ValueError, match="--resume"):
+            run_matrix(spec, out_dir=tmp_path, workers=1)
+
+    def test_store_refuses_a_different_spec(self, tmp_path):
+        run_matrix(small_spec(), out_dir=tmp_path, workers=1)
+        different = small_spec(epsilons=(2.0,))
+        with pytest.raises(ValueError, match="different"):
+            run_matrix(different, out_dir=tmp_path, workers=1, resume=True)
+
+    def test_corrupt_store_line_is_reported(self, tmp_path):
+        (tmp_path / "results.jsonl").write_text('{"key": "a"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            ResultStore(tmp_path)
+
+    def test_truncated_final_line_is_discarded_and_cell_reruns(self, tmp_path):
+        spec = small_spec()
+        full_dir = tmp_path / "full"
+        run_matrix(spec, out_dir=full_dir, workers=1)
+        full_bytes = (full_dir / "results.jsonl").read_bytes()
+
+        crashed_dir = tmp_path / "crashed"
+        crashed_dir.mkdir()
+        lines = full_bytes.decode().splitlines()
+        # Simulate a kill mid-append: one complete line plus half of another.
+        (crashed_dir / "results.jsonl").write_text(
+            lines[0] + "\n" + lines[1][: len(lines[1]) // 2]
+        )
+        (crashed_dir / "spec.json").write_text((full_dir / "spec.json").read_text())
+
+        store = ResultStore(crashed_dir)
+        assert len(store.completed_keys()) == 1
+        resumed = run_matrix(spec, out_dir=crashed_dir, workers=1, resume=True)
+        assert resumed["executed"] == len(spec.cells()) - 1
+        assert (crashed_dir / "results.jsonl").read_bytes() == full_bytes
+
+
+class TestAggregation:
+    def test_mean_and_stderr_over_trials(self):
+        records = [
+            {"method": "PrivHP", "method_label": "privhp", "domain": "interval",
+             "generator": "g", "epsilon": 1.0, "n": 64, "trial": t,
+             "wasserstein": w, "memory_words": 100 + t}
+            for t, w in enumerate((0.1, 0.3))
+        ]
+        rows = aggregate_records(records)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["trials"] == 2
+        assert row["wasserstein"] == pytest.approx(0.2)
+        assert row["wasserstein_std"] == pytest.approx(0.1)
+        assert row["wasserstein_stderr"] == pytest.approx(0.1 / np.sqrt(2))
+        assert row["memory_words"] == 101
+
+    def test_rows_sorted_independently_of_record_order(self):
+        def record(label, epsilon):
+            return {"method": label, "method_label": label, "domain": "interval",
+                    "generator": "g", "epsilon": epsilon, "n": 64, "trial": 0,
+                    "wasserstein": 0.1, "memory_words": 1}
+        forward = aggregate_records([record("a", 1.0), record("b", 0.5)])
+        backward = aggregate_records([record("b", 0.5), record("a", 1.0)])
+        assert forward == backward
+        assert [row["epsilon"] for row in forward] == [0.5, 1.0]
+
+
+class TestSmokeOrderingGate:
+    @staticmethod
+    def _row(method, wasserstein):
+        return {"method": method, "domain": "interval", "generator": "g",
+                "epsilon": 1.0, "n": 64, "wasserstein": wasserstein}
+
+    def test_clean_ordering_passes(self):
+        rows = [self._row("nonprivate", 0.01), self._row("privhp", 0.05),
+                self._row("smooth", 0.08)]
+        assert check_smoke_ordering(rows) == []
+
+    def test_privhp_worse_than_smooth_is_flagged(self):
+        rows = [self._row("privhp", 0.09), self._row("smooth", 0.08)]
+        violations = check_smoke_ordering(rows)
+        assert len(violations) == 1 and "PrivHP" in violations[0]
+
+    def test_floor_above_private_is_flagged(self):
+        rows = [self._row("nonprivate", 0.10), self._row("privhp", 0.05),
+                self._row("smooth", 0.20)]
+        violations = check_smoke_ordering(rows)
+        assert len(violations) == 1 and "floor" in violations[0]
+
+
+class TestMatrixCLI:
+    def _write_spec(self, tmp_path) -> pathlib.Path:
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(small_spec().to_dict()))
+        return path
+
+    def test_cli_runs_a_spec_file(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        out_dir = tmp_path / "out"
+        code = cli_main(["matrix", str(spec_path), "--out", str(out_dir), "--quiet"])
+        assert code == 0
+        for artifact in ("results.jsonl", "aggregate.json", "aggregate.csv", "spec.json"):
+            assert (out_dir / artifact).exists()
+        assert "4 cell(s) executed" in capsys.readouterr().out
+
+    def test_cli_resume_completes_without_rerunning(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        out_dir = tmp_path / "out"
+        assert cli_main(["matrix", str(spec_path), "--out", str(out_dir), "--quiet"]) == 0
+        assert cli_main([
+            "matrix", str(spec_path), "--out", str(out_dir), "--resume", "--quiet"
+        ]) == 0
+        assert "4 resumed" in capsys.readouterr().out
+
+    def test_cli_rejects_rerun_without_resume(self, tmp_path):
+        spec_path = self._write_spec(tmp_path)
+        out_dir = tmp_path / "out"
+        assert cli_main(["matrix", str(spec_path), "--out", str(out_dir), "--quiet"]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["matrix", str(spec_path), "--out", str(out_dir), "--quiet"])
+        assert excinfo.value.code == 2
+
+    def test_cli_requires_spec_or_smoke(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["matrix", "--out", str(tmp_path)])
+        assert excinfo.value.code == 2
+        spec_path = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["matrix", str(spec_path), "--smoke", "--out", str(tmp_path / "x")])
+        assert excinfo.value.code == 2
+
+    def test_cli_rejects_malformed_spec_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["matrix", str(bad), "--out", str(tmp_path / "out")])
+        assert excinfo.value.code == 2
