@@ -1,6 +1,6 @@
 """Command-line interface for PrivHP, built on the unified ``repro.api`` surface.
 
-Nine sub-commands cover the workflow:
+Ten sub-commands cover the workflow:
 
 * ``summarize`` -- stream a CSV of sensitive values through PrivHP (batched,
   optionally sharded) and write the released (epsilon-DP) generator to JSON.
@@ -26,6 +26,11 @@ Nine sub-commands cover the workflow:
   generators x epsilon x n x trials) through the parallel, resumable matrix
   runner; ``--smoke`` runs the built-in CI grid and gates the accuracy
   ordering.
+* ``ingest`` -- run the multi-tenant ingestion service (``repro.ingest``)
+  over a directory of tenant specs: append tenant-tagged JSONL/CSV files
+  (one-off via ``--append`` or continuously via ``--watch``), optionally
+  serving live snapshots over HTTP while ingesting, then snapshot or
+  release tenants.
 
 Example::
 
@@ -43,6 +48,10 @@ Example::
     python -m repro.cli resume --state state.json --output release.json
     python -m repro.cli serve --store releases/ --port 8080
     python -m repro.cli query release.json --workload queries.json
+    python -m repro.cli ingest --specs tenants/ --append day1.jsonl \
+        --checkpoint-dir ckpt/ --memory-budget-words 200000 \
+        --release-dir releases/
+    python -m repro.cli ingest --specs tenants/ --watch spool/ --serve --port 8080
 """
 
 from __future__ import annotations
@@ -270,6 +279,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     matrix.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="run the multi-tenant ingestion service over a directory of tenant specs",
+    )
+    ingest.add_argument(
+        "--specs", required=True,
+        help="directory of tenant spec JSON files (one per tenant, or batch "
+        "files with a 'tenants' list)",
+    )
+    ingest.add_argument(
+        "--append", action="append", default=[], metavar="FILE",
+        help="tenant-tagged append file (.jsonl or .csv); repeatable, "
+        "ingested in the order given",
+    )
+    ingest.add_argument(
+        "--watch", default=None, metavar="DIR",
+        help="spool directory to poll for append files (each renamed to "
+        "*.done after ingestion); runs until Ctrl-C unless --once",
+    )
+    ingest.add_argument(
+        "--poll-interval", type=float, default=1.0,
+        help="seconds between --watch directory scans",
+    )
+    ingest.add_argument(
+        "--once", action="store_true",
+        help="drain the --watch directory in a single pass and exit",
+    )
+    ingest.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads; each exclusively owns a hash-partition of tenants",
+    )
+    ingest.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for evicted-tenant checkpoints (required with "
+        "--memory-budget-words; created if missing)",
+    )
+    ingest.add_argument(
+        "--memory-budget-words", type=int, default=None,
+        help="service-wide resident-summarizer budget in words; cold tenants "
+        "are evicted to --checkpoint-dir and restored on their next append",
+    )
+    ingest.add_argument(
+        "--rate-limit", type=float, default=None,
+        help="per-tenant intake rate limit in items/second (token bucket)",
+    )
+    ingest.add_argument(
+        "--burst", type=float, default=None,
+        help="token-bucket burst size in items (default: one second of rate)",
+    )
+    ingest.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="items per append batch when reading CSV intake files",
+    )
+    ingest.add_argument(
+        "--serve", action="store_true",
+        help="serve live snapshots of continual tenants over JSON/HTTP "
+        "while ingesting (repro.serve; pure post-processing)",
+    )
+    ingest.add_argument("--port", type=int, default=8080, help="TCP port for --serve")
+    ingest.add_argument("--host", default="127.0.0.1", help="interface for --serve")
+    ingest.add_argument(
+        "--snapshot", default=None, metavar="TENANT",
+        help="after ingesting, write a mid-stream release of this continual "
+        "tenant to --output (the tenant keeps ingesting state)",
+    )
+    ingest.add_argument(
+        "--release", default=None, metavar="TENANT",
+        help="after ingesting, release this tenant to --output (final; the "
+        "tenant stops accepting appends)",
+    )
+    ingest.add_argument(
+        "--output", default=None,
+        help="release JSON path for --snapshot/--release",
+    )
+    ingest.add_argument(
+        "--release-dir", default=None, metavar="DIR",
+        help="release every (still-unreleased) tenant into DIR as "
+        "<tenant>.json before exiting",
     )
 
     return parser
@@ -508,6 +597,123 @@ def _command_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.ingest import (
+        IngestService,
+        RateLimiter,
+        ingest_file,
+        load_tenant_specs,
+        watch_directory,
+    )
+    from repro.serve.store import ReleaseStore
+
+    if args.burst is not None and args.rate_limit is None:
+        raise ValueError("--burst only applies together with --rate-limit")
+    if args.once and args.watch is None:
+        raise ValueError("--once only applies together with --watch")
+    if (args.snapshot or args.release) and args.output is None:
+        raise ValueError("--snapshot/--release need --output for the release JSON")
+    if args.snapshot is not None and args.release is not None:
+        raise ValueError("pass --snapshot or --release, not both")
+    specs = load_tenant_specs(args.specs)
+    if not specs:
+        raise ValueError(f"no tenant spec files (*.json) found in {args.specs}")
+    limiter = (
+        RateLimiter(args.rate_limit, burst=args.burst)
+        if args.rate_limit is not None
+        else None
+    )
+    store = ReleaseStore() if args.serve else None
+    server = None
+    totals = {"files": 0, "batches": 0, "items": 0}
+
+    def report(path, counts) -> None:
+        # Totals accumulate per file (not from the intake loops' return
+        # values) so an interrupted --watch still reports what it ingested.
+        print(f"ingested {counts['items']} item(s) from {path}")
+        totals["files"] += 1
+        totals["batches"] += counts["batches"]
+        totals["items"] += counts["items"]
+
+    with IngestService(
+        specs,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        memory_budget_words=args.memory_budget_words,
+        store=store,
+    ) as service:
+        print(
+            f"ingestion service: {len(service.tenants())} tenant(s) across "
+            f"{args.workers} worker(s)"
+        )
+        if args.serve:
+            from repro.serve.http import create_server
+
+            server = create_server(store, host=args.host, port=args.port)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            print(
+                f"serving live snapshots on http://{args.host}:{server.server_port} "
+                "(GET /releases, /stats, /healthz; POST /query)"
+            )
+        try:
+            for path in args.append:
+                counts = ingest_file(
+                    service, path, batch_size=args.batch_size, limiter=limiter
+                )
+                report(path, counts)
+            if args.watch is not None:
+                watch_directory(
+                    service,
+                    args.watch,
+                    batch_size=args.batch_size,
+                    limiter=limiter,
+                    poll_interval=args.poll_interval,
+                    once=args.once,
+                    on_file=report,
+                )
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            print("stopping (keyboard interrupt)")
+        service.flush()
+        if args.snapshot is not None:
+            release = service.snapshot(args.snapshot)
+            release.save(args.output)
+            print(
+                f"wrote snapshot of tenant {args.snapshot!r} "
+                f"({release.items_processed} items) to {args.output}"
+            )
+        if args.release is not None:
+            release = service.release(args.release)
+            release.save(args.output)
+            print(
+                f"wrote release of tenant {args.release!r} "
+                f"({release.items_processed} items) to {args.output}"
+            )
+        if args.release_dir is not None:
+            out_dir = pathlib.Path(args.release_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            released = 0
+            for tenant_id in service.tenants():
+                if tenant_id == args.release:
+                    continue  # already released above
+                service.release(tenant_id).save(out_dir / f"{tenant_id}.json")
+                released += 1
+            print(f"released {released} tenant(s) into {out_dir}/")
+        stats = service.stats()
+        print(
+            f"ingested {totals['items']} item(s) in {totals['batches']} "
+            f"batch(es) from {totals['files']} file(s); "
+            f"evictions={stats['evictions']}, restores={stats['restores']}, "
+            f"resident_words={stats['memory_words']}, "
+            f"total_epsilon={stats['budget']['total_epsilon']}"
+        )
+    if server is not None:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by ``python -m repro.cli`` and the tests."""
     parser = build_parser()
@@ -522,6 +728,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _command_serve,
         "query": _command_query,
         "matrix": _command_matrix,
+        "ingest": _command_ingest,
     }
     handler = commands.get(args.command)
     if handler is None:

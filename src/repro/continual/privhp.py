@@ -509,6 +509,16 @@ class PrivHPContinual:
         """Whether :meth:`release` has sealed the summarizer."""
         return self._finalized
 
+    @property
+    def banks(self) -> dict[int, BinaryMechanismCounterBank]:
+        """The per-exact-level counter banks (noisy state; private)."""
+        return dict(self._banks)
+
+    @property
+    def sketches(self) -> dict[int, ContinualPrivateCountMinSketch]:
+        """The per-deep-level continual sketches (noisy state; private)."""
+        return dict(self._sketches)
+
     def memory_words(self) -> int:
         """Words held by all continual counter banks and sketches."""
         bank_words = sum(bank.memory_words() for bank in self._banks.values())

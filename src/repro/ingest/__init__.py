@@ -1,0 +1,40 @@
+"""Multi-tenant ingestion service: thousands of concurrent private streams.
+
+``repro.ingest`` is the long-running layer above the one-stream library
+calls: an :class:`~repro.ingest.service.IngestService` owns many tenants at
+once (each a one-shot :class:`~repro.core.privhp.PrivHP` or continual
+:class:`~repro.continual.privhp.PrivHPContinual` summarizer built from its
+:class:`~repro.ingest.spec.TenantSpec`), routes batched appends through a
+hash-partitioned worker pool with exclusive per-partition ownership,
+enforces per-tenant privacy budgets at admission and a service-wide word
+budget at runtime (cold tenants evicted to checkpoints, restored
+byte-identically), and plugs into :mod:`repro.serve` so a continual
+tenant's live stream is queryable over HTTP the moment it has data.
+
+See ``docs/ARCHITECTURE.md`` ("Ingestion service") for the tenant
+lifecycle and the concurrency/privacy design, and ``examples/ingest_demo.py``
+for a 100-tenant end-to-end run.
+"""
+
+from repro.ingest.accounting import MemoryLedger, TenantBudgetRegistry
+from repro.ingest.intake import RateLimiter, ingest_file, iter_append_records, watch_directory
+from repro.ingest.partition import AppendError, IngestWorker, partition_of
+from repro.ingest.service import IngestService, LiveTenantHandle
+from repro.ingest.spec import TenantSpec, load_tenant_specs, save_tenant_spec
+
+__all__ = [
+    "AppendError",
+    "IngestService",
+    "IngestWorker",
+    "LiveTenantHandle",
+    "MemoryLedger",
+    "RateLimiter",
+    "TenantBudgetRegistry",
+    "TenantSpec",
+    "ingest_file",
+    "iter_append_records",
+    "load_tenant_specs",
+    "partition_of",
+    "save_tenant_spec",
+    "watch_directory",
+]

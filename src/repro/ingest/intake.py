@@ -1,0 +1,265 @@
+"""Intake: append files, spool-directory loops and per-tenant rate limiting.
+
+The service's data plane is in-process (:meth:`IngestService.append
+<repro.ingest.service.IngestService.append>`); this module is the boundary
+where external producers hand over data as files:
+
+* **JSONL** -- one object per line, ``{"tenant": "acme", "values": [...]}``
+  (or ``"value"`` for a single item).  One line is one append batch, so a
+  producer controls its own batching -- and therefore the tenant's exact
+  event sequence, which is what byte-reproducibility is defined over.
+* **CSV** -- rows of ``tenant,value[,value...]``; consecutive rows of one
+  tenant are coalesced into batches of at most ``batch_size``.
+
+:func:`watch_directory` turns a directory into a spool: files are ingested
+in sorted order and renamed to ``*.done`` so a crashed loop never ingests a
+file twice.  :class:`RateLimiter` is a token bucket applied per tenant at
+intake (smooth rate plus a burst allowance), so one hot tenant cannot starve
+the worker pool -- the limiter delays the *producer side*, never the
+workers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.ingest.service import IngestService
+
+__all__ = ["RateLimiter", "iter_append_records", "ingest_file", "watch_directory"]
+
+
+class RateLimiter:
+    """A per-tenant token bucket: ``rate`` items/second with a burst bucket.
+
+    Each tenant owns an independent bucket of ``burst`` tokens refilling at
+    ``rate`` tokens per second; :meth:`throttle` consumes one token per item
+    and returns the seconds the caller must wait for the bucket to cover
+    the batch.  The clock is injectable so tests run instantly.
+
+    Example:
+        >>> now = [0.0]
+        >>> limiter = RateLimiter(rate=10.0, burst=20, clock=lambda: now[0])
+        >>> limiter.throttle("acme", 20)     # burst absorbs the first 20
+        0.0
+        >>> limiter.throttle("acme", 10)     # next 10 arrive at 10 items/s
+        1.0
+        >>> now[0] += 5.0
+        >>> limiter.throttle("other", 5)     # buckets are per tenant
+        0.0
+    """
+
+    def __init__(self, rate: float, burst: int | None = None, clock=None) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive items/second, got {rate}")
+        self.rate = float(rate)
+        self.burst = int(burst) if burst is not None else max(1, int(rate))
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self._clock = clock if clock is not None else time.monotonic
+        #: Per-tenant bucket state: (tokens, last refill time).
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    def throttle(self, tenant_id: str, items: int) -> float:
+        """Consume ``items`` tokens; return the wait (seconds) this incurs.
+
+        The bucket may go negative -- the deficit is the wait -- so a batch
+        larger than the burst is admitted after a proportional delay rather
+        than rejected.
+        """
+        now = self._clock()
+        tokens, stamp = self._buckets.get(tenant_id, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
+        tokens -= items
+        self._buckets[tenant_id] = (tokens, now)
+        if tokens >= 0:
+            return 0.0
+        return -tokens / self.rate
+
+    def wait(self, tenant_id: str, items: int, sleep=time.sleep) -> float:
+        """:meth:`throttle` then actually sleep out the returned delay."""
+        delay = self.throttle(tenant_id, items)
+        if delay > 0:
+            sleep(delay)
+        return delay
+
+
+def iter_append_records(path: str | pathlib.Path, batch_size: int = 8192):
+    """Yield ``(tenant_id, values_array)`` append batches from a file.
+
+    Dispatches on suffix: ``.jsonl`` (one batch per line) or ``.csv``
+    (consecutive same-tenant rows coalesced up to ``batch_size``).
+    Malformed lines raise ``ValueError`` naming the file and line number.
+
+    Example:
+        >>> import tempfile, os
+        >>> with tempfile.TemporaryDirectory() as spool:
+        ...     path = os.path.join(spool, "day1.jsonl")
+        ...     with open(path, "w") as handle:
+        ...         _ = handle.write('{"tenant": "acme", "values": [0.1, 0.9]}\\n')
+        ...         _ = handle.write('{"tenant": "umbrella", "value": 0.5}\\n')
+        ...     [(tenant, values.tolist()) for tenant, values in iter_append_records(path)]
+        [('acme', [0.1, 0.9]), ('umbrella', [0.5])]
+    """
+    path = pathlib.Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".jsonl":
+        yield from _iter_jsonl(path)
+    elif suffix == ".csv":
+        yield from _iter_csv(path, batch_size)
+    else:
+        raise ValueError(
+            f"unsupported append file {path}: expected a .jsonl or .csv suffix"
+        )
+
+
+def _iter_jsonl(path: pathlib.Path):
+    with path.open() as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: not valid JSON: {error}") from error
+            if not isinstance(record, dict) or "tenant" not in record:
+                raise ValueError(f"{path}:{number}: each record needs a 'tenant' key")
+            if "values" in record:
+                values = record["values"]
+            elif "value" in record:
+                values = [record["value"]]
+            else:
+                raise ValueError(f"{path}:{number}: each record needs 'values' or 'value'")
+            yield str(record["tenant"]), np.asarray(values, dtype=float)
+
+
+def _iter_csv(path: pathlib.Path, batch_size: int):
+    tenant: str | None = None
+    buffer: list[list[float]] = []
+
+    def flush():
+        values = np.asarray(buffer, dtype=float)
+        # Single-column rows are scalar streams, not 1-d vectors.
+        return tenant, values.ravel() if values.shape[1] == 1 else values
+
+    with path.open() as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(",")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{number}: expected 'tenant,value[,value...]', got {line!r}"
+                )
+            row_tenant = parts[0].strip()
+            try:
+                row_values = [float(part) for part in parts[1:]]
+            except ValueError as error:
+                raise ValueError(f"{path}:{number}: non-numeric value: {error}") from error
+            if tenant is not None and (row_tenant != tenant or len(buffer) >= batch_size):
+                yield flush()
+                buffer = []
+            tenant = row_tenant
+            buffer.append(row_values)
+    if buffer:
+        yield flush()
+
+
+def ingest_file(
+    service: IngestService,
+    path: str | pathlib.Path,
+    batch_size: int = 8192,
+    limiter: RateLimiter | None = None,
+) -> dict:
+    """Route every append batch in a file through the service.
+
+    Returns ``{"batches": ..., "items": ...}``.  With a ``limiter``, each
+    batch is throttled against the tenant's token bucket before it is
+    enqueued.  Failures surface on the service's next ``flush()``.
+
+    Example:
+        >>> import tempfile, os
+        >>> from repro.ingest.spec import TenantSpec
+        >>> with tempfile.TemporaryDirectory() as spool:
+        ...     path = os.path.join(spool, "batch.jsonl")
+        ...     with open(path, "w") as handle:
+        ...         _ = handle.write('{"tenant": "acme", "values": [0.25, 0.75]}\\n')
+        ...     with IngestService(workers=1) as service:
+        ...         service.register(TenantSpec("acme", stream_size=16, seed=4))
+        ...         counts = ingest_file(service, path)
+        ...         _ = service.flush()
+        >>> counts
+        {'batches': 1, 'items': 2}
+    """
+    batches = 0
+    items = 0
+    for tenant_id, values in iter_append_records(path, batch_size=batch_size):
+        if limiter is not None:
+            limiter.wait(tenant_id, len(values))
+        service.append(tenant_id, values)
+        batches += 1
+        items += len(values)
+    return {"batches": batches, "items": items}
+
+
+def watch_directory(
+    service: IngestService,
+    spool_dir: str | pathlib.Path,
+    batch_size: int = 8192,
+    limiter: RateLimiter | None = None,
+    poll_interval: float = 1.0,
+    once: bool = False,
+    stop_event=None,
+    on_file=None,
+) -> dict:
+    """Spool-directory intake loop: ingest ``*.jsonl`` / ``*.csv``, mark done.
+
+    Files are processed in sorted order and renamed to ``<name>.done`` after
+    a successful ingest (so a restarted loop resumes exactly where it
+    stopped).  The loop polls every ``poll_interval`` seconds until
+    ``stop_event`` (a :class:`threading.Event`) is set; with ``once`` it
+    performs a single pass and returns.  ``on_file`` (if given) is called
+    with ``(path, counts)`` after each file -- the CLI's progress hook.
+
+    Example:
+        >>> import tempfile, os
+        >>> from repro.ingest.spec import TenantSpec
+        >>> with tempfile.TemporaryDirectory() as spool:
+        ...     with open(os.path.join(spool, "a.jsonl"), "w") as handle:
+        ...         _ = handle.write('{"tenant": "acme", "values": [0.5]}\\n')
+        ...     with IngestService(workers=1) as service:
+        ...         service.register(TenantSpec("acme", stream_size=16, seed=4))
+        ...         totals = watch_directory(service, spool, once=True)
+        ...     leftover = sorted(p.name for p in pathlib.Path(spool).iterdir())
+        >>> totals, leftover
+        ({'files': 1, 'batches': 1, 'items': 1}, ['a.jsonl.done'])
+    """
+    spool_dir = pathlib.Path(spool_dir)
+    if not spool_dir.is_dir():
+        raise ValueError(f"spool directory {spool_dir} does not exist")
+    totals = {"files": 0, "batches": 0, "items": 0}
+    while True:
+        pending = sorted(
+            path
+            for path in spool_dir.iterdir()
+            if path.suffix.lower() in (".jsonl", ".csv")
+        )
+        for path in pending:
+            counts = ingest_file(service, path, batch_size=batch_size, limiter=limiter)
+            path.rename(path.with_name(path.name + ".done"))
+            totals["files"] += 1
+            totals["batches"] += counts["batches"]
+            totals["items"] += counts["items"]
+            if on_file is not None:
+                on_file(path, counts)
+        if once:
+            return totals
+        if stop_event is not None and stop_event.wait(poll_interval):
+            return totals
+        if stop_event is None:  # pragma: no cover - interactive loop
+            time.sleep(poll_interval)

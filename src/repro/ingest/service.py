@@ -1,0 +1,381 @@
+"""``IngestService``: one long-running layer owning thousands of private streams.
+
+The service is the multi-tenant front of the fit side.  Each registered
+:class:`~repro.ingest.spec.TenantSpec` names one private stream; appends are
+routed by the tenant's stable hash partition (:func:`~repro.ingest.partition.partition_of`)
+to the one :class:`~repro.ingest.partition.IngestWorker` thread that owns
+it, so every tenant's summarizer is touched by exactly one thread and its
+event order -- hence its noise draws, hence its release bytes -- is
+identical to an in-process run of the same batches.
+
+What the service adds on top of the workers:
+
+* **admission accounting** -- every tenant passes the
+  :class:`~repro.ingest.accounting.TenantBudgetRegistry` before a
+  summarizer exists, enforcing per-tenant ``max_epsilon`` caps and an
+  optional service-wide epsilon budget on top of each summarizer's own
+  per-level accountant;
+* **bounded memory** -- a service-wide word budget is split evenly across
+  workers, each evicting its least-recently-touched tenants to checkpoint
+  files (restored transparently and byte-identically on next touch);
+* **live serving** -- given a :class:`~repro.serve.store.ReleaseStore`,
+  every *continual* tenant is registered for live snapshot serving the
+  moment it has data, unregistered on eviction or release (a dead
+  summarizer can never be snapshotted through HTTP), and its final release
+  is added to the store as a static entry.
+
+Example:
+    >>> import numpy as np
+    >>> from repro.ingest.spec import TenantSpec
+    >>> with IngestService(workers=2) as service:
+    ...     service.register(TenantSpec("acme", stream_size=64, seed=1))
+    ...     service.append("acme", np.linspace(0.0, 1.0, 64))
+    ...     release = service.release("acme")
+    >>> release.items_processed
+    64
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+
+from repro.ingest.partition import AppendError, IngestWorker, partition_of
+from repro.ingest.accounting import TenantBudgetRegistry
+from repro.ingest.spec import TenantSpec
+
+__all__ = ["IngestService", "LiveTenantHandle"]
+
+
+class _ItemCounter:
+    """A monotonic per-tenant item count shared worker -> service."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+class LiveTenantHandle:
+    """The live-serving face of one tenant: what a ReleaseStore snapshots.
+
+    Satisfies the :meth:`~repro.serve.store.ReleaseStore.register_live`
+    contract (``snapshot()`` + ``items_processed``) by routing through the
+    service, so serving threads never touch a summarizer directly -- the
+    owning worker takes the snapshot between appends, under the tenant's
+    strict per-partition ordering.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.ingest.spec import TenantSpec
+        >>> with IngestService(workers=1) as service:
+        ...     service.register(TenantSpec("live", stream_size=64, seed=2,
+        ...                                 continual=True))
+        ...     service.append("live", np.linspace(0.0, 1.0, 32))
+        ...     _ = service.flush()
+        ...     handle = LiveTenantHandle(service, "live")
+        ...     handle.items_processed, handle.snapshot().items_processed
+        (32, 32)
+    """
+
+    def __init__(self, service: "IngestService", tenant_id: str) -> None:
+        self._service = service
+        self._tenant_id = tenant_id
+
+    @property
+    def items_processed(self) -> int:
+        """Items the owning worker has fully processed for this tenant."""
+        return self._service.items_processed(self._tenant_id)
+
+    def snapshot(self, sampling_seed: int | None = None):
+        """A Release of the tenant's current state (worker-serialised)."""
+        return self._service.snapshot(self._tenant_id, sampling_seed=sampling_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"LiveTenantHandle(tenant_id={self._tenant_id!r})"
+
+
+class IngestService:
+    """Multi-tenant ingestion: register specs, append batches, release.
+
+    Parameters
+    ----------
+    specs:
+        Optional iterable (or id-keyed mapping) of tenant specs registered
+        at construction.
+    workers:
+        Worker threads; the tenant space is hash-partitioned across them
+        and each partition is owned exclusively by one worker.
+    checkpoint_dir:
+        Directory for evicted-tenant state files (required when a memory
+        budget is set; created if missing).
+    memory_budget_words:
+        Service-wide bound on resident summarizer words, split evenly
+        across workers; cold tenants are evicted to ``checkpoint_dir`` and
+        restored byte-identically on their next touch.
+    store:
+        Optional :class:`repro.serve.store.ReleaseStore`; continual tenants
+        are served live from the moment they have data.
+    service_epsilon_budget:
+        Optional cap on the summed epsilon across every admitted tenant.
+    queue_size:
+        Inbox size per worker; a full inbox blocks ``append`` (backpressure).
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.ingest.spec import TenantSpec
+        >>> with IngestService(workers=2) as service:
+        ...     for name in ("t1", "t2", "t3"):
+        ...         service.register(TenantSpec(name, stream_size=32, seed=5))
+        ...     for name in ("t1", "t2", "t3"):
+        ...         service.append(name, np.linspace(0.0, 1.0, 32))
+        ...     stats = service.stats()
+        >>> stats["tenants"], stats["items_ingested"]
+        (3, 96)
+    """
+
+    def __init__(
+        self,
+        specs=None,
+        *,
+        workers: int = 4,
+        checkpoint_dir: str | pathlib.Path | None = None,
+        memory_budget_words: int | None = None,
+        store=None,
+        service_epsilon_budget: float | None = None,
+        queue_size: int = 4096,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if memory_budget_words is not None and memory_budget_words < 1:
+            raise ValueError(
+                f"memory_budget_words must be >= 1, got {memory_budget_words}"
+            )
+        if memory_budget_words is not None and checkpoint_dir is None:
+            raise ValueError(
+                "a memory budget needs a checkpoint_dir to evict cold tenants to"
+            )
+        self.checkpoint_dir = (
+            pathlib.Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.store = store
+        self.budget_registry = TenantBudgetRegistry(service_budget=service_epsilon_budget)
+        self._specs: dict[str, TenantSpec] = {}
+        self._counters: dict[str, _ItemCounter] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        per_worker_budget = (
+            None if memory_budget_words is None else max(1, memory_budget_words // workers)
+        )
+        self._workers = [
+            IngestWorker(
+                index=index,
+                checkpoint_dir=self.checkpoint_dir,
+                memory_budget_words=per_worker_budget,
+                queue_size=queue_size,
+                on_live_event=self._on_live_event,
+                counters=self._counters,
+            )
+            for index in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+        if specs is not None:
+            entries = specs.values() if hasattr(specs, "values") else specs
+            for spec in entries:
+                self.register(spec)
+
+    # ------------------------------------------------------------------ #
+    # tenant lifecycle
+    # ------------------------------------------------------------------ #
+    def _worker_for(self, tenant_id: str) -> IngestWorker:
+        return self._workers[partition_of(tenant_id, len(self._workers))]
+
+    def _require_tenant(self, tenant_id: str) -> TenantSpec:
+        spec = self._specs.get(tenant_id)
+        if spec is None:
+            raise KeyError(
+                f"unknown tenant {tenant_id!r}; register a TenantSpec for it first"
+            )
+        return spec
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the ingest service has been closed")
+
+    def register(self, spec: TenantSpec) -> None:
+        """Admit a tenant: budget check, then hand the spec to its worker.
+
+        Raises :class:`repro.privacy.accountant.BudgetExceededError` when
+        the tenant does not fit its own or the service's privacy budget and
+        ``ValueError`` on duplicate ids.  Registration is O(1) per tenant --
+        the summarizer is built lazily on first touch -- so thousands of
+        tenants register cheaply.
+        """
+        self._check_open()
+        with self._lock:
+            if spec.tenant_id in self._specs:
+                raise ValueError(f"tenant {spec.tenant_id!r} is already registered")
+            self.budget_registry.admit(spec)
+            self._specs[spec.tenant_id] = spec
+            self._counters[spec.tenant_id] = _ItemCounter()
+        self._worker_for(spec.tenant_id).send("register", spec)
+
+    def tenants(self) -> list[str]:
+        """Sorted ids of every registered tenant."""
+        with self._lock:
+            return sorted(self._specs)
+
+    def spec_of(self, tenant_id: str) -> TenantSpec:
+        """The spec a tenant was registered with."""
+        return self._require_tenant(tenant_id)
+
+    def items_processed(self, tenant_id: str) -> int:
+        """Items the owning worker has fully processed for the tenant."""
+        self._require_tenant(tenant_id)
+        return int(self._counters[tenant_id].value)
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+    def append(self, tenant_id: str, values) -> None:
+        """Route one batch of stream items to the tenant's worker.
+
+        Fire-and-forget: the call returns once the batch is enqueued (it
+        blocks only when the worker's inbox is full).  Per-tenant ordering
+        is the caller's append order; failures (horizon exhausted, bad
+        values) surface on the next :meth:`flush`.
+        """
+        self._check_open()
+        self._require_tenant(tenant_id)
+        self._worker_for(tenant_id).send("append", tenant_id, values)
+
+    def flush(self, raise_on_failure: bool = True) -> dict:
+        """Wait until every queued message is processed; surface failures.
+
+        Returns the aggregated worker stats (same shape as :meth:`stats`).
+        With ``raise_on_failure`` (the default), any append that failed
+        since the last flush raises an
+        :class:`~repro.ingest.partition.AppendError` listing every
+        ``(tenant, message)`` pair.
+        """
+        self._check_open()
+        rows = [worker.request("sync") for worker in self._workers]
+        stats = self._combine(rows)
+        if raise_on_failure and stats["failures"]:
+            raise AppendError(stats["failures"])
+        return stats
+
+    def snapshot(self, tenant_id: str, sampling_seed: int | None = None):
+        """A mid-stream Release of a continual tenant (post-processing only).
+
+        Serialised through the owning worker, so the snapshot sits at a
+        well-defined point of the tenant's append order.  Evicted tenants
+        are restored transparently first.
+        """
+        self._check_open()
+        self._require_tenant(tenant_id)
+        return self._worker_for(tenant_id).request("snapshot", tenant_id, sampling_seed)
+
+    def release(self, tenant_id: str):
+        """Seal a tenant's stream and return its final Release.
+
+        The tenant's checkpoint file (if any) is removed with the release
+        -- the stream is over -- and, when the service fronts a store, the
+        live entry is replaced by the release as a static entry, so the
+        tenant stays queryable over HTTP after its stream ends.
+        """
+        self._check_open()
+        self._require_tenant(tenant_id)
+        release = self._worker_for(tenant_id).request("release", tenant_id)
+        if self.store is not None:
+            self.store.add(tenant_id, release)
+        return release
+
+    def evict(self, tenant_id: str) -> bool:
+        """Checkpoint a tenant to disk and drop it from memory now.
+
+        Returns whether the tenant was resident.  The next touch restores
+        it byte-identically; until then a live continual tenant is
+        unregistered from the store (querying it over HTTP is a 404).
+        """
+        self._check_open()
+        self._require_tenant(tenant_id)
+        return bool(self._worker_for(tenant_id).request("evict", tenant_id))
+
+    # ------------------------------------------------------------------ #
+    # live serving integration
+    # ------------------------------------------------------------------ #
+    def _on_live_event(self, tenant_id: str, kind: str) -> None:
+        """Worker-thread callback maintaining the store's live entries."""
+        if self.store is None:
+            return
+        if kind == "data":
+            self.store.register_live(tenant_id, LiveTenantHandle(self, tenant_id))
+        elif kind in ("evict", "release"):
+            self.store.unregister_live(tenant_id)
+
+    # ------------------------------------------------------------------ #
+    # stats / shutdown
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _combine(rows: list[dict]) -> dict:
+        combined = {
+            "workers": len(rows),
+            "resident": sum(row["resident"] for row in rows),
+            "released": sum(row["released"] for row in rows),
+            "memory_words": sum(row["memory_words"] for row in rows),
+            "evictions": sum(row["evictions"] for row in rows),
+            "restores": sum(row["restores"] for row in rows),
+            "items_ingested": sum(row["items_ingested"] for row in rows),
+            "appends": sum(row["appends"] for row in rows),
+            "failures": [failure for row in rows for failure in row["failures"]],
+        }
+        return combined
+
+    def stats(self) -> dict:
+        """Aggregated service statistics (flushes the workers first).
+
+        Includes the privacy-budget summary from the registry, so the row
+        reports tenants, residency, words, evictions/restores, items and
+        total admitted epsilon in one place.
+        """
+        stats = self.flush(raise_on_failure=False)
+        stats["tenants"] = len(self._specs)
+        stats["budget"] = self.budget_registry.summary()
+        return stats
+
+    def close(self) -> dict:
+        """Drain, checkpoint every resident tenant, and stop the workers.
+
+        Idempotent.  Live store entries are unregistered (the service can
+        no longer answer for them); released tenants stay as the static
+        entries :meth:`release` added.  Returns the final stats row.
+        """
+        if self._closed:
+            return {"workers": 0, "closed": True}
+        rows = [worker.request("drain") for worker in self._workers]
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+        if self.store is not None:
+            for tenant_id in list(self._specs):
+                self.store.unregister_live(tenant_id)
+        stats = self._combine(rows)
+        stats["tenants"] = len(self._specs)
+        stats["budget"] = self.budget_registry.summary()
+        return stats
+
+    def __enter__(self) -> "IngestService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"IngestService(tenants={len(self._specs)}, workers={len(self._workers)}, "
+            f"memory_budget={self.checkpoint_dir is not None})"
+        )

@@ -1,0 +1,210 @@
+"""Per-tenant configuration: what one private stream looks like to the service.
+
+A :class:`TenantSpec` is the unit of registration for
+:class:`repro.ingest.service.IngestService`: a tenant id plus everything the
+:class:`repro.api.builder.PrivHPBuilder` needs to construct that tenant's
+summarizer (domain spec, budget, pruning, stream size, one-shot vs
+continual).  Specs are plain JSON documents so a service deployment is a
+directory of ``*.json`` files (:func:`load_tenant_specs`), and every spec is
+validated at construction -- a bad tenant file fails at registration, never
+mid-ingestion.
+
+The tenant id doubles as the stem of the tenant's checkpoint and release
+files, so it is restricted to filename-safe characters.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import asdict, dataclass
+
+from repro.api.builder import PrivHPBuilder
+from repro.api.registry import make_domain
+from repro.domain.base import Domain
+
+__all__ = ["TenantSpec", "load_tenant_specs", "save_tenant_spec"]
+
+#: Tenant ids become file stems (checkpoints, releases), so only
+#: filename-safe characters are allowed.
+_TENANT_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Everything needed to build (and rebuild) one tenant's summarizer.
+
+    Example:
+        >>> spec = TenantSpec("acme", domain="interval", epsilon=1.0,
+        ...                   stream_size=256, seed=7)
+        >>> spec.build_summarizer().items_processed
+        0
+        >>> TenantSpec.from_dict(spec.to_dict()) == spec
+        True
+    """
+
+    #: Unique tenant name; also the stem of the tenant's on-disk artefacts.
+    tenant_id: str
+    #: Domain registry spec (e.g. ``"interval"``, ``"hypercube:3"``).
+    domain: str = "interval"
+    #: Total privacy budget of the tenant's stream.
+    epsilon: float = 1.0
+    #: Pruning parameter ``k`` (hot branches per level).
+    pruning_k: int = 8
+    #: Expected stream length the paper defaults derive from.
+    stream_size: int = 4096
+    #: Whether the tenant runs the continual-observation variant
+    #: (state private at every stream point; snapshot-able mid-stream).
+    continual: bool = False
+    #: Maximum stream length continual counters must survive
+    #: (defaults to ``stream_size``).
+    horizon: int | None = None
+    #: Seed governing the tenant's noise and hash functions.
+    seed: int = 0
+    #: Optional per-tenant privacy cap the service's budget registry
+    #: enforces at admission (``None`` caps at exactly ``epsilon``).
+    max_epsilon: float | None = None
+
+    def __post_init__(self) -> None:
+        if not _TENANT_ID_PATTERN.match(str(self.tenant_id)):
+            raise ValueError(
+                f"tenant id {self.tenant_id!r} is not filename-safe; use "
+                "letters, digits, '.', '_' and '-' (must not start with a dot)"
+            )
+        if self.epsilon <= 0:
+            raise ValueError(f"tenant {self.tenant_id}: epsilon must be positive, got {self.epsilon}")
+        if self.pruning_k < 1:
+            raise ValueError(f"tenant {self.tenant_id}: pruning_k must be >= 1, got {self.pruning_k}")
+        if self.stream_size < 1:
+            raise ValueError(
+                f"tenant {self.tenant_id}: stream_size must be >= 1, got {self.stream_size}"
+            )
+        if self.horizon is not None and self.horizon < 1:
+            raise ValueError(f"tenant {self.tenant_id}: horizon must be >= 1, got {self.horizon}")
+        if self.horizon is not None and not self.continual:
+            raise ValueError(
+                f"tenant {self.tenant_id}: horizon only applies to continual tenants"
+            )
+        if self.max_epsilon is not None and self.max_epsilon < self.epsilon:
+            raise ValueError(
+                f"tenant {self.tenant_id}: epsilon {self.epsilon} exceeds the "
+                f"tenant's max_epsilon cap {self.max_epsilon}"
+            )
+        # Fail registration, not first ingestion, on a bad domain spec.
+        make_domain(self.domain)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def make_domain(self) -> Domain:
+        """The tenant's :class:`~repro.domain.base.Domain` instance."""
+        return make_domain(self.domain)
+
+    def build_summarizer(self):
+        """A fresh summarizer for this tenant (PrivHP or PrivHPContinual).
+
+        Every rebuild from the same spec is deterministic -- same seed, same
+        hash functions, same noise draws -- which is what makes a service
+        tenant's release byte-identical to an in-process run of the same
+        stream.
+        """
+        builder = (
+            PrivHPBuilder(self.domain)
+            .epsilon(self.epsilon)
+            .pruning_k(self.pruning_k)
+            .stream_size(self.stream_size)
+            .seed(self.seed)
+        )
+        if self.continual:
+            builder = builder.continual(horizon=self.horizon)
+        return builder.build()
+
+    # ------------------------------------------------------------------ #
+    # JSON round trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the on-disk tenant file format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: dict, tenant_id: str | None = None) -> "TenantSpec":
+        """Decode a spec document; unknown keys are rejected.
+
+        ``tenant_id`` supplies the id when the document omits it (the
+        directory loader passes the file stem).
+        """
+        if not isinstance(document, dict):
+            raise ValueError(f"a tenant spec must be a JSON object, got {type(document).__name__}")
+        fields = dict(document)
+        if tenant_id is not None:
+            fields.setdefault("tenant_id", tenant_id)
+        unknown = set(fields) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"tenant spec has unknown keys: {', '.join(sorted(unknown))}"
+            )
+        if "tenant_id" not in fields:
+            raise ValueError("tenant spec requires a tenant_id")
+        return cls(**fields)
+
+
+def save_tenant_spec(spec: TenantSpec, directory: str | pathlib.Path) -> pathlib.Path:
+    """Write one spec as ``<directory>/<tenant_id>.json`` and return the path.
+
+    Example:
+        >>> import tempfile
+        >>> with tempfile.TemporaryDirectory() as spool:
+        ...     path = save_tenant_spec(TenantSpec("acme", stream_size=64), spool)
+        ...     sorted(load_tenant_specs(spool))
+        ['acme']
+    """
+    directory = pathlib.Path(directory)
+    path = directory / f"{spec.tenant_id}.json"
+    path.write_text(json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_tenant_specs(directory: str | pathlib.Path) -> dict[str, TenantSpec]:
+    """Load every tenant spec in a directory, keyed by tenant id.
+
+    Each ``*.json`` file holds either one spec object (its ``tenant_id``
+    defaulting to the file stem) or a ``{"tenants": [...]}`` batch.
+    Duplicate tenant ids across files are an error -- two configurations for
+    one private stream is never resolvable.
+
+    Example:
+        >>> import tempfile
+        >>> with tempfile.TemporaryDirectory() as spool:
+        ...     _ = save_tenant_spec(TenantSpec("a1", stream_size=64), spool)
+        ...     _ = save_tenant_spec(TenantSpec("a2", stream_size=64, continual=True), spool)
+        ...     specs = load_tenant_specs(spool)
+        >>> sorted(specs), specs["a2"].continual
+        (['a1', 'a2'], True)
+    """
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        raise ValueError(f"tenant spec directory {directory} does not exist")
+    specs: dict[str, TenantSpec] = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path} is not valid JSON: {error}") from error
+        if isinstance(document, dict) and "tenants" in document:
+            entries = document["tenants"]
+            if not isinstance(entries, list):
+                raise ValueError(f"{path}: 'tenants' must be a list of spec objects")
+            loaded = [TenantSpec.from_dict(entry) for entry in entries]
+        else:
+            try:
+                loaded = [TenantSpec.from_dict(document, tenant_id=path.stem)]
+            except ValueError as error:
+                raise ValueError(f"{path}: {error}") from error
+        for spec in loaded:
+            if spec.tenant_id in specs:
+                raise ValueError(
+                    f"duplicate tenant id {spec.tenant_id!r} (second definition in {path})"
+                )
+            specs[spec.tenant_id] = spec
+    return specs

@@ -8,6 +8,11 @@ bounds are stated in words and Python object overhead would only add noise to
 the comparison.
 """
 
-from repro.memory.accounting import MemoryReport, measure_privhp, measure_method
+from repro.memory.accounting import (
+    MemoryReport,
+    measure_continual,
+    measure_method,
+    measure_privhp,
+)
 
-__all__ = ["MemoryReport", "measure_method", "measure_privhp"]
+__all__ = ["MemoryReport", "measure_continual", "measure_method", "measure_privhp"]

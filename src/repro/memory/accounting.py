@@ -1,4 +1,4 @@
-"""Word-level memory accounting for PrivHP and the baseline methods."""
+"""Word-level memory accounting for PrivHP, PrivHPContinual and baselines."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.core.privhp import PrivHP
 
-__all__ = ["MemoryReport", "measure_privhp", "measure_method"]
+__all__ = ["MemoryReport", "measure_privhp", "measure_continual", "measure_method"]
 
 
 @dataclass
@@ -36,8 +36,42 @@ def measure_privhp(algorithm: PrivHP) -> MemoryReport:
     )
 
 
+def measure_continual(algorithm) -> MemoryReport:
+    """Break a PrivHPContinual's memory into counter-bank and sketch words.
+
+    The continual layout has no materialised tree: each exact level is a
+    :class:`~repro.continual.counter.BinaryMechanismCounterBank` and each
+    deep level a continual sketch, so the breakdown reports one
+    ``counter_bank_level_*`` entry per exact level and one
+    ``sketch_level_*`` entry per deep level.  These are the honest word
+    counts the ingestion service's eviction policy ranks tenants by.
+    """
+    components = {}
+    for level, bank in sorted(algorithm.banks.items()):
+        components[f"counter_bank_level_{level}"] = bank.memory_words()
+    for level, sketch in sorted(algorithm.sketches.items()):
+        components[f"sketch_level_{level}"] = sketch.memory_words()
+    return MemoryReport(
+        method="PrivHPContinual",
+        total_words=algorithm.memory_words(),
+        components=components,
+    )
+
+
 def measure_method(method) -> MemoryReport:
-    """Memory report for any object following the method protocol."""
+    """Memory report for any object following the method protocol.
+
+    Dispatches to the structured breakdowns for the summarizers this repo
+    knows from the inside (:class:`~repro.core.privhp.PrivHP` and
+    :class:`~repro.continual.privhp.PrivHPContinual`); anything else gets a
+    component-free report from its ``memory_words()``.
+    """
+    from repro.continual.privhp import PrivHPContinual
+
+    if isinstance(method, PrivHP):
+        return measure_privhp(method)
+    if isinstance(method, PrivHPContinual):
+        return measure_continual(method)
     return MemoryReport(
         method=getattr(method, "name", type(method).__name__),
         total_words=method.memory_words(),

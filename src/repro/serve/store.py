@@ -117,6 +117,21 @@ class ReleaseStore:
         self._live[str(name)] = summarizer
         self._live_snapshots.pop(str(name), None)
 
+    def unregister_live(self, name: str) -> bool:
+        """Stop serving live snapshots under ``name``; returns whether it was live.
+
+        The ingestion service calls this when a tenant is evicted to disk,
+        released, or the service shuts down -- a summarizer that is no
+        longer ingesting (or no longer in memory) must not be snapshotted
+        through the HTTP path.  Subsequent queries for the name fall back to
+        a static/disk release of the same name if one exists, and otherwise
+        raise ``KeyError`` (HTTP 404 with the known-release listing).
+        Idempotent: unregistering a name that is not live returns ``False``.
+        """
+        name = str(name)
+        self._live_snapshots.pop(name, None)
+        return self._live.pop(name, None) is not None
+
     def is_live(self, name: str) -> bool:
         """Whether ``name`` serves live snapshots of an ingesting summarizer."""
         return name in self._live

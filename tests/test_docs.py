@@ -27,7 +27,13 @@ import check_links  # noqa: E402
 #: The packages whose public surface must be documented (repro.api,
 #: repro.queries and repro.serve from the serving PR; repro.continual from
 #: the continual-observation PR).
-DOCUMENTED_PACKAGES = ("repro.api", "repro.queries", "repro.serve", "repro.continual")
+DOCUMENTED_PACKAGES = (
+    "repro.api",
+    "repro.queries",
+    "repro.serve",
+    "repro.continual",
+    "repro.ingest",
+)
 
 
 def _iter_modules(package_name: str):

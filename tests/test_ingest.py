@@ -1,0 +1,774 @@
+"""Tests for the multi-tenant ingestion service (``repro.ingest``).
+
+The load-bearing guarantees:
+
+* **Determinism through the service** -- routing a tenant's stream through
+  the worker pool produces a release byte-identical to running the same
+  stream through a single in-process summarizer, even when the tenant was
+  evicted to a checkpoint and restored along the way.
+* **Isolation** -- tenants never share summarizer state; each worker
+  exclusively owns its hash-partition of tenants.
+* **Accounting** -- per-tenant/service-wide privacy budgets are enforced at
+  admission; the word-level memory budget is enforced by LRU eviction.
+* **Serving** -- a continual tenant is queryable over HTTP the moment it
+  has data, and 404s once evicted, released, or the service is closed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.ingest import (
+    AppendError,
+    IngestService,
+    MemoryLedger,
+    RateLimiter,
+    TenantBudgetRegistry,
+    TenantSpec,
+    ingest_file,
+    iter_append_records,
+    load_tenant_specs,
+    partition_of,
+    save_tenant_spec,
+    watch_directory,
+)
+from repro.memory.accounting import measure_method
+from repro.privacy.accountant import BudgetExceededError
+from repro.serve.http import create_server
+from repro.serve.store import ReleaseStore
+
+
+def _release_bytes(release) -> str:
+    """Canonical byte-level identity of a release document."""
+    return json.dumps(release.to_dict(), sort_keys=True)
+
+
+def _control_release(spec: TenantSpec, batches) -> str:
+    """The same stream through a single in-process summarizer."""
+    summarizer = spec.build_summarizer()
+    domain = spec.make_domain()
+    for batch in batches:
+        summarizer.update_batch(domain.coerce_stream(np.asarray(batch)))
+    return _release_bytes(summarizer.release())
+
+
+# --------------------------------------------------------------------------- #
+# tenant specs
+# --------------------------------------------------------------------------- #
+class TestTenantSpec:
+    def test_round_trip_through_dict(self):
+        spec = TenantSpec(
+            "acme", domain="discrete:256", epsilon=2.0, pruning_k=4,
+            stream_size=1024, continual=True, horizon=2048, seed=9,
+            max_epsilon=3.0,
+        )
+        assert TenantSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_through_directory(self, tmp_path):
+        specs = [
+            TenantSpec("alpha", stream_size=64, seed=1),
+            TenantSpec("beta", continual=True, stream_size=128, seed=2),
+        ]
+        for spec in specs:
+            save_tenant_spec(spec, tmp_path)
+        loaded = load_tenant_specs(tmp_path)
+        assert sorted(loaded) == ["alpha", "beta"]
+        assert loaded["alpha"] == specs[0]
+        assert loaded["beta"] == specs[1]
+
+    def test_batch_file_with_tenants_list(self, tmp_path):
+        document = {
+            "tenants": [
+                {"tenant_id": "a", "stream_size": 32},
+                {"tenant_id": "b", "stream_size": 32, "continual": True},
+            ]
+        }
+        (tmp_path / "fleet.json").write_text(json.dumps(document))
+        assert sorted(load_tenant_specs(tmp_path)) == ["a", "b"]
+
+    def test_duplicate_tenant_across_files_rejected(self, tmp_path):
+        save_tenant_spec(TenantSpec("dup", stream_size=32), tmp_path)
+        (tmp_path / "again.json").write_text(
+            json.dumps({"tenants": [{"tenant_id": "dup", "stream_size": 32}]})
+        )
+        with pytest.raises(ValueError, match="dup"):
+            load_tenant_specs(tmp_path)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"epsilon": -1.0},
+            {"horizon": 100},  # horizon without continual
+            {"max_epsilon": 0.5},  # below epsilon
+            {"domain": "no-such-domain"},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantSpec("t", **kwargs)
+
+    @pytest.mark.parametrize("bad_id", ["", ".hidden", "a/b", "a b", "-lead"])
+    def test_tenant_ids_must_be_file_safe(self, bad_id):
+        # Tenant ids become checkpoint/release file stems, so anything that
+        # could escape the directory or hide the file is rejected up front.
+        with pytest.raises(ValueError):
+            TenantSpec(bad_id)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            TenantSpec.from_dict({"tenant_id": "a", "epsilonn": 1.0})
+
+
+# --------------------------------------------------------------------------- #
+# partitioning and accounting
+# --------------------------------------------------------------------------- #
+class TestPartitioning:
+    def test_partition_is_stable_and_in_range(self):
+        ids = [f"tenant-{i}" for i in range(500)]
+        first = [partition_of(t, 8) for t in ids]
+        assert first == [partition_of(t, 8) for t in ids]
+        assert all(0 <= p < 8 for p in first)
+        # A healthy hash spreads 500 tenants over all 8 partitions.
+        assert len(set(first)) == 8
+
+    def test_partition_documented_value(self):
+        # Pinned: the partition must come from a stable (unsalted) hash so a
+        # restarted service routes every tenant to the same worker.
+        assert partition_of("acme", 8) == partition_of("acme", 8)
+        with pytest.raises(ValueError):
+            partition_of("acme", 0)
+
+
+class TestTenantBudgetRegistry:
+    def test_total_epsilon_sums_admitted_tenants(self):
+        registry = TenantBudgetRegistry()
+        registry.admit(TenantSpec("a", epsilon=1.0))
+        registry.admit(TenantSpec("b", epsilon=2.5))
+        assert registry.total_epsilon() == pytest.approx(3.5)
+        assert sorted(registry.admitted()) == ["a", "b"]
+
+    def test_duplicate_admission_rejected(self):
+        registry = TenantBudgetRegistry()
+        registry.admit(TenantSpec("a"))
+        with pytest.raises(ValueError, match="already"):
+            registry.admit(TenantSpec("a"))
+
+    def test_epsilon_above_max_epsilon_rejected(self):
+        registry = TenantBudgetRegistry()
+        with pytest.raises(ValueError):
+            TenantSpec("greedy", epsilon=2.0, max_epsilon=1.0)
+
+    def test_service_wide_budget_rejects_overflow(self):
+        registry = TenantBudgetRegistry(service_budget=2.0)
+        registry.admit(TenantSpec("a", epsilon=1.5))
+        with pytest.raises(BudgetExceededError) as excinfo:
+            registry.admit(TenantSpec("b", epsilon=1.0))
+        assert "b" in str(excinfo.value)
+        # The rejected tenant must not be half-admitted.
+        assert registry.admitted() == ["a"]
+
+    def test_remaining_epsilon_reflects_max(self):
+        registry = TenantBudgetRegistry()
+        registry.admit(TenantSpec("a", epsilon=1.0, max_epsilon=4.0))
+        assert registry.remaining_epsilon("a") == pytest.approx(3.0)
+
+
+class TestMemoryLedger:
+    def test_touch_drop_and_totals(self):
+        ledger = MemoryLedger()
+        ledger.touch("a", 100)
+        ledger.touch("b", 50)
+        ledger.touch("a", 120)  # re-measure replaces, not adds
+        assert ledger.total_words == 170
+        assert ledger.words_of("a") == 120
+        assert ledger.drop("b") == 50
+        assert ledger.total_words == 120
+        assert ledger.resident() == ["a"]
+
+    def test_eviction_order_is_coldest_first(self):
+        ledger = MemoryLedger()
+        for tenant in ("old", "mid", "hot"):
+            ledger.touch(tenant, 10)
+        assert ledger.eviction_order() == ["old", "mid", "hot"]
+        ledger.touch("old", 10)  # touching rewarms
+        assert ledger.eviction_order() == ["mid", "hot", "old"]
+        # The tenant being appended right now must never be evicted for its
+        # own append.
+        assert ledger.eviction_order(protect="mid") == ["hot", "old"]
+
+
+# --------------------------------------------------------------------------- #
+# memory accounting satellite
+# --------------------------------------------------------------------------- #
+class TestMeasureMethodContinual:
+    def test_continual_breakdown_reports_banks_and_sketches(self):
+        spec = TenantSpec("m", continual=True, stream_size=4096, seed=3)
+        summarizer = spec.build_summarizer()
+        summarizer.update_batch(np.linspace(0.0, 1.0, 128))
+        report = measure_method(summarizer)
+        assert report.method == "PrivHPContinual"
+        assert report.total_words == summarizer.memory_words()
+        assert any(name.startswith("counter_bank_level_") for name in report.components)
+        assert any(name.startswith("sketch_level_") for name in report.components)
+        assert sum(report.components.values()) == report.total_words
+
+    def test_one_shot_dispatch_unchanged(self):
+        spec = TenantSpec("o", stream_size=256, seed=3)
+        summarizer = spec.build_summarizer()
+        summarizer.update_batch(np.linspace(0.0, 1.0, 128))
+        report = measure_method(summarizer)
+        assert report.method == "PrivHP"
+        assert "tree" in report.components
+
+
+# --------------------------------------------------------------------------- #
+# the service: determinism, isolation, lifecycle
+# --------------------------------------------------------------------------- #
+class TestIngestService:
+    def test_release_matches_in_process_summarizer(self):
+        rng = np.random.default_rng(0)
+        batches = [rng.random(64) for _ in range(4)]
+        spec = TenantSpec("acme", stream_size=256, seed=7)
+        with IngestService(workers=3) as service:
+            service.register(spec)
+            for batch in batches:
+                service.append("acme", batch)
+            release = service.release("acme")
+        assert _release_bytes(release) == _control_release(spec, batches)
+
+    def test_continual_release_matches_in_process(self):
+        rng = np.random.default_rng(1)
+        batches = [rng.random(32) for _ in range(3)]
+        spec = TenantSpec("cont", stream_size=256, seed=5, continual=True)
+        with IngestService(workers=2) as service:
+            service.register(spec)
+            for batch in batches:
+                service.append("cont", batch)
+            release = service.release("cont")
+        assert _release_bytes(release) == _control_release(spec, batches)
+
+    def test_tenants_are_isolated(self):
+        specs = [TenantSpec(f"t{i}", stream_size=64, seed=i) for i in range(6)]
+        rng = np.random.default_rng(2)
+        streams = {spec.tenant_id: [rng.random(16)] for spec in specs}
+        with IngestService(specs, workers=3) as service:
+            for tenant_id, batches in streams.items():
+                for batch in batches:
+                    service.append(tenant_id, batch)
+            releases = {t: _release_bytes(service.release(t)) for t in streams}
+        for spec in specs:
+            assert releases[spec.tenant_id] == _control_release(
+                spec, streams[spec.tenant_id]
+            )
+
+    def test_append_to_unknown_tenant_raises(self):
+        with IngestService(workers=1) as service:
+            with pytest.raises(KeyError, match="nobody"):
+                service.append("nobody", [0.5])
+
+    def test_append_after_release_fails_at_flush(self):
+        spec = TenantSpec("done", stream_size=64, seed=1)
+        with IngestService(workers=1) as service:
+            service.register(spec)
+            service.append("done", [0.5])
+            service.release("done")
+            service.append("done", [0.5])
+            with pytest.raises(AppendError) as excinfo:
+                service.flush()
+            assert excinfo.value.failures[0][0] == "done"
+
+    def test_snapshot_requires_continual(self):
+        with IngestService(workers=1) as service:
+            service.register(TenantSpec("one", stream_size=64, seed=1))
+            service.append("one", [0.5])
+            with pytest.raises(ValueError, match="one-shot"):
+                service.snapshot("one")
+
+    def test_memory_budget_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            IngestService(workers=1, memory_budget_words=1000)
+
+    def test_stats_row_shape(self):
+        with IngestService(workers=2) as service:
+            service.register(TenantSpec("s", stream_size=64, seed=1))
+            service.append("s", [0.25, 0.75])
+            stats = service.stats()
+        assert stats["tenants"] == 1
+        assert stats["items_ingested"] == 2
+        assert stats["budget"]["total_epsilon"] == pytest.approx(1.0)
+
+    def test_close_is_idempotent(self):
+        service = IngestService(workers=1)
+        service.close()
+        service.close()
+
+
+class TestEvictionRoundTrip:
+    def test_explicit_evict_restore_is_byte_identical(self, tmp_path):
+        rng = np.random.default_rng(3)
+        batches = [rng.random(32) for _ in range(4)]
+        spec = TenantSpec("evictee", stream_size=256, seed=11, continual=True)
+        with IngestService(workers=1, checkpoint_dir=tmp_path) as service:
+            service.register(spec)
+            service.append("evictee", batches[0])
+            service.append("evictee", batches[1])
+            assert service.evict("evictee") is True
+            assert (tmp_path / "evictee.state.json").exists()
+            service.append("evictee", batches[2])  # transparently restored
+            service.append("evictee", batches[3])
+            release = service.release("evictee")
+            stats = service.stats()
+        assert stats["evictions"] == 1
+        assert stats["restores"] == 1
+        assert _release_bytes(release) == _control_release(spec, batches)
+
+    def test_evict_without_checkpoint_dir_rejected(self):
+        with IngestService(workers=1) as service:
+            service.register(TenantSpec("t", stream_size=64, seed=1))
+            service.append("t", [0.5])
+            with pytest.raises(RuntimeError, match="checkpoint"):
+                service.evict("t")
+
+    def test_budget_pressure_evicts_cold_tenants(self, tmp_path):
+        specs = [
+            TenantSpec(f"b{i}", stream_size=64, seed=i, continual=True)
+            for i in range(8)
+        ]
+        rng = np.random.default_rng(4)
+        with IngestService(
+            specs, workers=1, checkpoint_dir=tmp_path, memory_budget_words=4000
+        ) as service:
+            for _ in range(2):
+                for spec in specs:
+                    service.append(spec.tenant_id, rng.random(16))
+            stats = service.stats()
+            assert stats["evictions"] > 0
+            assert stats["memory_words"] <= 4000
+            # Evicted tenants live on disk, not in memory.
+            assert any(tmp_path.glob("*.state.json")) or stats["restores"] > 0
+
+    def test_release_of_evicted_tenant_restores_first(self, tmp_path):
+        spec = TenantSpec("sleeper", stream_size=64, seed=2)
+        batches = [np.linspace(0.1, 0.9, 16)]
+        with IngestService(workers=1, checkpoint_dir=tmp_path) as service:
+            service.register(spec)
+            service.append("sleeper", batches[0])
+            service.evict("sleeper")
+            release = service.release("sleeper")
+            # The consumed checkpoint is removed on release.
+            assert not (tmp_path / "sleeper.state.json").exists()
+        assert _release_bytes(release) == _control_release(spec, batches)
+
+    def test_drain_on_close_checkpoints_residents(self, tmp_path):
+        spec = TenantSpec("durable", stream_size=64, seed=6, continual=True)
+        service = IngestService(workers=1, checkpoint_dir=tmp_path)
+        service.register(spec)
+        service.append("durable", np.linspace(0.0, 1.0, 16))
+        service.close()
+        assert (tmp_path / "durable.state.json").exists()
+
+
+class TestThousandTenantFleet:
+    def test_fleet_under_memory_budget_stays_deterministic(self, tmp_path):
+        """ISSUE acceptance: >= 1,000 registered tenants under a bounded
+        memory budget (cold tenants evicted to checkpoints) produce, for
+        sampled tenants, releases byte-identical to a single in-process
+        summarizer run."""
+        tenants = 1000
+        specs = [
+            TenantSpec(
+                f"fleet-{i:04d}", stream_size=16, seed=i, continual=(i % 7 == 0)
+            )
+            for i in range(tenants)
+        ]
+        rng = np.random.default_rng(5)
+        streams = {
+            spec.tenant_id: [rng.random(8), rng.random(8)] for spec in specs
+        }
+        sampled = ["fleet-0000", "fleet-0007", "fleet-0123", "fleet-0999"]
+        with IngestService(
+            specs,
+            workers=4,
+            checkpoint_dir=tmp_path,
+            memory_budget_words=40_000,
+        ) as service:
+            assert len(service.tenants()) == tenants
+            for round_index in range(2):
+                for spec in specs:
+                    service.append(
+                        spec.tenant_id, streams[spec.tenant_id][round_index]
+                    )
+            stats = service.stats()
+            assert stats["evictions"] > 0, "budget never bit; test is vacuous"
+            assert stats["memory_words"] <= 40_000
+            assert stats["items_ingested"] == tenants * 16
+            releases = {t: _release_bytes(service.release(t)) for t in sampled}
+        for tenant_id in sampled:
+            spec = specs[int(tenant_id.split("-")[1])]
+            assert releases[tenant_id] == _control_release(spec, streams[tenant_id])
+
+
+# --------------------------------------------------------------------------- #
+# live serving over HTTP
+# --------------------------------------------------------------------------- #
+@contextlib.contextmanager
+def _running_server(store: ReleaseStore):
+    server = create_server(store, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _post(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+class TestLiveServing:
+    def test_tenant_is_queryable_once_it_has_data(self):
+        store = ReleaseStore()
+        spec = TenantSpec("live", stream_size=512, seed=8, continual=True)
+        with IngestService(workers=1, store=store) as service:
+            service.register(spec)
+            assert not store.is_live("live")  # no data yet
+            service.append("live", np.linspace(0.0, 1.0, 64))
+            service.flush()
+            assert store.is_live("live")
+            with _running_server(store) as url:
+                answer = _post(
+                    url + "/query",
+                    {"release": "live", "query": {"type": "mass", "lower": 0.0, "upper": 1.0}},
+                )
+                assert answer["answer"] == pytest.approx(1.0)
+                assert answer["items_processed"] == 64
+
+    def test_unregister_live_yields_404(self):
+        store = ReleaseStore()
+        spec = TenantSpec("gone", stream_size=256, seed=9, continual=True)
+        with IngestService(workers=1, store=store) as service:
+            service.register(spec)
+            service.append("gone", np.linspace(0.0, 1.0, 32))
+            service.flush()
+            with _running_server(store) as url:
+                _post(
+                    url + "/query",
+                    {"release": "gone", "query": {"type": "mass", "lower": 0.0, "upper": 0.5}},
+                )
+                assert store.unregister_live("gone") is True
+                assert store.unregister_live("gone") is False  # idempotent
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _post(
+                        url + "/query",
+                        {"release": "gone", "query": {"type": "mass", "lower": 0.0, "upper": 0.5}},
+                    )
+                assert excinfo.value.code == 404
+
+    def test_eviction_unregisters_release_republishes_static(self, tmp_path):
+        store = ReleaseStore()
+        spec = TenantSpec("cycle", stream_size=256, seed=10, continual=True)
+        with IngestService(workers=1, checkpoint_dir=tmp_path, store=store) as service:
+            service.register(spec)
+            service.append("cycle", np.linspace(0.0, 1.0, 32))
+            service.flush()
+            assert store.is_live("cycle")
+            service.evict("cycle")
+            assert not store.is_live("cycle")  # dead summarizer must 404
+            service.append("cycle", np.linspace(0.0, 1.0, 32))
+            service.flush()
+            assert store.is_live("cycle")  # restored and re-announced
+            service.release("cycle")
+            assert not store.is_live("cycle")
+            assert "cycle" in store  # static release remains queryable
+            assert store.get("cycle").items_processed == 64
+
+    def test_close_unregisters_all_live_tenants(self):
+        store = ReleaseStore()
+        service = IngestService(workers=2, store=store)
+        for i in range(4):
+            service.register(
+                TenantSpec(f"c{i}", stream_size=128, seed=i, continual=True)
+            )
+            service.append(f"c{i}", np.linspace(0.0, 1.0, 16))
+        service.flush()
+        assert sum(store.is_live(f"c{i}") for i in range(4)) == 4
+        service.close()
+        assert sum(store.is_live(f"c{i}") for i in range(4)) == 0
+
+
+class TestConcurrentIngestAndServe:
+    def test_threads_append_disjoint_tenants_while_http_queries_run(self):
+        """ISSUE satellite: N threads appending to disjoint tenants while
+        HTTP queries hit the live snapshots; every answer is well-formed
+        and every tenant's final release is deterministic."""
+        n_threads = 4
+        batches_per_tenant = 6
+        store = ReleaseStore()
+        specs = [
+            TenantSpec(f"conc-{i}", stream_size=1024, seed=20 + i, continual=True)
+            for i in range(n_threads)
+        ]
+        streams = {
+            spec.tenant_id: [
+                np.random.default_rng(100 + 10 * i + j).random(32)
+                for j in range(batches_per_tenant)
+            ]
+            for i, spec in enumerate(specs)
+        }
+        errors: list[BaseException] = []
+        with IngestService(specs, workers=n_threads, store=store) as service:
+            # Seed every tenant so all are live before queries start.
+            for spec in specs:
+                service.append(spec.tenant_id, streams[spec.tenant_id][0])
+            service.flush()
+
+            def ingest(tenant_id: str) -> None:
+                try:
+                    for batch in streams[tenant_id][1:]:
+                        service.append(tenant_id, batch)
+                except BaseException as error:  # pragma: no cover - fail loud
+                    errors.append(error)
+
+            with _running_server(store) as url:
+                threads = [
+                    threading.Thread(target=ingest, args=(spec.tenant_id,))
+                    for spec in specs
+                ]
+                for thread in threads:
+                    thread.start()
+                answers = []
+                for _ in range(20):
+                    for spec in specs:
+                        answers.append(
+                            _post(
+                                url + "/query",
+                                {
+                                    "release": spec.tenant_id,
+                                    "query": {"type": "mass", "lower": 0.0, "upper": 1.0},
+                                },
+                            )
+                        )
+                for thread in threads:
+                    thread.join()
+            assert not errors
+            for answer in answers:
+                assert answer["answer"] == pytest.approx(1.0)
+            releases = {
+                spec.tenant_id: _release_bytes(service.release(spec.tenant_id))
+                for spec in specs
+            }
+        for spec in specs:
+            assert releases[spec.tenant_id] == _control_release(
+                spec, streams[spec.tenant_id]
+            )
+
+
+# --------------------------------------------------------------------------- #
+# intake: files, spool directory, rate limiting
+# --------------------------------------------------------------------------- #
+class TestIntake:
+    def test_jsonl_records(self, tmp_path):
+        path = tmp_path / "in.jsonl"
+        path.write_text(
+            '{"tenant": "a", "values": [0.1, 0.2]}\n'
+            '{"tenant": "b", "value": 0.5}\n'
+        )
+        records = [(t, list(np.asarray(v))) for t, v in iter_append_records(path)]
+        assert records == [("a", [0.1, 0.2]), ("b", [0.5])]
+
+    def test_csv_coalesces_consecutive_tenant_rows(self, tmp_path):
+        path = tmp_path / "in.csv"
+        path.write_text("a,0.1\na,0.2\nb,0.3\na,0.4\n")
+        records = [(t, len(np.asarray(v))) for t, v in iter_append_records(path)]
+        assert records == [("a", 2), ("b", 1), ("a", 1)]
+
+    def test_malformed_line_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"tenant": "a", "values": [0.1]}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            list(iter_append_records(path))
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "in.parquet"
+        path.write_text("")
+        with pytest.raises(ValueError, match="parquet"):
+            list(iter_append_records(path))
+
+    def test_ingest_file_counts(self, tmp_path):
+        path = tmp_path / "in.jsonl"
+        path.write_text('{"tenant": "a", "values": [0.1, 0.2, 0.3]}\n')
+        with IngestService(workers=1) as service:
+            service.register(TenantSpec("a", stream_size=64, seed=1))
+            counts = ingest_file(service, path)
+            assert counts == {"batches": 1, "items": 3}
+            service.flush()  # appends are asynchronous until a flush barrier
+            assert service.items_processed("a") == 3
+
+    def test_watch_directory_once_renames_done(self, tmp_path):
+        (tmp_path / "b.jsonl").write_text('{"tenant": "a", "values": [0.2]}\n')
+        (tmp_path / "a.jsonl").write_text('{"tenant": "a", "values": [0.1]}\n')
+        (tmp_path / "ignored.txt").write_text("not intake")
+        seen = []
+        with IngestService(workers=1) as service:
+            service.register(TenantSpec("a", stream_size=64, seed=1))
+            totals = watch_directory(
+                service, tmp_path, once=True, on_file=lambda p, c: seen.append(p.name)
+            )
+        assert totals == {"files": 2, "batches": 2, "items": 2}
+        assert seen == ["a.jsonl", "b.jsonl"]  # sorted order
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["a.jsonl.done", "b.jsonl.done", "ignored.txt"]
+
+    def test_rate_limiter_with_fake_clock(self):
+        now = [0.0]
+        limiter = RateLimiter(rate=100.0, burst=50, clock=lambda: now[0])
+        assert limiter.throttle("a", 50) == 0.0  # burst absorbs
+        assert limiter.throttle("a", 25) == pytest.approx(0.25)
+        assert limiter.throttle("b", 25) == 0.0  # independent bucket
+        now[0] += 1.0  # refill clears the deficit and recaps at the burst
+        assert limiter.throttle("a", 50) == 0.0
+        assert limiter.throttle("a", 25) == pytest.approx(0.25)
+        slept = []
+        delay = limiter.wait("a", 100, sleep=slept.append)
+        assert delay > 0 and slept == [delay]
+
+    def test_rate_limiter_validation(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0.0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=10.0, burst=0)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestIngestCLI:
+    def _write_fleet(self, tmp_path, tenants=4):
+        spec_dir = tmp_path / "specs"
+        spec_dir.mkdir()
+        document = {
+            "tenants": [
+                {
+                    "tenant_id": f"t{i}",
+                    "stream_size": 64,
+                    "seed": i,
+                    "continual": i % 2 == 0,
+                }
+                for i in range(tenants)
+            ]
+        }
+        (spec_dir / "fleet.json").write_text(json.dumps(document))
+        intake = tmp_path / "day.jsonl"
+        rng = np.random.default_rng(6)
+        with intake.open("w") as handle:
+            for i in range(tenants):
+                handle.write(
+                    json.dumps({"tenant": f"t{i}", "values": rng.random(8).tolist()})
+                    + "\n"
+                )
+        return spec_dir, intake
+
+    def test_ingest_release_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_dir, intake = self._write_fleet(tmp_path)
+        out_dir = tmp_path / "releases"
+        code = main(
+            [
+                "ingest",
+                "--specs", str(spec_dir),
+                "--append", str(intake),
+                "--workers", "2",
+                "--release-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert sorted(p.stem for p in out_dir.glob("*.json")) == [
+            "t0", "t1", "t2", "t3",
+        ]
+        output = capsys.readouterr().out
+        assert "released 4 tenant(s)" in output
+
+    def test_ingest_snapshot_single_tenant(self, tmp_path):
+        from repro.api.release import Release
+        from repro.cli import main
+
+        spec_dir, intake = self._write_fleet(tmp_path)
+        out = tmp_path / "snap.json"
+        code = main(
+            [
+                "ingest",
+                "--specs", str(spec_dir),
+                "--append", str(intake),
+                "--snapshot", "t0",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert Release.load(out).items_processed == 8
+
+    def test_ingest_with_memory_budget_and_watch_once(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_dir, intake = self._write_fleet(tmp_path)
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        intake.rename(spool / intake.name)
+        code = main(
+            [
+                "ingest",
+                "--specs", str(spec_dir),
+                "--watch", str(spool),
+                "--once",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--memory-budget-words", "2000",
+            ]
+        )
+        assert code == 0
+        assert (spool / "day.jsonl.done").exists()
+        assert "ingested 32 item(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["ingest", "--specs", "{tmp}", "--burst", "5"],
+            ["ingest", "--specs", "{tmp}", "--once"],
+            ["ingest", "--specs", "{tmp}", "--snapshot", "t0"],
+            ["ingest", "--specs", "{tmp}", "--snapshot", "t0", "--release", "t0",
+             "--output", "x.json"],
+        ],
+    )
+    def test_flag_conflicts_exit_2(self, tmp_path, argv):
+        from repro.cli import main
+
+        spec_dir, _intake = self._write_fleet(tmp_path)
+        argv = [a.replace("{tmp}", str(spec_dir)) for a in argv]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_empty_spec_dir_exits_2(self, tmp_path):
+        from repro.cli import main
+
+        empty = tmp_path / "none"
+        empty.mkdir()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["ingest", "--specs", str(empty)])
+        assert excinfo.value.code == 2
