@@ -11,14 +11,26 @@ paths for answering a query on a release:
 3. **memoized** -- a repeated workload served through ``QueryService``'s
    ``QueryCache``: repeats cost one dictionary lookup.
 
-The smoke entry point (``python benchmarks/bench_serve.py``) measures
-queries/sec for all three paths on one released interval summary and merges
-the numbers into ``BENCH_performance.json`` under ``"query_serving"``.
+On top of the in-process paths sits the HTTP load harness
+(:func:`measure_serving_load`): a release served from a store directory by
+``workers`` processes sharing one port via ``SO_REUSEPORT``, driven by
+hundreds-to-thousands of concurrent keep-alive clients, recording warm
+(engine-evaluated) and memoized (cache-hit) queries/sec plus p50/p99
+latency.
+
+The smoke entry point (``python benchmarks/bench_serve.py [--smoke]``)
+measures all paths on one released interval summary and merges the numbers
+into ``BENCH_performance.json`` under ``"query_serving"`` (the load harness
+lands in ``"query_serving"."load_test"``), gating warm throughput against
+regression.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import tempfile
+import threading
 import time
 
 import numpy as np
@@ -27,8 +39,16 @@ from bench_performance import merge_benchmark_result
 from repro.api.builder import PrivHPBuilder
 from repro.queries.range_queries import RangeQueryEngine
 from repro.queries.workload import random_range_queries
+from repro.serve.http import create_server, start_worker_pool
 from repro.serve.service import QueryService
 from repro.serve.store import ReleaseStore
+
+#: CI regression gates (see ``__main__``): the vectorised in-process warm
+#: path must stay >= 10x the ~194 q/s the retired per-leaf loop measured,
+#: and the HTTP load harness must not regress below a floor that even a
+#: 2-core CI runner clears comfortably.
+WARM_QPS_GATE = 2_000.0
+LOAD_WARM_QPS_GATE = 300.0
 
 
 def _fit_release(stream_size: int = 50_000, seed: int = 0):
@@ -88,18 +108,172 @@ def measure_query_throughput(
     }
 
 
+def _percentiles_ms(latencies: list[float]) -> dict:
+    values = np.asarray(latencies)
+    return {
+        "p50_ms": float(np.percentile(values, 50) * 1000.0),
+        "p99_ms": float(np.percentile(values, 99) * 1000.0),
+    }
+
+
+def _drive_clients(host: str, port: int, per_client_queries: list[list[dict]]) -> dict:
+    """Run one load phase: one keep-alive connection per client thread.
+
+    Every client POSTs its queries one request at a time (single-query
+    ``/query`` bodies, the latency-sensitive shape), recording wall-clock
+    per request.  Returns aggregate queries/sec plus latency percentiles.
+    """
+    barrier = threading.Barrier(len(per_client_queries) + 1)
+    latencies: list[list[float]] = [[] for _ in per_client_queries]
+    errors: list[BaseException] = []
+
+    def client(index: int, queries: list[dict]) -> None:
+        try:
+            connection = http.client.HTTPConnection(host, port, timeout=60)
+            body_for = lambda q: json.dumps({"release": "bench", "query": q})  # noqa: E731
+            barrier.wait()
+            for query in queries:
+                start = time.perf_counter()
+                connection.request(
+                    "POST", "/query", body=body_for(query),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                if response.status != 200:
+                    raise RuntimeError(f"HTTP {response.status}: {payload[:200]!r}")
+                latencies[index].append(time.perf_counter() - start)
+            connection.close()
+        except BaseException as error:  # surfaced after the join below
+            errors.append(error)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [
+        threading.Thread(target=client, args=(index, queries), daemon=True)
+        for index, queries in enumerate(per_client_queries)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"{len(errors)} client(s) failed; first: {errors[0]}") from errors[0]
+    flat = [latency for per_client in latencies for latency in per_client]
+    return {
+        "requests": len(flat),
+        "queries_per_second": len(flat) / elapsed,
+        **_percentiles_ms(flat),
+    }
+
+
+def measure_serving_load(
+    stream_size: int = 50_000,
+    workers: int = 4,
+    clients: int = 1_000,
+    requests_per_client: int = 20,
+    memo_pool: int = 64,
+) -> dict:
+    """Drive the HTTP serving path with many concurrent keep-alive clients.
+
+    Two phases against a ``--workers``-style ``SO_REUSEPORT`` process pool
+    (the parent's threaded server is worker 1, so ``workers=1`` needs no
+    subprocess):
+
+    * **warm** -- every request is a distinct mass query, so each one is a
+      cache miss evaluated by the compiled engine.
+    * **memoized** -- all clients sample a small shared pool, so after each
+      worker has seen the pool once, answers come from the query cache.
+    """
+    release = _fit_release(stream_size=stream_size)
+    rng = np.random.default_rng(9)
+
+    def mass_query(lower: float, upper: float) -> dict:
+        return {"type": "mass", "lower": float(lower), "upper": float(upper)}
+
+    total = clients * requests_per_client
+    warm_bounds = np.sort(rng.random((total, 2)), axis=1)
+    warm_queries = [mass_query(low, high) for low, high in warm_bounds]
+    warm_per_client = [
+        warm_queries[index * requests_per_client : (index + 1) * requests_per_client]
+        for index in range(clients)
+    ]
+    memo_bounds = np.sort(rng.random((memo_pool, 2)), axis=1)
+    memo_queries = [mass_query(low, high) for low, high in memo_bounds]
+    memo_per_client = [
+        [memo_queries[(index + step) % memo_pool] for step in range(requests_per_client)]
+        for index in range(clients)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as directory:
+        release.save(f"{directory}/bench.json")
+        # The parent's threaded server doubles as worker 1 and, bound with
+        # SO_REUSEPORT on an ephemeral port, race-freely picks the fixed
+        # port the remaining workers share.
+        server = create_server(directory, port=0, verbose=False, reuse_port=True)
+        host, port = "127.0.0.1", server.server_port
+        server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        server_thread.start()
+        pool = (
+            start_worker_pool(directory, host=host, port=port, workers=workers - 1)
+            if workers > 1
+            else []
+        )
+        try:
+            deadline = time.time() + 30
+            while True:  # wait until the pool accepts connections
+                try:
+                    probe = http.client.HTTPConnection(host, port, timeout=5)
+                    probe.request("GET", "/healthz")
+                    probe.getresponse().read()
+                    probe.close()
+                    break
+                except OSError:
+                    if time.time() > deadline:
+                        raise
+                    time.sleep(0.05)
+            warm = _drive_clients(host, port, warm_per_client)
+            memoized = _drive_clients(host, port, memo_per_client)
+        finally:
+            server.shutdown()
+            server.server_close()
+            for process in pool:
+                process.terminate()
+            for process in pool:
+                process.join()
+    return {
+        "stream_size": stream_size,
+        "workers": workers,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "warm": warm,
+        "memoized": memoized,
+    }
+
+
 def run_query_throughput_smoke(
-    stream_size: int = 50_000, num_queries: int = 200, repeats: int = 5
+    stream_size: int = 50_000,
+    num_queries: int = 200,
+    repeats: int = 5,
+    load: dict | None = None,
 ) -> dict:
     """Measure the serving paths and merge the row into the tracked JSON.
 
-    Only this CI smoke entry point (``python benchmarks/bench_serve.py``)
-    writes ``BENCH_performance.json``; pytest runs never dirty the working
-    tree.
+    ``load`` (keyword arguments for :func:`measure_serving_load`) adds the
+    HTTP load-harness numbers under ``"load_test"``.  Only this CI smoke
+    entry point (``python benchmarks/bench_serve.py``) writes
+    ``BENCH_performance.json``; pytest runs never dirty the working tree.
     """
     row = measure_query_throughput(
         stream_size=stream_size, num_queries=num_queries, repeats=repeats
     )
+    if load is not None:
+        row["load_test"] = measure_serving_load(stream_size=stream_size, **load)
     merge_benchmark_result({"query_serving": row})
     return row
 
@@ -133,9 +307,31 @@ def test_service_answers_match_direct_engine():
 
 
 if __name__ == "__main__":  # CI smoke entry: records BENCH_performance.json
-    result = run_query_throughput_smoke()
+    import sys
+
+    smoke = "--smoke" in sys.argv[1:]
+    load_params = (
+        {"workers": 2, "clients": 50, "requests_per_client": 10}
+        if smoke
+        else {"workers": 4, "clients": 1_000, "requests_per_client": 20}
+    )
+    result = run_query_throughput_smoke(load=load_params)
     print(json.dumps(result, indent=2, sort_keys=True))
+    failures = []
     if result["warm_over_cold_speedup"] < 2.0:
-        raise SystemExit(
+        failures.append(
             f"cached-engine speedup {result['warm_over_cold_speedup']:.2f}x is below the 2x gate"
         )
+    if result["warm_queries_per_second"] < WARM_QPS_GATE:
+        failures.append(
+            f"warm throughput {result['warm_queries_per_second']:.0f} q/s is below "
+            f"the {WARM_QPS_GATE:.0f} q/s regression gate"
+        )
+    if result["load_test"]["warm"]["queries_per_second"] < LOAD_WARM_QPS_GATE:
+        failures.append(
+            f"HTTP load warm throughput "
+            f"{result['load_test']['warm']['queries_per_second']:.0f} q/s is below "
+            f"the {LOAD_WARM_QPS_GATE:.0f} q/s regression gate"
+        )
+    if failures:
+        raise SystemExit("; ".join(failures))

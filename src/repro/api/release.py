@@ -32,6 +32,7 @@ Example:
 from __future__ import annotations
 
 import pathlib
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -62,9 +63,14 @@ class Release:
     memory_words: int = 0
     metadata: dict = field(default_factory=dict)
     #: Lazily constructed query engines, keyed by engine class name.  They are
-    #: derived state (cheap to rebuild, never serialised) and excluded from
-    #: equality.
+    #: derived state (rebuildable, never serialised) and excluded from
+    #: equality.  Construction compiles the tree into contiguous leaf/node
+    #: tables, so it is expensive enough that concurrent cold starts must not
+    #: each build their own copy: ``_engine_lock`` serialises first builds.
     _engines: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _engine_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # sampling (delegates to the generator)
@@ -95,17 +101,29 @@ class Release:
     # ------------------------------------------------------------------ #
     # queries (lazily constructed, cached engines)
     # ------------------------------------------------------------------ #
+    def _engine(self, key: str, factory):
+        """Double-checked lazy construction of a cached query engine.
+
+        The lock-free fast path serves the (overwhelmingly common) warm
+        case; the lock makes a cold release under N concurrent queries
+        compile its table exactly once instead of N times racing on
+        ``_engines``.
+        """
+        engine = self._engines.get(key)
+        if engine is None:
+            with self._engine_lock:
+                engine = self._engines.get(key)
+                if engine is None:
+                    engine = self._engines[key] = factory(self.tree, self.domain)
+        return engine
+
     def range_engine(self) -> RangeQueryEngine:
         """The cached :class:`~repro.queries.range_queries.RangeQueryEngine`.
 
-        Built on first use (the engine precomputes leaf probabilities once)
-        and reused by every subsequent range/CDF/marginal query on this
-        release.
+        Built on first use (the engine compiles the leaf table once) and
+        reused by every subsequent range/CDF/marginal query on this release.
         """
-        engine = self._engines.get("range")
-        if engine is None:
-            engine = self._engines["range"] = RangeQueryEngine(self.tree, self.domain)
-        return engine
+        return self._engine("range", RangeQueryEngine)
 
     def quantile_engine(self) -> QuantileEngine:
         """The cached :class:`~repro.queries.quantiles.QuantileEngine`.
@@ -113,10 +131,7 @@ class Release:
         Raises ``TypeError`` on domains without a total order (hypercubes,
         geographic boxes); see :meth:`supported_queries`.
         """
-        engine = self._engines.get("quantile")
-        if engine is None:
-            engine = self._engines["quantile"] = QuantileEngine(self.tree, self.domain)
-        return engine
+        return self._engine("quantile", QuantileEngine)
 
     def supported_queries(self) -> tuple[str, ...]:
         """The query types this release's domain can answer.
@@ -162,6 +177,35 @@ class Release:
     def marginal(self, axis: int, bins: int = 32) -> np.ndarray:
         """One-dimensional marginal histogram along ``axis`` (vector domains)."""
         return self.range_engine().marginal(axis, bins=bins)
+
+    # ------------------------------------------------------------------ #
+    # batch queries (one vectorised pass over the compiled leaf table)
+    # ------------------------------------------------------------------ #
+    def mass_many(self, lowers, uppers) -> np.ndarray:
+        """Batch :meth:`mass`: entry ``i`` equals ``mass(lowers[i], uppers[i])``."""
+        return self.range_engine().mass_many(lowers, uppers)
+
+    def range_count_many(self, lowers, uppers) -> np.ndarray:
+        """Batch :meth:`range_count` in one vectorised pass."""
+        return self.range_engine().count_many(lowers, uppers)
+
+    def cdf_many(self, points) -> np.ndarray:
+        """Batch :meth:`cdf` in one vectorised pass."""
+        return self.range_engine().cdf_many(points)
+
+    # ------------------------------------------------------------------ #
+    # copy/pickle: the engine cache and its lock are derived state
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_engines"] = {}
+        del state["_engine_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__["_engines"] = {}
+        self.__dict__["_engine_lock"] = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # serialisation through repro.io

@@ -237,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=4096, help="memoized answers kept (LRU)"
     )
     serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes sharing the port via SO_REUSEPORT "
+        "(default 1: a single in-process threaded server)",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logging"
     )
 
@@ -516,7 +521,40 @@ def _command_resume(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from repro.serve.http import create_server
+    from repro.serve.http import create_server, start_worker_pool
+    from repro.serve.store import ReleaseStore
+
+    if args.workers < 1:
+        raise ValueError(f"--workers must be at least 1, got {args.workers}")
+    if args.workers > 1:
+        if args.port == 0:
+            raise ValueError("--workers needs an explicit --port (port 0 would bind "
+                             "a different ephemeral port per worker)")
+        names = ReleaseStore(args.store).names()
+        processes = start_worker_pool(
+            args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            verbose=not args.quiet,
+        )
+        print(
+            f"serving {len(names)} release(s) from {args.store} on "
+            f"http://{args.host}:{args.port} with {args.workers} workers "
+            f"(SO_REUSEPORT; GET /releases, /stats, /healthz; POST /query) -- Ctrl-C to stop"
+        )
+        try:
+            for process in processes:
+                process.join()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join()
+        return 0
 
     server = create_server(
         args.store,

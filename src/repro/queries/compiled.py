@@ -1,0 +1,388 @@
+"""Compiled leaf and node tables: the tree flattened into contiguous arrays.
+
+The scalar query engines walked Python dicts -- one loop iteration per leaf
+per query, which capped warm serving at a few hundred queries per second.
+This module compiles a :class:`~repro.core.tree.PartitionTree` once, at
+engine construction, into contiguous numpy arrays so that every query after
+that is pure array arithmetic:
+
+* :class:`CompiledLeafTable` -- per-leaf probabilities plus per-domain cell
+  geometry (interval endpoints, per-axis box corners, or integer ranges) in
+  the engine's canonical leaf order, with a prefix-sum/CDF array over the
+  ordered-domain leaf order for diagnostics and inverse-CDF seeding.  The
+  ``mass_many`` / ``marginal`` kernels evaluate whole query batches in one
+  vectorised pass.
+* :class:`CompiledDescentTable` -- the root-to-leaf branching structure as
+  index arrays (left/right child, left-child count, leaf payloads), so a
+  batch of quantile probabilities descends level-synchronously: one numpy
+  pass per tree level for the *entire* batch instead of one Python descent
+  per probability.
+
+Byte-identical contract
+-----------------------
+Every kernel reproduces the retired scalar loops bit for bit: terms are
+accumulated sequentially (``np.cumsum``, which sums left to right, not
+``np.sum``'s pairwise reduction), per-axis box fractions multiply in axis
+order, integer overlaps divide with the same int64 -> float64 true division,
+and the quantile descent performs the same compare/subtract sequence per
+probability.  ``tests/test_queries_vectorized.py`` pins the equality against
+reference implementations of the old loops on randomised trees over all five
+domains.
+
+Example:
+    >>> from repro.queries.compiled import CompiledLeafTable
+    >>> from repro.baselines.pmm import build_exact_tree
+    >>> from repro.domain.interval import UnitInterval
+    >>> tree = build_exact_tree([0.1, 0.3, 0.6, 0.9], UnitInterval(), depth=2)
+    >>> table = CompiledLeafTable(tree, UnitInterval())
+    >>> table.probabilities
+    array([0.25, 0.25, 0.25, 0.25])
+    >>> import numpy as np
+    >>> table.mass_many(np.asarray([0.0, 0.5]), np.asarray([0.5, 1.0]))
+    array([0.5, 0.5])
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import PartitionTree
+from repro.domain.base import Cell, Domain
+from repro.domain.discrete import DiscreteDomain
+from repro.domain.geo import GeoDomain
+from repro.domain.hypercube import Hypercube
+from repro.domain.interval import UnitInterval
+from repro.domain.ipv4 import IPv4Domain
+
+__all__ = ["CompiledLeafTable", "CompiledDescentTable"]
+
+#: Bound on the elements of one temporary (queries x leaves) block so that
+#: arbitrarily large batches evaluate in bounded memory (~32 MB per block).
+_BLOCK_ELEMENTS = 1 << 22
+
+
+def _sequential_sum(terms: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Left-to-right float accumulation starting from +0.0.
+
+    Matches ``total = 0.0; for t in terms: total += t`` bit for bit (numpy's
+    ``cumsum`` accumulates sequentially, unlike ``np.sum``'s pairwise
+    reduction).  The prepended zero pins the scalar loops' ``total = 0.0``
+    start, so an all ``-0.0`` term row still sums to ``+0.0``.
+    """
+    shape = list(terms.shape)
+    shape[axis] = 1
+    padded = np.concatenate([np.zeros(shape), terms], axis=axis)
+    return np.take(np.cumsum(padded, axis=axis), -1, axis=axis)
+
+
+class CompiledLeafTable:
+    """Per-leaf probabilities and cell geometry as contiguous arrays.
+
+    ``kind`` selects the geometry layout:
+
+    * ``"interval"`` -- scalar dyadic cells: ``low``/``high``/``width`` are
+      ``(L,)`` float arrays.
+    * ``"box"`` -- vector cells: ``low``/``high``/``width`` are ``(L, d)``
+      float arrays (normalised coordinates for :class:`GeoDomain`).
+    * ``"intrange"`` -- integer cells: ``low``/``high`` are ``(L,)`` int64
+      arrays of inclusive ranges (``low > high`` marks an empty cell).
+    """
+
+    def __init__(self, tree: PartitionTree, domain: Domain) -> None:
+        self.domain = domain
+        self.root_count = float(tree.root_count)
+        leaves = tree.leaves()
+        weights = np.array([max(tree.count(theta), 0.0) for theta in leaves])
+        total = float(weights.sum())
+        if total <= 0:
+            # Degenerate release: the retired scalar engine fell back to a
+            # single root "leaf" carrying the whole mass (the uniform law).
+            self.leaves: tuple[Cell, ...] = ((),)
+            self.probabilities = np.array([1.0])
+        else:
+            self.leaves = tuple(leaves)
+            self.probabilities = weights / total
+        self._positive = self.probabilities > 0
+        self._compile_geometry(domain)
+        self._compile_cdf(domain)
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    def _compile_geometry(self, domain: Domain) -> None:
+        if isinstance(domain, UnitInterval):
+            self.kind = "interval"
+            bounds = [domain.cell_bounds(theta) for theta in self.leaves]
+            self.low = np.array([b[0] for b in bounds])
+            self.high = np.array([b[1] for b in bounds])
+            self.width = self.high - self.low
+        elif isinstance(domain, (Hypercube, GeoDomain)):
+            self.kind = "box"
+            self.dimension = 2 if isinstance(domain, GeoDomain) else domain.dimension
+            bounds = [domain.cell_bounds(theta) for theta in self.leaves]
+            self.low = np.array([b[0] for b in bounds], dtype=float).reshape(
+                len(self.leaves), self.dimension
+            )
+            self.high = np.array([b[1] for b in bounds], dtype=float).reshape(
+                len(self.leaves), self.dimension
+            )
+            self.width = self.high - self.low
+        elif isinstance(domain, (IPv4Domain, DiscreteDomain)):
+            self.kind = "intrange"
+            ranges = [domain.cell_range(theta) for theta in self.leaves]
+            self.low = np.array([r[0] for r in ranges], dtype=np.int64)
+            self.high = np.array([r[1] for r in ranges], dtype=np.int64)
+        else:
+            raise TypeError(
+                f"range queries are not supported on {type(domain).__name__}"
+            )
+
+    def _compile_cdf(self, domain: Domain) -> None:
+        """Prefix-sum/CDF array over the ordered-domain leaf order.
+
+        For one-dimensional ordered domains the leaves partition the domain
+        left to right; sorting the prefix-free cell indices
+        lexicographically *is* the domain order, so ``cdf[j]`` is the
+        released probability mass at or below the ``j``-th leaf's upper
+        endpoint.  Vector domains have no total order and carry no CDF.
+        """
+        if isinstance(domain, (UnitInterval, IPv4Domain, DiscreteDomain)):
+            order = sorted(range(len(self.leaves)), key=lambda j: self.leaves[j])
+            self.leaf_order = np.array(order, dtype=np.int64)
+            self.cdf = np.cumsum(self.probabilities[self.leaf_order])
+        else:
+            self.leaf_order = None
+            self.cdf = None
+
+    # ------------------------------------------------------------------ #
+    # kernels
+    # ------------------------------------------------------------------ #
+    def mass_many(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        """Probability mass of ``N`` regions in one vectorised pass.
+
+        ``lowers``/``uppers`` are already canonical for the table's kind:
+        ``(N,)`` floats for intervals, ``(N, d)`` normalised floats for
+        boxes, ``(N,)`` int64 for integer ranges.  Row ``i`` of the result
+        is bit-identical to the retired scalar ``mass`` on query ``i``.
+        """
+        count = len(lowers)
+        result = np.empty(count)
+        block = max(1, _BLOCK_ELEMENTS // max(len(self.leaves), 1))
+        for start in range(0, count, block):
+            stop = min(start + block, count)
+            fractions = self._fractions(lowers[start:stop], uppers[start:stop])
+            terms = np.where(
+                self._positive[None, :], self.probabilities[None, :] * fractions, 0.0
+            )
+            totals = _sequential_sum(terms, axis=1)
+            result[start:stop] = np.minimum(np.maximum(totals, 0.0), 1.0)
+        return result
+
+    def _fractions(self, lowers, uppers) -> np.ndarray:
+        """Fraction of each leaf cell covered by each query region: (N, L)."""
+        if self.kind == "interval":
+            overlap = np.maximum(
+                0.0,
+                np.minimum(self.high[None, :], uppers[:, None])
+                - np.maximum(self.low[None, :], lowers[:, None]),
+            )
+            valid = self.width > 0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                fractions = overlap / self.width[None, :]
+            return np.where(valid[None, :], fractions, 0.0)
+        if self.kind == "box":
+            # Multiply per-axis coverage in axis order, exactly like the
+            # scalar loop's running ``fraction *= overlap / width``; any
+            # degenerate axis zeroes the whole leaf (the scalar early
+            # return).
+            n = len(lowers)
+            fractions = np.ones((n, len(self.leaves)))
+            degenerate = np.zeros(len(self.leaves), dtype=bool)
+            for axis in range(self.dimension):
+                width = self.width[:, axis]
+                valid = width > 0
+                degenerate |= ~valid
+                overlap = np.maximum(
+                    0.0,
+                    np.minimum(self.high[None, :, axis], uppers[:, None, axis])
+                    - np.maximum(self.low[None, :, axis], lowers[:, None, axis]),
+                )
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ratio = overlap / width[None, :]
+                fractions = fractions * np.where(valid[None, :], ratio, 0.0)
+            return np.where(degenerate[None, :], 0.0, fractions)
+        # intrange
+        overlap = np.maximum(
+            0,
+            np.minimum(self.high[None, :], uppers[:, None])
+            - np.maximum(self.low[None, :], lowers[:, None])
+            + 1,
+        )
+        size = self.high - self.low + 1
+        valid = self.low <= self.high
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = overlap / np.where(valid, size, 1)[None, :]
+        return np.where(valid[None, :], fractions, 0.0)
+
+    def marginal(self, axis: int, bins: int) -> np.ndarray:
+        """One-dimensional marginal histogram for box tables: (bins,).
+
+        Bit-identical to the retired scalar loop: the per-leaf term is
+        ``(probability * overlap) / width`` (that exact association order)
+        and bins accumulate leaf by leaf in table order.
+        """
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        cell_low = self.low[:, axis]
+        cell_high = self.high[:, axis]
+        width = self.width[:, axis]
+        overlap = np.maximum(
+            0.0,
+            np.minimum(cell_high[:, None], edges[None, 1:])
+            - np.maximum(cell_low[:, None], edges[None, :-1]),
+        )
+        valid = self._positive & (width > 0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = (self.probabilities[:, None] * overlap) / width[:, None]
+        terms = np.where(valid[:, None], terms, 0.0)
+        return _sequential_sum(terms, axis=0)
+
+
+class CompiledDescentTable:
+    """The tree's branching structure flattened for batch quantile descent.
+
+    Node ``0`` is the root.  ``internal[i]`` mirrors the scalar descent's
+    ``tree.has_children(theta)`` check; internal nodes carry both child
+    indices (children are materialised even when the tree does not store
+    them, matching ``tree.get(child, 0.0)``), and every node carries
+    ``left_count`` -- ``max(count(left child), 0.0)`` -- which is the only
+    number the descent compares against.
+    """
+
+    def __init__(self, tree: PartitionTree, domain: Domain) -> None:
+        self.domain = domain
+        # The scalar descent multiplied by ``max(root_count, 0.0)``.
+        self.root_count = max(float(tree.root_count), 0.0)
+        cells: list[Cell] = [()]
+        internal: list[bool] = []
+        left_index: list[int] = []
+        right_index: list[int] = []
+        left_count: list[float] = []
+        cursor = 0
+        while cursor < len(cells):
+            theta = cells[cursor]
+            if tree.has_children(theta):
+                internal.append(True)
+                left, right = theta + (0,), theta + (1,)
+                left_index.append(len(cells))
+                cells.append(left)
+                right_index.append(len(cells))
+                cells.append(right)
+                left_count.append(max(tree.get(left, 0.0), 0.0))
+            else:
+                internal.append(False)
+                left_index.append(cursor)
+                right_index.append(cursor)
+                left_count.append(0.0)
+            cursor += 1
+        self.cells = tuple(cells)
+        self.internal = np.array(internal, dtype=bool)
+        self.left_index = np.array(left_index, dtype=np.int64)
+        self.right_index = np.array(right_index, dtype=np.int64)
+        self.left_count = np.array(left_count)
+        self.leaf_count = np.array([max(tree.get(theta, 0.0), 0.0) for theta in cells])
+        self.depth = max((len(theta) for theta in cells), default=0)
+        self._compile_points(domain)
+        # Plain-Python mirrors for the scalar fast path (list indexing beats
+        # numpy scalar extraction for a single root-to-leaf walk).
+        self._py_internal = self.internal.tolist()
+        self._py_left_index = self.left_index.tolist()
+        self._py_right_index = self.right_index.tolist()
+        self._py_left_count = self.left_count.tolist()
+        self._py_leaf_count = self.leaf_count.tolist()
+
+    def _compile_points(self, domain: Domain) -> None:
+        if isinstance(domain, UnitInterval):
+            self.integer = False
+            bounds = [domain.cell_bounds(theta) for theta in self.cells]
+            self.low = np.array([b[0] for b in bounds])
+            self.high = np.array([b[1] for b in bounds])
+            self._py_low = self.low.tolist()
+            self._py_high = self.high.tolist()
+        else:
+            self.integer = True
+            ranges = [domain.cell_range(theta) for theta in self.cells]
+            self.low = np.array([r[0] for r in ranges], dtype=np.int64)
+            self.high = np.array([r[1] for r in ranges], dtype=np.int64)
+            self._py_low = self.low.tolist()
+            self._py_high = self.high.tolist()
+
+    # ------------------------------------------------------------------ #
+    # scalar walk (single probability)
+    # ------------------------------------------------------------------ #
+    def descend(self, probability: float) -> tuple[int, float]:
+        """One root-to-leaf walk; returns (node index, remaining mass).
+
+        The same compare/subtract sequence as the retired per-query loop,
+        over list-backed node arrays instead of dict lookups.
+        """
+        remaining = probability * self.root_count
+        node = 0
+        while self._py_internal[node]:
+            count = self._py_left_count[node]
+            if count >= remaining:
+                node = self._py_left_index[node]
+            else:
+                remaining -= count
+                node = self._py_right_index[node]
+        return node, remaining
+
+    # ------------------------------------------------------------------ #
+    # batch walk (many probabilities, level-synchronous)
+    # ------------------------------------------------------------------ #
+    def descend_many(self, probabilities: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Descend the whole batch one level per numpy pass.
+
+        Each lane performs exactly the scalar walk's arithmetic (same
+        compares, same sequential subtractions), so the landing node and
+        remaining mass are bit-identical per probability.
+        """
+        remaining = probabilities * self.root_count
+        nodes = np.zeros(len(probabilities), dtype=np.int64)
+        for _ in range(self.depth):
+            active = self.internal[nodes]
+            if not active.any():
+                break
+            counts = self.left_count[nodes]
+            go_left = counts >= remaining
+            go_right = active & ~go_left
+            remaining = np.where(go_right, remaining - counts, remaining)
+            nodes = np.where(
+                active,
+                np.where(go_left, self.left_index[nodes], self.right_index[nodes]),
+                nodes,
+            )
+        return nodes, remaining
+
+    def interpolate_many(self, nodes: np.ndarray, remaining: np.ndarray) -> np.ndarray:
+        """Quantile representatives for the landed nodes, vectorised.
+
+        Mirrors the scalar tail of the descent exactly: an empty leaf
+        answers its cell's upper point; otherwise the point ``remaining /
+        leaf_count`` (clamped to [0, 1]) of the way through the cell --
+        linear interpolation for intervals, nearest integer (banker's
+        rounding, like :func:`round`) for integer domains.
+        """
+        counts = self.leaf_count[nodes]
+        populated = counts > 0
+        fraction = remaining / np.where(populated, counts, 1.0)
+        fraction = np.minimum(np.maximum(fraction, 0.0), 1.0)
+        low = self.low[nodes]
+        high = self.high[nodes]
+        if not self.integer:
+            return np.where(populated, low + fraction * (high - low), high)
+        rounded = np.rint(low + fraction * (high - low)).astype(np.int64)
+        interpolated = np.where(low > high, low, rounded)
+        return np.where(populated, interpolated, high)

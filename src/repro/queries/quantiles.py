@@ -6,6 +6,15 @@ directly by a root-to-leaf descent: at each node, branch left when the
 requested probability mass fits in the left child, otherwise subtract it and
 branch right.  This is the query-side counterpart of the sampling procedure of
 Section 5 and is again pure post-processing.
+
+Construction compiles the tree's branching structure into a
+:class:`~repro.queries.compiled.CompiledDescentTable` (child indices, left
+counts, leaf payloads, plus the prefix-sum/CDF array over the ordered leaf
+order), so a single quantile walks flat arrays instead of a dict and a batch
+of probabilities descends level-synchronously -- one numpy pass per tree
+level for the whole batch.  Each lane runs the same compare/subtract
+sequence as the scalar walk, so batch answers are bit-identical per
+probability (pinned in ``tests/test_queries_vectorized.py``).
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from repro.domain.base import Cell, Domain
 from repro.domain.discrete import DiscreteDomain
 from repro.domain.interval import UnitInterval
 from repro.domain.ipv4 import IPv4Domain
+from repro.queries.compiled import CompiledDescentTable
 
 __all__ = ["QuantileEngine"]
 
@@ -33,6 +43,8 @@ class QuantileEngine:
         0.5
         >>> engine.interquartile_range()
         0.5
+        >>> engine.quantiles([0.25, 0.5, 0.75])
+        array([0.25, 0.5 , 0.75])
     """
 
     def __init__(self, tree: PartitionTree, domain: Domain) -> None:
@@ -40,6 +52,7 @@ class QuantileEngine:
             raise TypeError("quantile queries require a one-dimensional ordered domain")
         self.tree = tree
         self.domain = domain
+        self._table = CompiledDescentTable(tree, domain)
 
     def _cell_upper_point(self, theta: Cell):
         """The largest point of a cell (used as the quantile representative)."""
@@ -64,29 +77,36 @@ class QuantileEngine:
         """The ``probability``-quantile of the released distribution."""
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must lie in [0, 1], got {probability}")
-        total = max(self.tree.root_count, 0.0)
-        if total <= 0:
+        if self._table.root_count <= 0:
             # Degenerate release: fall back to the quantile of the uniform law.
             return self._cell_interpolated_point((), probability)
 
-        remaining = probability * total
-        theta: Cell = ()
-        while self.tree.has_children(theta):
-            left, right = theta + (0,), theta + (1,)
-            left_count = max(self.tree.get(left, 0.0), 0.0)
-            if left_count >= remaining:
-                theta = left
-            else:
-                remaining -= left_count
-                theta = right
-        leaf_count = max(self.tree.get(theta, 0.0), 0.0)
+        node, remaining = self._table.descend(probability)
+        theta = self._table.cells[node]
+        leaf_count = self._table._py_leaf_count[node]
         if leaf_count <= 0:
             return self._cell_upper_point(theta)
         return self._cell_interpolated_point(theta, remaining / leaf_count)
 
     def quantiles(self, probabilities) -> np.ndarray:
-        """Vectorised quantile evaluation."""
-        return np.asarray([self.quantile(float(p)) for p in probabilities])
+        """Vectorised quantile evaluation: one level-synchronous batch descent.
+
+        The whole batch walks the compiled node table together -- one numpy
+        pass per tree level -- so cost is O(depth) array operations for any
+        batch size.  Entry ``i`` is bit-identical to
+        ``quantile(probabilities[i])``.
+        """
+        values = np.asarray([float(p) for p in probabilities])
+        if values.size == 0:
+            return np.asarray([])
+        invalid = ~((values >= 0.0) & (values <= 1.0))
+        if invalid.any():
+            bad = float(values[int(np.argmax(invalid))])
+            raise ValueError(f"probability must lie in [0, 1], got {bad}")
+        if self._table.root_count <= 0:
+            return np.asarray([self._cell_interpolated_point((), p) for p in values])
+        nodes, remaining = self._table.descend_many(values)
+        return self._table.interpolate_many(nodes, remaining)
 
     def median(self):
         """The released distribution's median."""

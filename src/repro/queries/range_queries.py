@@ -7,6 +7,14 @@ volume that intersects the query region -- which is exactly the probability
 the synthetic generator assigns to the region (points are uniform within a
 leaf), computed in closed form instead of by Monte-Carlo sampling.
 
+Construction compiles the tree into a :class:`~repro.queries.compiled.CompiledLeafTable`
+-- contiguous arrays of leaf probabilities and cell geometry -- so a query
+is vectorised overlap arithmetic over all leaves at once, and a *batch* of
+queries (:meth:`RangeQueryEngine.mass_many`) is a single numpy pass with no
+Python loop over either queries or leaves.  Answers are bit-identical to
+the historical per-leaf Python loop (pinned in
+``tests/test_queries_vectorized.py``).
+
 Supported domains: :class:`~repro.domain.interval.UnitInterval`,
 :class:`~repro.domain.hypercube.Hypercube`, :class:`~repro.domain.geo.GeoDomain`
 (axis-aligned boxes in raw coordinates), and
@@ -19,27 +27,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.tree import PartitionTree
-from repro.domain.base import Cell, Domain
+from repro.domain.base import Domain
 from repro.domain.discrete import DiscreteDomain
 from repro.domain.geo import GeoDomain
 from repro.domain.hypercube import Hypercube
 from repro.domain.interval import UnitInterval
 from repro.domain.ipv4 import IPv4Domain
+from repro.queries.compiled import CompiledLeafTable
 
 __all__ = ["RangeQueryEngine"]
-
-
-def _interval_overlap(cell_low: float, cell_high: float, low: float, high: float) -> float:
-    """Length of the intersection of two closed intervals."""
-    return max(0.0, min(cell_high, high) - max(cell_low, low))
 
 
 class RangeQueryEngine:
     """Answers axis-aligned range queries from a (noisy, consistent) tree.
 
-    Construction precomputes the leaf probabilities once; every query after
-    that is a single pass over the leaves.  :meth:`repro.api.release.Release.range_engine`
-    caches one instance per release for exactly this reason.
+    Construction compiles the leaf table once; every query after that is
+    array arithmetic, and whole workloads go through :meth:`mass_many` /
+    :meth:`count_many` / :meth:`cdf_many` in one vectorised pass.
+    :meth:`repro.api.release.Release.range_engine` caches one instance per
+    release for exactly this reason.
 
     Example:
         >>> from repro.baselines.pmm import build_exact_tree
@@ -52,65 +58,58 @@ class RangeQueryEngine:
         2.0
         >>> engine.cdf(0.25)
         0.25
+        >>> engine.mass_many([0.0, 0.5], [0.5, 1.0])
+        array([0.5, 0.5])
     """
 
     def __init__(self, tree: PartitionTree, domain: Domain) -> None:
         self.tree = tree
         self.domain = domain
-        self._leaf_probabilities = self._compute_leaf_probabilities()
+        self._table = CompiledLeafTable(tree, domain)
 
     # ------------------------------------------------------------------ #
-    # construction helpers
+    # canonicalisation: raw per-query bounds -> kernel-ready arrays
     # ------------------------------------------------------------------ #
-    def _compute_leaf_probabilities(self) -> dict[Cell, float]:
-        leaves = self.tree.leaves()
-        weights = np.array([max(self.tree.count(theta), 0.0) for theta in leaves])
-        total = float(weights.sum())
-        if total <= 0:
-            return {(): 1.0}
-        return {theta: float(weight / total) for theta, weight in zip(leaves, weights)}
-
-    # ------------------------------------------------------------------ #
-    # geometry: fraction of a leaf cell covered by the query region
-    # ------------------------------------------------------------------ #
-    def _cell_fraction(self, theta: Cell, lower, upper) -> float:
+    def _canonical_bounds(self, lowers, uppers) -> tuple[np.ndarray, np.ndarray]:
+        kind = self._table.kind
+        if kind == "interval":
+            low = np.array([float(value) for value in lowers])
+            high = np.array([float(value) for value in uppers])
+            if np.any(low > high):
+                raise ValueError("lower bound must not exceed upper bound")
+            return low, high
+        if kind == "intrange":
+            low = np.array([self._as_int(value) for value in lowers], dtype=np.int64)
+            high = np.array([self._as_int(value) for value in uppers], dtype=np.int64)
+            if np.any(low > high):
+                raise ValueError("lower bound must not exceed upper bound")
+            return low, high
+        # box: normalise geographic bounds per query, then shape-check.
         domain = self.domain
-        if isinstance(domain, UnitInterval):
-            cell_low, cell_high = domain.cell_bounds(theta)
-            width = cell_high - cell_low
-            if width <= 0:
-                return 0.0
-            return _interval_overlap(cell_low, cell_high, float(lower), float(upper)) / width
-        if isinstance(domain, (Hypercube, GeoDomain)):
-            cell_low, cell_high = domain.cell_bounds(theta)
+        dimension = self._table.dimension
+        low_rows = []
+        high_rows = []
+        for lower, upper in zip(lowers, uppers):
             if isinstance(domain, GeoDomain):
-                # Queries arrive in raw (lat, lon) coordinates; convert to the
-                # normalised unit square the cells live in.
+                # Queries arrive in raw (lat, lon) coordinates; convert to
+                # the normalised unit square the cells live in.
                 lower = domain._normalise(lower)
                 upper = domain._normalise(upper)
             lower = np.asarray(lower, dtype=float).ravel()
             upper = np.asarray(upper, dtype=float).ravel()
-            if lower.shape != cell_low.shape or upper.shape != cell_low.shape:
+            if np.any(lower > upper):
+                raise ValueError("lower bounds must not exceed upper bounds on any axis")
+            if lower.shape != (dimension,) or upper.shape != (dimension,):
                 raise ValueError("query bounds must match the domain dimension")
-            fraction = 1.0
-            for axis in range(len(cell_low)):
-                width = cell_high[axis] - cell_low[axis]
-                if width <= 0:
-                    return 0.0
-                overlap = _interval_overlap(
-                    cell_low[axis], cell_high[axis], lower[axis], upper[axis]
-                )
-                fraction *= overlap / width
-            return fraction
-        if isinstance(domain, (IPv4Domain, DiscreteDomain)):
-            cell_low, cell_high = domain.cell_range(theta)
-            if cell_low > cell_high:
-                return 0.0
-            low = int(lower) if not isinstance(lower, str) else IPv4Domain.parse(lower)
-            high = int(upper) if not isinstance(upper, str) else IPv4Domain.parse(upper)
-            overlap = max(0, min(cell_high, high) - max(cell_low, low) + 1)
-            return overlap / (cell_high - cell_low + 1)
-        raise TypeError(f"range queries are not supported on {type(domain).__name__}")
+            low_rows.append(lower)
+            high_rows.append(upper)
+        if not low_rows:
+            return np.empty((0, dimension)), np.empty((0, dimension))
+        return np.array(low_rows), np.array(high_rows)
+
+    @staticmethod
+    def _as_int(value) -> int:
+        return IPv4Domain.parse(value) if isinstance(value, str) else int(value)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -122,25 +121,39 @@ class RangeQueryEngine:
         axis-aligned box; for scalar/ordered domains they are the interval or
         integer-range endpoints (inclusive).
         """
-        self._validate_bounds(lower, upper)
-        total = 0.0
-        for theta, probability in self._leaf_probabilities.items():
-            if probability <= 0:
-                continue
-            total += probability * self._cell_fraction(theta, lower, upper)
-        return float(min(max(total, 0.0), 1.0))
+        return float(self.mass_many([lower], [upper])[0])
+
+    def mass_many(self, lowers, uppers) -> np.ndarray:
+        """Probability masses of a whole batch of regions in one numpy pass.
+
+        ``lowers``/``uppers`` are parallel sequences of per-query bounds in
+        the same per-domain form :meth:`mass` accepts.  Entry ``i`` of the
+        result is bit-identical to ``mass(lowers[i], uppers[i])``.
+        """
+        low, high = self._canonical_bounds(lowers, uppers)
+        return self._table.mass_many(low, high)
 
     def count(self, lower, upper) -> float:
         """Estimated number of stream items in the region (mass x total count)."""
         return self.mass(lower, upper) * max(self.tree.root_count, 0.0)
 
+    def count_many(self, lowers, uppers) -> np.ndarray:
+        """Batch variant of :meth:`count` (one vectorised pass)."""
+        return self.mass_many(lowers, uppers) * max(self.tree.root_count, 0.0)
+
     def cdf(self, point) -> float:
         """Estimated CDF at ``point`` for one-dimensional ordered domains."""
+        return float(self.cdf_many([point])[0])
+
+    def cdf_many(self, points) -> np.ndarray:
+        """Batch variant of :meth:`cdf` (one vectorised pass)."""
         domain = self.domain
         if isinstance(domain, UnitInterval):
-            return self.mass(0.0, float(point))
+            points = [float(point) for point in points]
+            return self.mass_many([0.0] * len(points), points)
         if isinstance(domain, (IPv4Domain, DiscreteDomain)):
-            return self.mass(0, point)
+            points = list(points)
+            return self.mass_many([0] * len(points), points)
         raise TypeError("cdf queries require a one-dimensional ordered domain")
 
     def marginal(self, axis: int, bins: int = 32) -> np.ndarray:
@@ -151,50 +164,9 @@ class RangeQueryEngine:
         """
         if not isinstance(self.domain, (Hypercube, GeoDomain)):
             raise TypeError("marginals require a vector-valued domain")
-        dimension = 2 if isinstance(self.domain, GeoDomain) else self.domain.dimension
+        dimension = self._table.dimension
         if not 0 <= axis < dimension:
             raise ValueError(f"axis must lie in [0, {dimension}), got {axis}")
         if bins < 1:
             raise ValueError(f"bins must be positive, got {bins}")
-
-        edges = np.linspace(0.0, 1.0, bins + 1)
-        masses = np.zeros(bins)
-        for theta, probability in self._leaf_probabilities.items():
-            if probability <= 0:
-                continue
-            if isinstance(self.domain, GeoDomain):
-                cell_low, cell_high = self.domain.cell_bounds(theta)
-            else:
-                cell_low, cell_high = self.domain.cell_bounds(theta)
-            width = cell_high[axis] - cell_low[axis]
-            if width <= 0:
-                continue
-            for bin_index in range(bins):
-                overlap = _interval_overlap(
-                    cell_low[axis], cell_high[axis], edges[bin_index], edges[bin_index + 1]
-                )
-                masses[bin_index] += probability * overlap / width
-        return masses
-
-    # ------------------------------------------------------------------ #
-    # validation
-    # ------------------------------------------------------------------ #
-    def _validate_bounds(self, lower, upper) -> None:
-        domain = self.domain
-        if isinstance(domain, (UnitInterval,)):
-            if float(lower) > float(upper):
-                raise ValueError("lower bound must not exceed upper bound")
-        elif isinstance(domain, (IPv4Domain, DiscreteDomain)):
-            low = int(lower) if not isinstance(lower, str) else IPv4Domain.parse(lower)
-            high = int(upper) if not isinstance(upper, str) else IPv4Domain.parse(upper)
-            if low > high:
-                raise ValueError("lower bound must not exceed upper bound")
-        else:
-            lower_arr = np.asarray(
-                domain._normalise(lower) if isinstance(domain, GeoDomain) else lower, dtype=float
-            )
-            upper_arr = np.asarray(
-                domain._normalise(upper) if isinstance(domain, GeoDomain) else upper, dtype=float
-            )
-            if np.any(lower_arr > upper_arr):
-                raise ValueError("lower bounds must not exceed upper bounds on any axis")
+        return self._table.marginal(axis, bins)

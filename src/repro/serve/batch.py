@@ -3,8 +3,8 @@
 The batch path exists so a release can be interrogated from a shell script or
 a cron job without standing up HTTP -- ``repro query release.json --workload
 queries.json`` -- and it evaluates through exactly the same
-:func:`~repro.serve.service.answer_query` path as the server, so the answers
-are byte-identical.
+:func:`~repro.serve.service.evaluate_many` path as the server's batch route
+(one vectorised pass per query type), so the answers are byte-identical.
 
 A workload file is JSON: either a bare list of query objects or
 ``{"queries": [...]}``::
@@ -33,7 +33,7 @@ import json
 import pathlib
 
 from repro.api.release import Release
-from repro.serve.service import _evaluate_canonical, normalize_query
+from repro.serve.service import evaluate_many, normalize_query
 
 __all__ = ["load_workload", "run_workload", "run_workload_file"]
 
@@ -60,13 +60,16 @@ def run_workload(release: Release, queries: list[dict]) -> list[dict]:
 
     Each result row is ``{"query": canonical, "answer": value}`` -- the same
     shape the HTTP batch route returns per query (minus the transport
-    metadata).
+    metadata).  The whole workload evaluates through
+    :func:`~repro.serve.service.evaluate_many`: one vectorised pass per
+    query type, byte-identical to answering each query alone.
     """
-    results = []
-    for query in queries:
-        canonical = normalize_query(release, query)
-        results.append({"query": canonical, "answer": _evaluate_canonical(release, canonical)})
-    return results
+    canonicals = [normalize_query(release, query) for query in queries]
+    answers = evaluate_many(release, canonicals)
+    return [
+        {"query": canonical, "answer": answer}
+        for canonical, answer in zip(canonicals, answers)
+    ]
 
 
 def run_workload_file(

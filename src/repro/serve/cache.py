@@ -40,6 +40,10 @@ class QueryCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        #: Single-flight state: one event per key currently being computed,
+        #: and how many lookups waited on another thread's computation.
+        self._inflight: dict[str, threading.Event] = {}
+        self._inflight_waits = 0
 
     def get(self, key: str, default: Any = None) -> Any:
         """The cached answer for ``key`` (counts a hit or a miss)."""
@@ -64,15 +68,40 @@ class QueryCache:
     def lookup(self, key: str, compute: Callable[[], Any]) -> Any:
         """The cached answer for ``key``, computing and storing it on a miss.
 
-        ``compute`` runs outside the lock (query evaluation can be slow), so
-        two threads racing on the same cold key may both compute; both store
-        the same deterministic answer, so the race is benign.
+        Cold keys are single-flight: the first thread to miss computes (with
+        the lock released -- query evaluation can be slow) while every other
+        thread parks on a per-key event and reuses the stored answer, so N
+        concurrent requests for one cold key cost one evaluation instead of
+        a thundering herd of N.  If the computing thread raises, its waiters
+        wake and elect a new computer rather than failing.
         """
-        value = self.get(key, _MISSING)
-        if value is _MISSING:
-            value = compute()
-            self.put(key, value)
-        return value
+        while True:
+            with self._lock:
+                value = self._entries.get(key, _MISSING)
+                if value is not _MISSING:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return value
+                event = self._inflight.get(key)
+                if event is None:
+                    # This thread is the computer for the cold key.
+                    event = self._inflight[key] = threading.Event()
+                    self._misses += 1
+                    computer = True
+                else:
+                    self._inflight_waits += 1
+                    computer = False
+            if not computer:
+                event.wait()
+                continue
+            try:
+                value = compute()
+                self.put(key, value)
+                return value
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()
 
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
@@ -80,6 +109,7 @@ class QueryCache:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._inflight_waits = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -93,6 +123,7 @@ class QueryCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "hit_rate": (self._hits / total) if total else 0.0,
+                "inflight_waits": self._inflight_waits,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
             }

@@ -16,10 +16,21 @@ Routes:
 * ``GET /healthz`` -- liveness plus the number of addressable releases.
 * ``GET /releases`` -- metadata for every release (domain, epsilon, items,
   supported query types).
-* ``GET /stats`` -- query-cache hit/miss statistics.
+* ``GET /stats`` -- query-cache hit/miss statistics and write-failure count.
 * ``POST /query`` -- body ``{"release": name, "query": {...}}`` (or
   ``"domain"`` instead of ``"release"``, or ``"queries": [...]`` for a
-  batch); the answer payload echoes the canonical query.
+  batch); the answer payload echoes the canonical query.  The batch form
+  rides :meth:`~repro.serve.service.QueryService.answer_many`: one release
+  resolution and one vectorised evaluation pass for the whole list.
+
+Clients that disconnect mid-response are routine at high concurrency
+(timeouts, impatient load balancers): response writes that hit a dead
+socket are swallowed and counted (``write_failures`` in ``/stats``) instead
+of unwinding the handler thread with ``BrokenPipeError``.
+
+For multi-core serving, :func:`start_worker_pool` runs N processes that all
+bind the same fixed port behind ``SO_REUSEPORT`` (the kernel load-balances
+connections across them) -- ``repro serve --store DIR --workers N``.
 
 Example (in-process; see ``examples/serve_demo.py`` for the HTTP loop):
     >>> from repro.serve.http import create_server
@@ -40,12 +51,16 @@ Example (in-process; see ``examples/serve_demo.py`` for the HTTP loop):
 from __future__ import annotations
 
 import json
+import multiprocessing
+import pathlib
+import socket
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serve.service import QueryService
 from repro.serve.store import ReleaseStore
 
-__all__ = ["QueryHTTPServer", "create_server"]
+__all__ = ["QueryHTTPServer", "create_server", "start_worker_pool"]
 
 #: Largest accepted request body; queries are tiny, so anything bigger is a
 #: client error rather than a reason to buffer unbounded input.
@@ -63,11 +78,19 @@ class _QueryRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def _send_json(self, payload, status: int = 200) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except ConnectionError:
+            # The client hung up mid-response (BrokenPipeError /
+            # ConnectionResetError).  The answer is already computed and the
+            # socket is dead; drop the connection quietly and count it
+            # instead of unwinding the handler thread with a traceback.
+            self.server.count_write_failure()
+            self.close_connection = True
 
     def _send_error_json(self, message: str, status: int) -> None:
         self._send_json({"error": message}, status=status)
@@ -87,7 +110,9 @@ class _QueryRequestHandler(BaseHTTPRequestHandler):
         elif path == "/releases":
             self._send_json({"releases": service.store.describe()})
         elif path == "/stats":
-            self._send_json(service.stats())
+            stats = service.stats()
+            stats["write_failures"] = self.server.write_failures
+            self._send_json(stats)
         else:
             self._send_error_json(f"unknown path {self.path!r}", status=404)
 
@@ -136,9 +161,17 @@ class _QueryRequestHandler(BaseHTTPRequestHandler):
 
 
 class QueryHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`QueryService`."""
+    """A threading HTTP server bound to one :class:`QueryService`.
+
+    ``reuse_port=True`` binds with ``SO_REUSEPORT`` so several worker
+    processes can share one fixed port (see :func:`start_worker_pool`).
+    """
 
     daemon_threads = True
+    #: Accept-queue depth: hundreds of clients connecting at once must not
+    #: overflow the default backlog of 5 (overflowed handshakes surface as
+    #: connection resets after the client has already sent its request).
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -146,10 +179,21 @@ class QueryHTTPServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 8080,
         verbose: bool = False,
+        reuse_port: bool = False,
     ) -> None:
         self.service = service
         self.verbose = verbose
+        self.write_failures = 0
+        self._write_failures_lock = threading.Lock()
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise ValueError("this platform does not support SO_REUSEPORT")
+        self.allow_reuse_port = bool(reuse_port)
         super().__init__((host, port), _QueryRequestHandler)
+
+    def count_write_failure(self) -> None:
+        """Record one response write that failed on a dead client socket."""
+        with self._write_failures_lock:
+            self.write_failures += 1
 
 
 def create_server(
@@ -158,6 +202,7 @@ def create_server(
     port: int = 8080,
     cache_size: int = 4096,
     verbose: bool = False,
+    reuse_port: bool = False,
 ) -> QueryHTTPServer:
     """Build a ready-to-run server over a store (or a store directory path).
 
@@ -168,4 +213,57 @@ def create_server(
     if not isinstance(store, ReleaseStore):
         store = ReleaseStore(store)
     service = QueryService(store, cache_size=cache_size)
-    return QueryHTTPServer(service, host=host, port=port, verbose=verbose)
+    return QueryHTTPServer(service, host=host, port=port, verbose=verbose, reuse_port=reuse_port)
+
+
+def _worker_main(
+    directory: str, host: str, port: int, cache_size: int, verbose: bool
+) -> None:
+    """One pool worker: its own store, service, cache and threaded server,
+    bound to the shared port with ``SO_REUSEPORT``."""
+    server = create_server(
+        directory, host=host, port=port, cache_size=cache_size, verbose=verbose, reuse_port=True
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+
+
+def start_worker_pool(
+    directory: str | pathlib.Path,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: int = 2,
+    cache_size: int = 4096,
+    verbose: bool = False,
+) -> list[multiprocessing.Process]:
+    """Serve one store directory from ``workers`` processes on one port.
+
+    Every worker binds the same fixed ``port`` with ``SO_REUSEPORT`` and the
+    kernel load-balances incoming connections across them, so throughput
+    scales past one GIL.  Each worker loads the store from ``directory``
+    independently and keeps its own query cache (stdlib only: no shared
+    state, no coordination).  Returns the started processes; terminate and
+    join them to stop.  Requires an explicit port: with ``port=0`` each
+    worker would bind a *different* ephemeral port.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    if port == 0:
+        raise ValueError("a worker pool needs an explicit --port (port 0 would "
+                         "bind a different ephemeral port per worker)")
+    directory = str(directory)
+    processes = [
+        multiprocessing.Process(
+            target=_worker_main,
+            args=(directory, host, port, cache_size, verbose),
+            daemon=True,
+        )
+        for _ in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    return processes

@@ -35,6 +35,7 @@ Example:
 from __future__ import annotations
 
 import pathlib
+import threading
 
 from repro.api.release import Release
 
@@ -42,19 +43,31 @@ __all__ = ["ReleaseStore"]
 
 
 class ReleaseStore:
-    """Lazily loaded releases addressable by name, with domain-based routing."""
+    """Lazily loaded releases addressable by name, with domain-based routing.
+
+    Thread safety: every registry mutation happens under one store-wide lock,
+    and refreshing a live snapshot is single-flight per name (a per-name
+    snapshot lock), so concurrent readers racing an ingesting stream observe
+    exactly one ``snapshot()`` per advanced version.  The store lock is
+    *never* held across ``summarizer.snapshot()`` / ``items_processed`` --
+    those can block on an ingest worker that itself needs
+    :meth:`register_live`/:meth:`unregister_live` to make progress.
+    """
 
     def __init__(self, directory: str | pathlib.Path | None = None) -> None:
         self.directory = pathlib.Path(directory) if directory is not None else None
+        self._lock = threading.RLock()
         self._paths: dict[str, pathlib.Path] = {}
         #: Releases registered through :meth:`add` (no backing file; never
         #: dropped by a rescan) vs. the lazy cache of disk loads.
         self._local: dict[str, Release] = {}
         self._loaded: dict[str, Release] = {}
         #: Live continual summarizers from :meth:`register_live`, plus the
-        #: most recent snapshot of each, keyed by its ``items_processed``.
+        #: most recent snapshot of each, keyed by its ``items_processed``,
+        #: and the per-name lock that makes snapshot refreshes single-flight.
         self._live: dict[str, object] = {}
         self._live_snapshots: dict[str, Release] = {}
+        self._snapshot_locks: dict[str, threading.Lock] = {}
         if self.directory is not None:
             self.refresh()
 
@@ -74,10 +87,12 @@ class ReleaseStore:
             return self.names()
         if not self.directory.is_dir():
             raise ValueError(f"release store directory {self.directory} does not exist")
-        self._paths = {path.stem: path for path in sorted(self.directory.glob("*.json"))}
-        for name in list(self._loaded):
-            if name not in self._paths:
-                del self._loaded[name]
+        paths = {path.stem: path for path in sorted(self.directory.glob("*.json"))}
+        with self._lock:
+            self._paths = paths
+            for name in list(self._loaded):
+                if name not in self._paths:
+                    del self._loaded[name]
         return self.names()
 
     def add(self, name: str, release: Release) -> None:
@@ -88,7 +103,8 @@ class ReleaseStore:
         """
         if not name:
             raise ValueError("release name must be non-empty")
-        self._local[str(name)] = release
+        with self._lock:
+            self._local[str(name)] = release
 
     def register_live(self, name: str, summarizer) -> None:
         """Serve live snapshots of a continual summarizer under ``name``.
@@ -114,8 +130,10 @@ class ReleaseStore:
                 "register_live needs a continual summarizer exposing snapshot() "
                 "and items_processed; finished releases go through add()"
             )
-        self._live[str(name)] = summarizer
-        self._live_snapshots.pop(str(name), None)
+        with self._lock:
+            self._live[str(name)] = summarizer
+            self._live_snapshots.pop(str(name), None)
+            self._snapshot_locks[str(name)] = threading.Lock()
 
     def unregister_live(self, name: str) -> bool:
         """Stop serving live snapshots under ``name``; returns whether it was live.
@@ -129,27 +147,34 @@ class ReleaseStore:
         Idempotent: unregistering a name that is not live returns ``False``.
         """
         name = str(name)
-        self._live_snapshots.pop(name, None)
-        return self._live.pop(name, None) is not None
+        with self._lock:
+            self._live_snapshots.pop(name, None)
+            self._snapshot_locks.pop(name, None)
+            return self._live.pop(name, None) is not None
 
     def is_live(self, name: str) -> bool:
         """Whether ``name`` serves live snapshots of an ingesting summarizer."""
-        return name in self._live
+        with self._lock:
+            return name in self._live
 
     def version_of(self, name: str) -> int | None:
         """The current snapshot version of a live release (``items_processed``
         of the summarizer right now), or ``None`` for static releases."""
-        summarizer = self._live.get(name)
+        with self._lock:
+            summarizer = self._live.get(name)
         if summarizer is None:
             return None
+        # items_processed may block on an ingest worker: read it unlocked.
         return int(summarizer.items_processed)
 
     def names(self) -> list[str]:
         """Sorted names of every addressable release (disk, memory or live)."""
-        return sorted(set(self._paths) | set(self._local) | set(self._live))
+        with self._lock:
+            return sorted(set(self._paths) | set(self._local) | set(self._live))
 
     def __contains__(self, name: str) -> bool:
-        return name in self._live or name in self._local or name in self._paths
+        with self._lock:
+            return name in self._live or name in self._local or name in self._paths
 
     def __len__(self) -> int:
         return len(self.names())
@@ -162,25 +187,60 @@ class ReleaseStore:
 
         Live names return a snapshot of the summarizer's current state,
         refreshed whenever its ``items_processed`` has advanced since the
-        last snapshot.  Raises ``KeyError`` for unknown names and
-        ``ValueError`` for files that are not valid release documents.
+        last snapshot; the refresh is single-flight, so concurrent readers
+        racing an ingesting thread share one ``snapshot()`` call per
+        version instead of interleaving duplicate snapshots.  Raises
+        ``KeyError`` for unknown names and ``ValueError`` for files that are
+        not valid release documents.
         """
-        summarizer = self._live.get(name)
-        if summarizer is not None:
-            snapshot = self._live_snapshots.get(name)
-            if snapshot is None or snapshot.items_processed != int(summarizer.items_processed):
-                snapshot = self._live_snapshots[name] = summarizer.snapshot()
-            return snapshot
-        release = self._local.get(name) or self._loaded.get(name)
+        with self._lock:
+            summarizer = self._live.get(name)
+            snapshot_lock = self._snapshot_locks.get(name)
+        if summarizer is not None and snapshot_lock is not None:
+            return self._live_snapshot(name, summarizer, snapshot_lock)
+        with self._lock:
+            release = self._local.get(name) or self._loaded.get(name)
+            path = self._paths.get(name)
         if release is not None:
             return release
-        path = self._paths.get(name)
         if path is None:
             raise KeyError(
                 f"unknown release {name!r}; known releases: {', '.join(self.names()) or '(none)'}"
             )
-        release = self._loaded[name] = Release.load(path)
-        return release
+        release = Release.load(path)
+        with self._lock:
+            # A concurrent loader may have won; keep one canonical object so
+            # its compiled engines are shared.
+            return self._loaded.setdefault(name, release)
+
+    def _live_snapshot(self, name: str, summarizer, snapshot_lock: threading.Lock) -> Release:
+        """Current snapshot for a live name, re-taken when ingestion advanced.
+
+        The fast path returns the cached snapshot without any blocking call;
+        the slow path serialises on the per-name lock so exactly one reader
+        snapshots a given version while the rest wait and reuse it.  The
+        summarizer is only consulted outside the store lock (it can block on
+        an ingest worker), and the cache write is skipped if the name was
+        unregistered (or re-registered) meanwhile.
+        """
+        version = int(summarizer.items_processed)
+        with self._lock:
+            snapshot = self._live_snapshots.get(name)
+        if snapshot is not None and snapshot.items_processed == version:
+            return snapshot
+        with snapshot_lock:
+            # Re-check: the reader that held the lock before us may have
+            # snapshotted this (or a newer) version already.
+            version = int(summarizer.items_processed)
+            with self._lock:
+                snapshot = self._live_snapshots.get(name)
+            if snapshot is not None and snapshot.items_processed == version:
+                return snapshot
+            snapshot = summarizer.snapshot()
+            with self._lock:
+                if self._live.get(name) is summarizer:
+                    self._live_snapshots[name] = snapshot
+            return snapshot
 
     def domain_of(self, name: str) -> str:
         """The domain type name (e.g. ``"UnitInterval"``) of a release."""

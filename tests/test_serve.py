@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import contextlib
 import json
+import socket
+import struct
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -25,7 +28,7 @@ from repro.queries.range_queries import RangeQueryEngine
 from repro.queries.support import QUERY_TYPES, supported_queries
 from repro.serve.batch import load_workload, run_workload, run_workload_file
 from repro.serve.cache import QueryCache
-from repro.serve.http import create_server
+from repro.serve.http import create_server, start_worker_pool
 from repro.serve.service import QueryService, answer_query, normalize_query, query_key
 from repro.serve.store import ReleaseStore
 
@@ -634,6 +637,48 @@ class TestLiveServing:
                 assert served["answer"] == answer_query(local, query), query
                 assert served["items_processed"] == 3000
 
+    def test_answer_many_reports_one_version_per_batch(self):
+        """A batch against a live release resolves the snapshot once: every
+        row carries the same ``items_processed``, even while an ingesting
+        thread advances the stream mid-batch (the per-query loop this
+        replaced could mix versions inside one response)."""
+        summarizer = _live_summarizer(n=20_000)
+        data = np.random.default_rng(8).beta(2, 5, 20_000)
+        summarizer.update_batch(data[:100])  # non-degenerate starting state
+        store = ReleaseStore()
+        store.register_live("stream", summarizer)
+        service = QueryService(store)
+        stop = threading.Event()
+        errors = []
+
+        def ingest():
+            try:
+                for chunk in np.array_split(data[100:], 200):
+                    summarizer.update_batch(chunk)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+            finally:
+                stop.set()
+
+        thread = threading.Thread(target=ingest)
+        thread.start()
+        rng = np.random.default_rng(9)
+        batches = 0
+        while not stop.is_set():
+            bounds = np.sort(rng.random((32, 2)), axis=1)
+            batch = [
+                {"type": "mass", "lower": float(low), "upper": float(high)}
+                for low, high in bounds
+            ]
+            results = service.answer_many(batch)
+            versions = {row["items_processed"] for row in results}
+            assert len(versions) == 1, f"batch mixed snapshot versions: {versions}"
+            batches += 1
+        thread.join()
+        assert not errors and batches > 0
+        final = service.answer_many([{"type": "mass", "lower": 0.0, "upper": 1.0}])
+        assert final[0]["items_processed"] == 20_000
+
     def test_serving_while_ingesting_is_race_free(self):
         """Concurrent ingestion and querying never observe torn state: every
         served answer equals the answer of a consistent snapshot."""
@@ -663,3 +708,291 @@ class TestLiveServing:
         assert final["items_processed"] == 20_000
         for answer in answers:
             assert 0.0 <= answer <= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# serving-layer concurrency: the races fixed in the serve/queries layers
+# --------------------------------------------------------------------------- #
+class _CountingSummarizer:
+    """Wraps a continual summarizer, counting (and optionally slowing down)
+    ``snapshot()`` calls to make snapshot races observable."""
+
+    def __init__(self, inner, delay: float = 0.0):
+        self._inner = inner
+        self._delay = delay
+        self._count_lock = threading.Lock()
+        self.snapshot_calls = 0
+
+    @property
+    def items_processed(self):
+        return self._inner.items_processed
+
+    def update_batch(self, data):
+        return self._inner.update_batch(data)
+
+    def snapshot(self):
+        with self._count_lock:
+            self.snapshot_calls += 1
+        if self._delay:
+            time.sleep(self._delay)
+        return self._inner.snapshot()
+
+
+def _run_concurrently(worker, count: int) -> list:
+    """Run ``worker()`` in ``count`` threads released together by a barrier;
+    returns the collected results, re-raising the first failure."""
+    barrier = threading.Barrier(count)
+    results: list = [None] * count
+    errors: list[BaseException] = []
+
+    def target(index: int) -> None:
+        try:
+            barrier.wait()
+            results[index] = worker()
+        except BaseException as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    threads = [threading.Thread(target=target, args=(index,)) for index in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestConcurrentColdStart:
+    def test_concurrent_engine_construction_builds_once(self, monkeypatch):
+        """N threads hitting a cold release compile one leaf table, not N:
+        the per-release lock makes lazy engine construction single-flight."""
+        import repro.api.release as release_module
+
+        rng = np.random.default_rng(21)
+        release = _fit("interval", rng.beta(2.0, 5.0, 2000))
+        calls = []
+        real_engine = release_module.RangeQueryEngine
+
+        def slow_factory(tree, domain):
+            calls.append(threading.get_ident())
+            time.sleep(0.05)  # widen the race window
+            return real_engine(tree, domain)
+
+        monkeypatch.setattr(release_module, "RangeQueryEngine", slow_factory)
+        engines = _run_concurrently(release.range_engine, 12)
+        assert len(calls) == 1
+        assert all(engine is engines[0] for engine in engines)
+        # and the warm path never calls the factory again
+        assert release.range_engine() is engines[0] and len(calls) == 1
+
+    def test_concurrent_disk_loads_share_one_release(self, tmp_path, releases):
+        """Concurrent first reads of a release file end up with one canonical
+        object (so its compiled engines are shared), not one copy per racer."""
+        releases["interval"].save(tmp_path / "cold.json")
+        store = ReleaseStore(tmp_path)
+        loaded = _run_concurrently(lambda: store.get("cold"), 8)
+        assert all(release is loaded[0] for release in loaded)
+
+
+class TestLiveSnapshotSingleFlight:
+    def test_concurrent_readers_share_one_snapshot(self):
+        """The check-then-act race in ``ReleaseStore.get``: concurrent cold
+        readers of one live version take exactly one ``snapshot()``."""
+        summarizer = _CountingSummarizer(_live_summarizer(), delay=0.05)
+        summarizer.update_batch(np.random.default_rng(22).beta(2, 5, 1000))
+        store = ReleaseStore()
+        store.register_live("stream", summarizer)
+        snapshots = _run_concurrently(lambda: store.get("stream"), 12)
+        assert summarizer.snapshot_calls == 1
+        assert all(snapshot is snapshots[0] for snapshot in snapshots)
+        assert snapshots[0].items_processed == 1000
+
+    def test_readers_racing_ingestion_snapshot_once_per_version(self):
+        """Many readers hammering a live name while an ingesting thread
+        advances it never take more snapshots than there are versions."""
+        chunks = 20
+        summarizer = _CountingSummarizer(_live_summarizer(n=10_000))
+        data = np.random.default_rng(23).beta(2, 5, 10_000)
+        summarizer.update_batch(data[:100])
+        store = ReleaseStore()
+        store.register_live("stream", summarizer)
+        stop = threading.Event()
+
+        def read_until_done() -> int:
+            reads = 0
+            while not stop.is_set():
+                release = store.get("stream")
+                assert 100 <= release.items_processed <= 10_000
+                reads += 1
+            return reads
+
+        readers = [
+            threading.Thread(target=read_until_done)
+            for _ in range(8)
+        ]
+        for thread in readers:
+            thread.start()
+        try:
+            for chunk in np.array_split(data[100:], chunks):
+                summarizer.update_batch(chunk)
+        finally:
+            stop.set()
+        for thread in readers:
+            thread.join()
+        assert store.get("stream").items_processed == 10_000
+        # one initial version + one per ingested chunk is the ceiling; the
+        # pre-fix store would re-snapshot per racing reader instead.
+        assert summarizer.snapshot_calls <= chunks + 1
+
+
+class TestCacheSingleFlight:
+    def test_cold_key_computes_once_under_contention(self):
+        """A thundering herd on one cold key costs one evaluation; the herd
+        parks on the in-flight event and is counted in ``inflight_waits``."""
+        cache = QueryCache(maxsize=8)
+        computing = threading.Event()
+        release_compute = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            computing.set()
+            assert release_compute.wait(10)
+            return 42
+
+        results: list = []
+        computer = threading.Thread(target=lambda: results.append(cache.lookup("k", compute)))
+        computer.start()
+        assert computing.wait(10)
+        waiters = [
+            threading.Thread(target=lambda: results.append(cache.lookup("k", compute)))
+            for _ in range(4)
+        ]
+        for thread in waiters:
+            thread.start()
+        deadline = time.time() + 10
+        while cache.stats()["inflight_waits"] < 4:  # all four parked
+            assert time.time() < deadline
+            time.sleep(0.001)
+        release_compute.set()
+        computer.join()
+        for thread in waiters:
+            thread.join()
+        assert results == [42] * 5
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 4
+        assert stats["inflight_waits"] == 4
+
+    def test_failed_computation_releases_the_key(self):
+        """A computer that raises must not wedge the key: its waiters (or the
+        next caller) elect a new computer instead of waiting forever."""
+        cache = QueryCache(maxsize=8)
+        with pytest.raises(RuntimeError, match="boom"):
+            cache.lookup("k", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert cache.lookup("k", lambda: 7) == 7
+
+    def test_clear_resets_inflight_waits(self):
+        cache = QueryCache(maxsize=8)
+        assert cache.stats()["inflight_waits"] == 0
+        cache.clear()
+        assert cache.stats()["inflight_waits"] == 0
+
+
+class TestClientDisconnect:
+    def test_mid_response_disconnect_is_counted_not_raised(self, releases):
+        """A client that resets the connection while its answer is being
+        computed must not unwind the handler thread: the failed write is
+        swallowed and counted, and the server keeps serving."""
+        summarizer = _CountingSummarizer(_live_summarizer(), delay=0.3)
+        summarizer.update_batch(np.random.default_rng(24).beta(2, 5, 1000))
+        store = ReleaseStore()
+        store.register_live("stream", summarizer)
+        with _running_server(store) as base:
+            port = int(base.rsplit(":", 1)[1])
+            body = json.dumps(
+                {"release": "stream", "query": {"type": "mass", "lower": 0.1, "upper": 0.9}}
+            ).encode()
+            client = socket.create_connection(("127.0.0.1", port), timeout=10)
+            client.sendall(
+                b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            time.sleep(0.05)  # let the server read the request and start the
+            # (deliberately slow) snapshot; the RST below lands mid-compute.
+            client.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            client.close()
+
+            deadline = time.time() + 10
+            while True:
+                stats = json.loads(urllib.request.urlopen(base + "/stats").read())
+                if stats["write_failures"] >= 1:
+                    break
+                assert time.time() < deadline, "write failure never counted"
+                time.sleep(0.02)
+            # the server is still healthy and answers normally
+            result = _post(
+                base + "/query",
+                {"release": "stream", "query": {"type": "mass", "lower": 0.1, "upper": 0.9}},
+            )
+            assert 0.0 <= result["answer"] <= 1.0
+
+
+@pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"), reason="platform lacks SO_REUSEPORT"
+)
+class TestWorkerPool:
+    def test_pool_workers_share_a_port_and_answer_identically(self, tmp_path, releases):
+        releases["interval"].save(tmp_path / "only.json")
+        # Bind the parent server with SO_REUSEPORT on an ephemeral port; the
+        # pool workers then join it on the now-fixed port (the CLI's
+        # --workers path uses a user-chosen fixed port instead).
+        server = create_server(ReleaseStore(tmp_path), port=0, reuse_port=True)
+        port = server.server_port
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        pool = start_worker_pool(tmp_path, port=port, workers=2)
+        try:
+            deadline = time.time() + 30
+            while True:
+                try:
+                    urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz", timeout=5).read()
+                    break
+                except OSError:
+                    assert time.time() < deadline
+                    time.sleep(0.05)
+            query = {"type": "mass", "lower": 0.2, "upper": 0.6}
+            expected = releases["interval"].mass(0.2, 0.6)
+            # separate connections spread across the pool by the kernel;
+            # every worker must produce the identical answer
+            for _ in range(12):
+                result = _post(
+                    f"http://127.0.0.1:{port}/query", {"release": "only", "query": query}
+                )
+                assert result["answer"] == expected
+        finally:
+            server.shutdown()
+            server.server_close()
+            for process in pool:
+                process.terminate()
+            for process in pool:
+                process.join()
+
+    def test_pool_rejects_ephemeral_port_and_zero_workers(self, tmp_path):
+        with pytest.raises(ValueError, match="explicit --port"):
+            start_worker_pool(tmp_path, port=0, workers=2)
+        with pytest.raises(ValueError, match="at least 1"):
+            start_worker_pool(tmp_path, port=8080, workers=0)
+
+    def test_cli_rejects_bad_worker_flags(self, tmp_path, capsys):
+        for argv in (
+            ["serve", "--store", str(tmp_path), "--workers", "0"],
+            ["serve", "--store", str(tmp_path), "--workers", "2", "--port", "0"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                cli_main(argv)
+            assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
