@@ -1,0 +1,239 @@
+"""Experiment IO-bin: binary envelope vs JSON for cold starts and checkpoints.
+
+The binary state format exists for two hot paths: serving-side cold starts
+(a Release must answer its first query without a parse-then-recompile step)
+and ingest-side checkpoint churn (evict/restore cycles at high frequency).
+This benchmark measures both against the JSON path on the same artefacts --
+a ~1k-leaf release loaded cold through its first range and quantile query,
+and a continual summarizer's full save+load round trip -- and records the
+rows into ``BENCH_performance.json`` under ``"binary_io"``.
+
+The CI smoke entry point (``python benchmarks/bench_binary_io.py --smoke``)
+enforces the speedup gates: binary cold-load >= 10x JSON, binary checkpoint
+round-trip >= 5x JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_performance import merge_benchmark_result
+
+COLD_LOAD_GATE = 10.0
+CHECKPOINT_GATE = 5.0
+
+
+def _build_release(stream_size: int, seed: int = 3):
+    from repro.api.builder import PrivHPBuilder
+
+    rng = np.random.default_rng(seed)
+    summarizer = (
+        PrivHPBuilder("interval")
+        .epsilon(1.0)
+        .pruning_k(8)
+        .stream_size(stream_size)
+        .seed(seed)
+        .build()
+    )
+    summarizer.update_batch(rng.beta(2.0, 5.0, stream_size))
+    return summarizer.release()
+
+
+def _build_continual(stream_size: int, seed: int = 5):
+    from repro.api.builder import PrivHPBuilder
+
+    rng = np.random.default_rng(seed)
+    summarizer = (
+        PrivHPBuilder("interval")
+        .epsilon(1.0)
+        .pruning_k(8)
+        .stream_size(stream_size)
+        .seed(seed)
+        .continual()
+        .build()
+    )
+    summarizer.update_batch(rng.beta(2.0, 5.0, stream_size // 2))
+    return summarizer
+
+
+def _best_of(repeats: int, run) -> float:
+    """Minimum wall time over ``repeats`` runs (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_cold_load(stream_size: int = 16384, repeats: int = 5) -> dict:
+    """Release cold start: load + first mass + first quantile, JSON vs binary.
+
+    The timed region is exactly what a serving process pays when a store
+    directory is opened and the first query for a release arrives: the JSON
+    path parses the document, rebuilds the tree and compiles both query
+    tables; the binary path maps the file and reconstructs the engines from
+    the compiled sections.
+    """
+    from repro.api.release import Release
+
+    release = _build_release(stream_size)
+    leaves = len(release.tree.leaves())
+    workdir = Path(tempfile.mkdtemp(prefix="bench-binary-io-"))
+    try:
+        json_path = release.save(workdir / "release.json")
+        bin_path = release.save(workdir / "release.bin")
+
+        def cold(path):
+            def run():
+                loaded = Release.load(path)
+                loaded.mass(0.2, 0.6)
+                loaded.quantile(0.5)
+
+            return run
+
+        # Answers must agree exactly before timing means anything.
+        a, b = Release.load(json_path), Release.load(bin_path)
+        assert a.mass(0.2, 0.6) == b.mass(0.2, 0.6)
+        assert a.quantile(0.5) == b.quantile(0.5)
+
+        json_seconds = _best_of(repeats, cold(json_path))
+        binary_seconds = _best_of(repeats, cold(bin_path))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "stream_size": int(stream_size),
+        "leaves": int(leaves),
+        "json_cold_load_ms": json_seconds * 1e3,
+        "binary_cold_load_ms": binary_seconds * 1e3,
+        "speedup": json_seconds / binary_seconds,
+    }
+
+
+def measure_checkpoint_roundtrip(stream_size: int = 60000, repeats: int = 5) -> dict:
+    """Full checkpoint round trip (save + load), JSON vs binary.
+
+    Uses a mid-stream continual summarizer -- the artefact the ingest
+    service's eviction path writes at high frequency -- whose counter banks
+    and sketch tables dominate the document.
+    """
+    from repro.io.serialization import load_checkpoint, save_checkpoint
+
+    summarizer = _build_continual(stream_size)
+    workdir = Path(tempfile.mkdtemp(prefix="bench-binary-io-"))
+    try:
+        json_path = workdir / "state.json"
+        bin_path = workdir / "state.bin"
+
+        def roundtrip(path, format):
+            def run():
+                save_checkpoint(summarizer, path, format=format)
+                load_checkpoint(path)
+
+            return run
+
+        json_seconds = _best_of(repeats, roundtrip(json_path, "json"))
+        binary_seconds = _best_of(repeats, roundtrip(bin_path, "binary"))
+        json_bytes = json_path.stat().st_size
+        binary_bytes = bin_path.stat().st_size
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "stream_size": int(stream_size),
+        "items_processed": int(summarizer.items_processed),
+        "json_roundtrip_ms": json_seconds * 1e3,
+        "binary_roundtrip_ms": binary_seconds * 1e3,
+        "json_bytes": int(json_bytes),
+        "binary_bytes": int(binary_bytes),
+        "roundtrips_per_second": 1.0 / binary_seconds,
+        "speedup": json_seconds / binary_seconds,
+    }
+
+
+def run_binary_io_smoke(
+    release_stream_size: int = 16384, checkpoint_stream_size: int = 60000
+) -> dict:
+    """Measure both rows and record them under ``binary_io``.
+
+    Only this CI smoke entry point writes ``BENCH_performance.json``;
+    pytest runs never dirty the working tree.
+    """
+    section = {
+        "release_cold_load": measure_cold_load(release_stream_size),
+        "checkpoint_roundtrip": measure_checkpoint_roundtrip(checkpoint_stream_size),
+        "gates": {
+            "cold_load_min_speedup": COLD_LOAD_GATE,
+            "checkpoint_min_speedup": CHECKPOINT_GATE,
+        },
+    }
+    merge_benchmark_result({"binary_io": section})
+    return section
+
+
+def test_binary_cold_load_beats_json(report_table):
+    """Acceptance gate (pytest flavour, small sizes): the binary path must
+    clearly win even on a modest release; the CI smoke entry enforces the
+    full 10x/5x gates at the 1k-leaf sizes."""
+    row = measure_cold_load(stream_size=8192, repeats=3)
+    report_table("Release cold load, JSON vs binary", [row])
+    assert row["speedup"] >= 3.0
+
+
+def test_binary_checkpoint_roundtrip_beats_json(report_table):
+    row = measure_checkpoint_roundtrip(stream_size=20000, repeats=3)
+    report_table("Checkpoint round trip, JSON vs binary", [row])
+    assert row["speedup"] >= 2.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--release-stream-size", type=int, default=16384,
+        help="stream length for the cold-load release (~1k leaves at defaults)",
+    )
+    parser.add_argument(
+        "--checkpoint-stream-size", type=int, default=60000,
+        help="stream length for the checkpointed continual summarizer",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: records BENCH_performance.json and enforces the gates",
+    )
+    args = parser.parse_args()
+
+    section = run_binary_io_smoke(
+        release_stream_size=args.release_stream_size,
+        checkpoint_stream_size=args.checkpoint_stream_size,
+    )
+    print(json.dumps(section, indent=2, sort_keys=True))
+
+    cold = section["release_cold_load"]["speedup"]
+    roundtrip = section["checkpoint_roundtrip"]["speedup"]
+    if cold < COLD_LOAD_GATE:
+        raise SystemExit(
+            f"binary cold load is only {cold:.1f}x JSON "
+            f"(gate: >= {COLD_LOAD_GATE:.0f}x at "
+            f"{section['release_cold_load']['leaves']} leaves)"
+        )
+    if roundtrip < CHECKPOINT_GATE:
+        raise SystemExit(
+            f"binary checkpoint round trip is only {roundtrip:.1f}x JSON "
+            f"(gate: >= {CHECKPOINT_GATE:.0f}x)"
+        )
+    print(
+        f"binary_io gates passed: cold load {cold:.1f}x "
+        f"(>= {COLD_LOAD_GATE:.0f}x), checkpoint round trip {roundtrip:.1f}x "
+        f"(>= {CHECKPOINT_GATE:.0f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # CI smoke entry: records BENCH_performance.json
+    raise SystemExit(main())

@@ -227,25 +227,51 @@ class Release:
         return generator_to_dict(self.generator, metadata=self._document_metadata())
 
     @classmethod
+    def _from_parts(cls, generator: SyntheticDataGenerator, metadata: dict) -> "Release":
+        """Build a release from a decoded generator plus its metadata block.
+
+        Splits the release fields out of the metadata exactly like
+        :meth:`from_dict`; the binary fast path
+        (:func:`repro.io.binary.load_release_binary`) reuses it so both
+        loaders agree on field semantics.
+        """
+        metadata = dict(metadata)
+        epsilon = float(metadata.pop("epsilon", float("inf")))
+        items_processed = int(metadata.pop("items_processed", 0))
+        memory_words = metadata.pop("memory_words", None)
+        return cls(
+            generator=generator,
+            epsilon=epsilon,
+            items_processed=items_processed,
+            memory_words=int(memory_words) if memory_words is not None else generator.memory_words(),
+            metadata=metadata,
+        )
+
+    @classmethod
     def from_dict(cls, document: dict, sampling_seed: int | None = None) -> "Release":
         """Decode a document produced by :meth:`to_dict` (or a bare generator
         document from an older version); ``sampling_seed`` reseeds sampling
         only."""
         generator = generator_from_dict(document, seed=sampling_seed)
-        metadata = dict(document.get("metadata", {}))
-        epsilon = float(metadata.pop("epsilon", float("inf")))
-        items_processed = int(metadata.pop("items_processed", 0))
-        memory_words = int(metadata.pop("memory_words", generator.memory_words()))
-        return cls(
-            generator=generator,
-            epsilon=epsilon,
-            items_processed=items_processed,
-            memory_words=memory_words,
-            metadata=metadata,
-        )
+        return cls._from_parts(generator, document.get("metadata", {}))
 
-    def save(self, path: str | pathlib.Path) -> pathlib.Path:
-        """Write the release to a JSON file and return the path."""
+    def save(self, path: str | pathlib.Path, *, format: str | None = None) -> pathlib.Path:
+        """Write the release to disk and return the path.
+
+        ``format`` is ``"json"`` (the interchange default), ``"binary"``
+        (the mmap-loadable envelope of :mod:`repro.io.binary`, which also
+        embeds the compiled query tables), or ``None`` to infer from the
+        suffix: ``.bin`` writes binary, anything else JSON.
+        """
+        path = pathlib.Path(path)
+        if format is None:
+            format = "binary" if path.suffix == ".bin" else "json"
+        if format == "binary":
+            from repro.io.binary import save_binary
+
+            return save_binary(self.to_dict(), path)
+        if format != "json":
+            raise ValueError(f"format must be 'json' or 'binary', got {format!r}")
         return save_generator(self.generator, path, metadata=self._document_metadata())
 
     @classmethod
@@ -254,10 +280,18 @@ class Release:
         callers); ``sampling_seed`` affects future samples only, never the
         persisted tree counts.
 
-        Reading and format validation go through
+        The format is autodetected by magic bytes.  Binary envelopes take the
+        mmap fast path (:func:`repro.io.binary.load_release_binary`): query
+        engines come pre-seeded straight from the file's compiled sections
+        and answer byte-identically to a JSON load.  JSON reading and
+        validation go through
         :func:`repro.io.serialization.load_release_document`, so malformed
-        files fail with the same ``ValueError`` everywhere.
+        files of either format fail with the same ``ValueError`` everywhere.
         """
+        from repro.io.binary import detect_format, load_release_binary
+
+        if detect_format(path) == "binary":
+            return load_release_binary(path, sampling_seed=sampling_seed)
         return cls.from_dict(load_release_document(path), sampling_seed=sampling_seed)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience

@@ -1,6 +1,6 @@
 """Command-line interface for PrivHP, built on the unified ``repro.api`` surface.
 
-Ten sub-commands cover the workflow:
+Eleven sub-commands cover the workflow:
 
 * ``summarize`` -- stream a CSV of sensitive values through PrivHP (batched,
   optionally sharded) and write the released (epsilon-DP) generator to JSON.
@@ -13,7 +13,12 @@ Ten sub-commands cover the workflow:
 * ``evaluate`` -- fit, generate and report the Wasserstein error and memory
   footprint in one go (no artefacts written).
 * ``checkpoint`` -- ingest a CSV into a durable mid-stream state file (new or
-  existing), without releasing.
+  existing), without releasing.  States are written in the binary envelope
+  format by default (``--format json`` for the text form); every consumer
+  autodetects either.
+* ``convert`` -- convert a release or checkpoint file between the JSON
+  interchange format and the mmap-loadable binary envelope (lossless both
+  ways).
 * ``resume`` -- restore a state file, optionally ingest more data, and
   release.
 * ``snapshot`` -- write a mid-stream release from a *continual* checkpoint
@@ -197,6 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="expected total stream length for the paper defaults "
         "(defaults to the first input's length)",
     )
+    checkpoint.add_argument(
+        "--format",
+        choices=("binary", "json"),
+        default="binary",
+        help="state file format: 'binary' (default; raw-array envelope, "
+        "fastest to write and reload) or 'json' (interchange text); "
+        "resuming autodetects either",
+    )
 
     snapshot = subparsers.add_parser(
         "snapshot",
@@ -365,6 +378,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="release every (still-unreleased) tenant into DIR as "
         "<tenant>.json before exiting",
     )
+    ingest.add_argument(
+        "--checkpoint-format",
+        choices=("binary", "json"),
+        default="binary",
+        help="format for evicted-tenant checkpoints (default binary; "
+        "restores autodetect either)",
+    )
+
+    convert = subparsers.add_parser(
+        "convert",
+        help="convert a release or checkpoint file between JSON and binary",
+    )
+    convert.add_argument("source", help="release or checkpoint file (JSON or binary)")
+    convert.add_argument("output", help="path for the converted file")
+    convert.add_argument(
+        "--to",
+        choices=("binary", "json"),
+        default=None,
+        help="target format (default: inferred from the output suffix -- "
+        "'.bin' means binary, anything else JSON)",
+    )
 
     return parser
 
@@ -480,7 +514,7 @@ def _command_checkpoint(args: argparse.Namespace) -> int:
         data = domain.coerce_stream(data)
         summarizer = builder.build()
     ingest_batches(summarizer, data, args.batch_size)
-    save_checkpoint(summarizer, state_path)
+    save_checkpoint(summarizer, state_path, format=args.format)
     print(
         f"checkpointed {summarizer.items_processed} items to {state_path} "
         f"(memory={summarizer.memory_words()} words)"
@@ -681,6 +715,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         memory_budget_words=args.memory_budget_words,
         store=store,
+        checkpoint_format=args.checkpoint_format,
     ) as service:
         print(
             f"ingestion service: {len(service.tenants())} tenant(s) across "
@@ -752,6 +787,16 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_convert(args: argparse.Namespace) -> int:
+    from repro.io.binary import convert_file
+
+    output = pathlib.Path(args.output)
+    target = args.to if args.to is not None else ("binary" if output.suffix == ".bin" else "json")
+    convert_file(args.source, output, target)
+    print(f"converted {args.source} to {target} at {output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by ``python -m repro.cli`` and the tests."""
     parser = build_parser()
@@ -767,6 +812,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _command_query,
         "matrix": _command_matrix,
         "ingest": _command_ingest,
+        "convert": _command_convert,
     }
     handler = commands.get(args.command)
     if handler is None:

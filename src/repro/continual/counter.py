@@ -368,15 +368,20 @@ class BinaryMechanismCounterBank:
         merged._steps = self._steps
         return merged
 
-    def state_dict(self) -> dict:
-        """JSON-serialisable state (the RNG is owned by the caller)."""
+    def state_dict(self, *, arrays: bool = False) -> dict:
+        """JSON-serialisable state (the RNG is owned by the caller).
+
+        With ``arrays=True`` the counter tables stay float64 ndarray copies
+        instead of nested lists -- the form the binary envelope writer stores
+        zero-copy, skipping the list round trip entirely.
+        """
         return {
             "epsilon": self.epsilon,
             "horizon": self.horizon,
             "size": self.size,
             "steps": self._steps,
-            "alpha": self._alpha.tolist(),
-            "noisy_alpha": self._noisy_alpha.tolist(),
+            "alpha": self._alpha.copy() if arrays else self._alpha.tolist(),
+            "noisy_alpha": self._noisy_alpha.copy() if arrays else self._noisy_alpha.tolist(),
         }
 
     @classmethod

@@ -311,7 +311,7 @@ class PrivHPContinual:
     # ------------------------------------------------------------------ #
     # checkpoint / restore (durable mid-stream state)
     # ------------------------------------------------------------------ #
-    def checkpoint(self) -> dict:
+    def checkpoint(self, *, arrays: bool = False) -> dict:
         """A JSON-serialisable snapshot of the full mid-stream state.
 
         Captures every counter bank, sketch, the privacy ledger and the exact
@@ -322,6 +322,11 @@ class PrivHPContinual:
         through the same format).  Unlike a raw one-shot shard, a continual
         checkpoint is always as private as the summary itself: the noise is
         already in the state.
+
+        ``arrays=True`` keeps the counter banks' tables as float64 ndarray
+        copies instead of nested lists -- not JSON-serialisable, but exactly
+        what the binary envelope writer stores without a list round trip.
+        ``restore`` accepts either form.
         """
         from repro.io.serialization import domain_to_dict
 
@@ -340,11 +345,11 @@ class PrivHPContinual:
                 "events": self._events,
                 "hash_base": self._hash_base,
                 "banks": [
-                    {"level": level, "state": bank.state_dict()}
+                    {"level": level, "state": bank.state_dict(arrays=arrays)}
                     for level, bank in sorted(self._banks.items())
                 ],
                 "sketches": [
-                    {"level": level, "state": sketch.state_dict()}
+                    {"level": level, "state": sketch.state_dict(arrays=arrays)}
                     for level, sketch in sorted(self._sketches.items())
                 ],
                 "accountant": {

@@ -202,8 +202,12 @@ class ContinualPrivateCountMinSketch:
         self._bank.pad_to(events)
         self._released = None
 
-    def state_dict(self) -> dict:
-        """JSON-serialisable state (the RNG is owned by the summarizer)."""
+    def state_dict(self, *, arrays: bool = False) -> dict:
+        """JSON-serialisable state (the RNG is owned by the summarizer).
+
+        ``arrays=True`` keeps the underlying bank's counter tables as ndarray
+        copies for the binary envelope writer.
+        """
         return {
             "width": self.width,
             "depth": self.depth,
@@ -211,7 +215,7 @@ class ContinualPrivateCountMinSketch:
             "horizon": self.horizon,
             "seed": self.seed,
             "updates": self._updates,
-            "bank": self._bank.state_dict(),
+            "bank": self._bank.state_dict(arrays=arrays),
         }
 
     @classmethod

@@ -320,7 +320,7 @@ class PrivHP:
     # ------------------------------------------------------------------ #
     # checkpoint / restore (durable mid-stream state)
     # ------------------------------------------------------------------ #
-    def checkpoint(self) -> dict:
+    def checkpoint(self, *, arrays: bool = False) -> dict:
         """A JSON-serialisable snapshot of the full mid-stream state.
 
         Captures tree, sketch tables, the privacy ledger, and the exact
@@ -328,6 +328,11 @@ class PrivHP:
         and eventually releases -- byte-for-byte identically to the original
         instance.  Use :func:`repro.io.serialization.save_checkpoint` for the
         versioned on-disk envelope.
+
+        ``arrays=True`` keeps the sketch tables as float64 ndarray copies
+        instead of nested lists -- not JSON-serialisable, but exactly what
+        the binary envelope writer stores without a list round trip.
+        ``restore`` accepts either form.
         """
         from repro.io.serialization import domain_to_dict, tree_to_dict
 
@@ -345,7 +350,7 @@ class PrivHP:
                     "level": level,
                     "seed": sketch.seed,
                     "epsilon": sketch.epsilon,
-                    "table": sketch.table.tolist(),
+                    "table": sketch.table.copy() if arrays else sketch.table.tolist(),
                     "total": sketch.total,
                     "updates": sketch.updates,
                     "noise_applied": sketch.noise_applied,

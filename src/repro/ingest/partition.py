@@ -156,10 +156,16 @@ class IngestWorker(threading.Thread):
         queue_size: int = 4096,
         on_live_event=None,
         counters: dict | None = None,
+        checkpoint_format: str = "binary",
     ) -> None:
         super().__init__(name=f"ingest-worker-{index}", daemon=True)
+        if checkpoint_format not in ("binary", "json"):
+            raise ValueError(
+                f"checkpoint_format must be 'binary' or 'json', got {checkpoint_format!r}"
+            )
         self.index = index
         self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_format = checkpoint_format
         self.memory_budget_words = memory_budget_words
         self.inbox: queue.Queue = queue.Queue(maxsize=queue_size)
         #: ``(tenant_id, kind)`` live-serving callback (kind in
@@ -237,7 +243,24 @@ class IngestWorker(threading.Thread):
     def _checkpoint_path(self, tenant_id: str):
         if self.checkpoint_dir is None:
             return None
-        return self.checkpoint_dir / f"{tenant_id}.state.json"
+        suffix = "bin" if self.checkpoint_format == "binary" else "json"
+        return self.checkpoint_dir / f"{tenant_id}.state.{suffix}"
+
+    def _existing_checkpoint(self, tenant_id: str):
+        """The tenant's on-disk checkpoint in *any* format, or ``None``.
+
+        Restores try the configured format first, then the other suffix, so
+        a service restarted with a different ``checkpoint_format`` still
+        picks up the checkpoints its predecessor wrote (``load_checkpoint``
+        autodetects the content by magic bytes either way).
+        """
+        if self.checkpoint_dir is None:
+            return None
+        for suffix in ("bin", "json") if self.checkpoint_format == "binary" else ("json", "bin"):
+            path = self.checkpoint_dir / f"{tenant_id}.state.{suffix}"
+            if path.exists():
+                return path
+        return None
 
     def _resident(self, tenant_id: str) -> _Resident:
         """The tenant's in-memory state, restoring or building it lazily."""
@@ -251,8 +274,8 @@ class IngestWorker(threading.Thread):
             raise RuntimeError(
                 f"tenant {tenant_id!r} has been released; its stream is sealed"
             )
-        path = self._checkpoint_path(tenant_id)
-        if path is not None and path.exists():
+        path = self._existing_checkpoint(tenant_id)
+        if path is not None:
             summarizer = load_checkpoint(path)
             self.restores += 1
         else:
@@ -309,11 +332,11 @@ class IngestWorker(threading.Thread):
         self._released.add(tenant_id)
         del self._residents[tenant_id]
         self._ledger.drop(tenant_id)
-        path = self._checkpoint_path(tenant_id)
-        if path is not None:
+        if self.checkpoint_dir is not None:
             # A stale checkpoint would resurrect the sealed stream on the
-            # next touch; remove it with the release.
-            path.unlink(missing_ok=True)
+            # next touch; remove it (in either format) with the release.
+            for suffix in ("bin", "json"):
+                (self.checkpoint_dir / f"{tenant_id}.state.{suffix}").unlink(missing_ok=True)
         if self._specs[tenant_id].continual:
             self._on_live_event(tenant_id, "release")
         return release
@@ -341,7 +364,7 @@ class IngestWorker(threading.Thread):
                 "the service with checkpoint_dir=..."
             )
         state = self._residents.pop(tenant_id)
-        save_checkpoint(state.summarizer, path)
+        save_checkpoint(state.summarizer, path, format=self.checkpoint_format)
         self._ledger.drop(tenant_id)
         self.evictions += 1
         if self._specs[tenant_id].continual:

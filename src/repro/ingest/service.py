@@ -113,6 +113,11 @@ class IngestService:
         Service-wide bound on resident summarizer words, split evenly
         across workers; cold tenants are evicted to ``checkpoint_dir`` and
         restored byte-identically on their next touch.
+    checkpoint_format:
+        On-disk format for eviction checkpoints: ``"binary"`` (the default
+        -- the raw-array envelope of :mod:`repro.io.binary`, which is what
+        makes high-frequency eviction affordable) or ``"json"``.  Restores
+        autodetect the format, so either setting reads both.
     store:
         Optional :class:`repro.serve.store.ReleaseStore`; continual tenants
         are served live from the moment they have data.
@@ -144,9 +149,14 @@ class IngestService:
         store=None,
         service_epsilon_budget: float | None = None,
         queue_size: int = 4096,
+        checkpoint_format: str = "binary",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if checkpoint_format not in ("binary", "json"):
+            raise ValueError(
+                f"checkpoint_format must be 'binary' or 'json', got {checkpoint_format!r}"
+            )
         if memory_budget_words is not None and memory_budget_words < 1:
             raise ValueError(
                 f"memory_budget_words must be >= 1, got {memory_budget_words}"
@@ -177,6 +187,7 @@ class IngestService:
                 queue_size=queue_size,
                 on_live_event=self._on_live_event,
                 counters=self._counters,
+                checkpoint_format=checkpoint_format,
             )
             for index in range(workers)
         ]

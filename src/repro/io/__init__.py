@@ -7,6 +7,14 @@ generators, which the CLI uses to separate the "summarise the sensitive
 stream" step from the "generate / query synthetic data" step.
 """
 
+from repro.io.binary import (
+    convert_file,
+    detect_format,
+    load_binary,
+    load_release_binary,
+    open_envelope,
+    save_binary,
+)
 from repro.io.serialization import (
     generator_from_dict,
     generator_to_dict,
@@ -19,10 +27,16 @@ from repro.io.serialization import (
 )
 
 __all__ = [
+    "convert_file",
+    "detect_format",
     "generator_from_dict",
     "generator_to_dict",
+    "load_binary",
     "load_generator",
+    "load_release_binary",
     "load_release_document",
+    "open_envelope",
+    "save_binary",
     "save_generator",
     "tree_from_dict",
     "tree_to_dict",

@@ -184,17 +184,25 @@ def validate_release_document(document) -> dict:
 
 
 def load_release_document(path: str | pathlib.Path) -> dict:
-    """Read and validate a ``privhp-generator`` JSON document from disk.
+    """Read and validate a ``privhp-generator`` document from disk.
 
-    Malformed JSON and envelope violations both surface as ``ValueError``
-    (with the offending path named), so every consumer -- ``Release.load``,
-    the CLI, the serving store -- reports bad release files uniformly.
+    The on-disk format is autodetected by magic bytes: binary envelopes
+    (:mod:`repro.io.binary`) decode back to the identical interchange
+    document, so callers never care how a release was written.  Malformed
+    input of either format surfaces as ``ValueError`` (with the offending
+    path named), so every consumer -- ``Release.load``, the CLI, the serving
+    store -- reports bad release files uniformly.
     """
+    from repro.io.binary import detect_format, load_binary
+
     path = pathlib.Path(path)
-    try:
-        document = json.loads(path.read_text())
-    except json.JSONDecodeError as error:
-        raise ValueError(f"{path} is not valid JSON: {error}") from error
+    if detect_format(path) == "binary":
+        document = load_binary(path)
+    else:
+        try:
+            document = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ValueError(f"{path} is not valid JSON: {error}") from error
     try:
         return validate_release_document(document)
     except ValueError as error:
@@ -209,18 +217,34 @@ def generator_from_dict(encoded: dict, seed: int | None = None) -> SyntheticData
     return SyntheticDataGenerator(tree, domain, rng=seed)
 
 
+def write_bytes_atomic(path: pathlib.Path, data: bytes) -> None:
+    """Write through a sibling temp file + fsync + ``os.replace``.
+
+    The rename makes the write atomic (no reader ever observes a partial
+    file); the fsync *before* the rename makes it durable -- without it a
+    power loss shortly after the rename can leave the new name pointing at
+    a zero-length file.  That matters now that ingest eviction checkpoints
+    run at high frequency.
+    """
+    path = pathlib.Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
 def write_text_atomic(path: pathlib.Path, text: str) -> None:
-    """Write through a sibling temp file + ``os.replace`` so a crash mid-write
-    can never leave an existing file truncated.
+    """Write through a sibling temp file + fsync + ``os.replace`` so a crash
+    mid-write can never leave an existing file truncated (see
+    :func:`write_bytes_atomic` for why the fsync matters).
 
     Shared by release/checkpoint persistence and the experiment-matrix result
     store, whose resumability contract depends on never observing a partial
     file.
     """
-    path = pathlib.Path(path)
-    temp = path.with_name(path.name + ".tmp")
-    temp.write_text(text)
-    os.replace(temp, path)
+    write_bytes_atomic(path, text.encode("utf-8"))
 
 
 #: Backwards-compatible alias for the pre-public name.
@@ -261,12 +285,17 @@ def load_generator(
 # --------------------------------------------------------------------------- #
 # checkpoints (mid-stream summarizer state)
 # --------------------------------------------------------------------------- #
-def summarizer_to_dict(summarizer) -> dict:
-    """Wrap a summarizer's :meth:`checkpoint` payload in the versioned envelope."""
+def summarizer_to_dict(summarizer, *, arrays: bool = False) -> dict:
+    """Wrap a summarizer's :meth:`checkpoint` payload in the versioned envelope.
+
+    ``arrays=True`` requests the ndarray form of the bulk state (counter
+    banks, sketch tables) -- not JSON-serialisable, but the binary envelope
+    writer stores the arrays directly without a list round trip.
+    """
     return {
         "format": CHECKPOINT_FORMAT_NAME,
         "version": CHECKPOINT_FORMAT_VERSION,
-        "state": summarizer.checkpoint(),
+        "state": summarizer.checkpoint(arrays=arrays),
     }
 
 
@@ -298,18 +327,38 @@ def summarizer_from_dict(document: dict):
     return PrivHP.restore(state)
 
 
-def save_checkpoint(summarizer, path: str | pathlib.Path) -> pathlib.Path:
-    """Write a summarizer's full mid-stream state to a JSON file.
+def save_checkpoint(summarizer, path: str | pathlib.Path, *, format: str = "json") -> pathlib.Path:
+    """Write a summarizer's full mid-stream state to disk.
 
-    The write is atomic (temp file + rename), so extending an existing
-    checkpoint can never destroy it if the process dies mid-write.
+    ``format="json"`` (the default, and the interchange form) writes compact
+    sorted-key JSON; ``format="binary"`` writes the envelope of
+    :mod:`repro.io.binary`, where the counter banks and sketch tables land
+    as raw float sections -- the form the high-frequency ingest eviction
+    path uses.  The write is atomic and fsynced either way, so extending an
+    existing checkpoint can never destroy it if the process (or the machine)
+    dies mid-write.
     """
     path = pathlib.Path(path)
+    if format == "binary":
+        from repro.io.binary import save_binary
+
+        return save_binary(summarizer_to_dict(summarizer, arrays=True), path)
+    if format != "json":
+        raise ValueError(f"format must be 'json' or 'binary', got {format!r}")
     _write_text_atomic(path, json.dumps(summarizer_to_dict(summarizer), sort_keys=True))
     return path
 
 
 def load_checkpoint(path: str | pathlib.Path):
-    """Load a summarizer previously saved with :func:`save_checkpoint`."""
+    """Load a summarizer previously saved with :func:`save_checkpoint`.
+
+    The format is autodetected by magic bytes.  Binary checkpoints reinflate
+    their array sections as writable numpy arrays, which the summarizers'
+    ``restore`` paths consume without an extra copy.
+    """
+    from repro.io.binary import detect_format, load_binary
+
     path = pathlib.Path(path)
+    if detect_format(path) == "binary":
+        return summarizer_from_dict(load_binary(path, mode="arrays"))
     return summarizer_from_dict(json.loads(path.read_text()))

@@ -97,17 +97,73 @@ class CompiledLeafTable:
         if total <= 0:
             # Degenerate release: the retired scalar engine fell back to a
             # single root "leaf" carrying the whole mass (the uniform law).
-            self.leaves: tuple[Cell, ...] = ((),)
+            self.leaves: tuple[Cell, ...] | None = ((),)
             self.probabilities = np.array([1.0])
         else:
             self.leaves = tuple(leaves)
             self.probabilities = weights / total
+        self.size = len(self.probabilities)
         self._positive = self.probabilities > 0
         self._compile_geometry(domain)
         self._compile_cdf(domain)
 
+    @classmethod
+    def from_arrays(cls, domain: Domain, *, kind: str, root_count: float, arrays: dict) -> "CompiledLeafTable":
+        """Rebuild a table from :meth:`export_arrays` output (mmap-friendly).
+
+        The arrays are used as-is (read-only memory-mapped views are fine:
+        the kernels never write into them), so loading a persisted table is
+        O(1) in the number of leaves -- no tree walk, no geometry recompute.
+        Derived state (``width``, the positive-probability mask) is recomputed
+        with the same expressions compilation uses, so a rebuilt table answers
+        queries bit-identically to one compiled from the tree.
+        """
+        if kind not in ("interval", "box", "intrange"):
+            raise ValueError(f"unknown compiled leaf-table kind {kind!r}")
+        table = cls.__new__(cls)
+        table.domain = domain
+        table.root_count = float(root_count)
+        table.leaves = None  # leaf cells live in the tree; not needed to query
+        table.kind = kind
+        try:
+            table.probabilities = arrays["probabilities"]
+            table.low = arrays["low"]
+            table.high = arrays["high"]
+        except KeyError as error:
+            raise ValueError(f"compiled leaf table is missing the {error} array") from error
+        table.size = len(table.probabilities)
+        if kind == "box":
+            if table.low.ndim != 2:
+                raise ValueError("box leaf tables need two-dimensional bound arrays")
+            table.dimension = int(table.low.shape[1])
+        if kind in ("interval", "box"):
+            table.width = table.high - table.low
+        if table.low.shape != table.high.shape or len(table.low) != table.size:
+            raise ValueError("compiled leaf-table arrays disagree on the leaf count")
+        table._positive = table.probabilities > 0
+        if "cdf" in arrays or "leaf_order" in arrays:
+            try:
+                table.leaf_order = arrays["leaf_order"]
+                table.cdf = arrays["cdf"]
+            except KeyError as error:
+                raise ValueError(f"compiled leaf table is missing the {error} array") from error
+            if len(table.cdf) != table.size or len(table.leaf_order) != table.size:
+                raise ValueError("compiled CDF arrays disagree on the leaf count")
+        else:
+            table.leaf_order = None
+            table.cdf = None
+        return table
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The table's persistent arrays, keyed by :meth:`from_arrays` names."""
+        arrays = {"probabilities": self.probabilities, "low": self.low, "high": self.high}
+        if self.cdf is not None:
+            arrays["leaf_order"] = self.leaf_order
+            arrays["cdf"] = self.cdf
+        return arrays
+
     def __len__(self) -> int:
-        return len(self.leaves)
+        return self.size
 
     # ------------------------------------------------------------------ #
     # compilation
@@ -124,10 +180,10 @@ class CompiledLeafTable:
             self.dimension = 2 if isinstance(domain, GeoDomain) else domain.dimension
             bounds = [domain.cell_bounds(theta) for theta in self.leaves]
             self.low = np.array([b[0] for b in bounds], dtype=float).reshape(
-                len(self.leaves), self.dimension
+                self.size, self.dimension
             )
             self.high = np.array([b[1] for b in bounds], dtype=float).reshape(
-                len(self.leaves), self.dimension
+                self.size, self.dimension
             )
             self.width = self.high - self.low
         elif isinstance(domain, (IPv4Domain, DiscreteDomain)):
@@ -150,7 +206,7 @@ class CompiledLeafTable:
         endpoint.  Vector domains have no total order and carry no CDF.
         """
         if isinstance(domain, (UnitInterval, IPv4Domain, DiscreteDomain)):
-            order = sorted(range(len(self.leaves)), key=lambda j: self.leaves[j])
+            order = sorted(range(self.size), key=lambda j: self.leaves[j])
             self.leaf_order = np.array(order, dtype=np.int64)
             self.cdf = np.cumsum(self.probabilities[self.leaf_order])
         else:
@@ -170,7 +226,7 @@ class CompiledLeafTable:
         """
         count = len(lowers)
         result = np.empty(count)
-        block = max(1, _BLOCK_ELEMENTS // max(len(self.leaves), 1))
+        block = max(1, _BLOCK_ELEMENTS // max(self.size, 1))
         for start in range(0, count, block):
             stop = min(start + block, count)
             fractions = self._fractions(lowers[start:stop], uppers[start:stop])
@@ -199,8 +255,8 @@ class CompiledLeafTable:
             # degenerate axis zeroes the whole leaf (the scalar early
             # return).
             n = len(lowers)
-            fractions = np.ones((n, len(self.leaves)))
-            degenerate = np.zeros(len(self.leaves), dtype=bool)
+            fractions = np.ones((n, self.size))
+            degenerate = np.zeros(self.size, dtype=bool)
             for axis in range(self.dimension):
                 width = self.width[:, axis]
                 valid = width > 0
@@ -302,6 +358,74 @@ class CompiledDescentTable:
         self._py_right_index = self.right_index.tolist()
         self._py_left_count = self.left_count.tolist()
         self._py_leaf_count = self.leaf_count.tolist()
+
+    @classmethod
+    def from_arrays(cls, domain: Domain, *, root_count: float, arrays: dict) -> "CompiledDescentTable":
+        """Rebuild a descent table from :meth:`export_arrays` output.
+
+        Node cells are reconstructed from the child-index arrays (children
+        are always appended after their parent, so one forward pass works),
+        and the plain-Python mirrors are re-materialised; every stored array
+        is used as-is, so read-only memory-mapped sections are fine.
+        """
+        table = cls.__new__(cls)
+        table.domain = domain
+        table.root_count = float(root_count)
+        try:
+            table.internal = arrays["internal"]
+            table.left_index = arrays["left_index"]
+            table.right_index = arrays["right_index"]
+            table.left_count = arrays["left_count"]
+            table.leaf_count = arrays["leaf_count"]
+            table.low = arrays["low"]
+            table.high = arrays["high"]
+        except KeyError as error:
+            raise ValueError(f"compiled descent table is missing the {error} array") from error
+        size = len(table.internal)
+        for name in ("left_index", "right_index", "left_count", "leaf_count", "low", "high"):
+            if len(arrays[name]) != size:
+                raise ValueError("compiled descent-table arrays disagree on the node count")
+        table.integer = table.low.dtype.kind in "iu"
+        table._py_internal = table.internal.tolist()
+        table._py_left_index = table.left_index.tolist()
+        table._py_right_index = table.right_index.tolist()
+        table._py_left_count = table.left_count.tolist()
+        table._py_leaf_count = table.leaf_count.tolist()
+        table._py_low = table.low.tolist()
+        table._py_high = table.high.tolist()
+        # Rebuild the node cells exactly as compilation appended them: the
+        # root is node 0 and both children of an internal node carry indices
+        # greater than their parent's.
+        cells: list[Cell | None] = [None] * size
+        if size:
+            cells[0] = ()
+        for node in range(size):
+            if not table._py_internal[node]:
+                continue
+            theta = cells[node]
+            left = table._py_left_index[node]
+            right = table._py_right_index[node]
+            if theta is None or not node < left < size or not node < right < size:
+                raise ValueError("compiled descent-table child indices are not a valid tree")
+            cells[left] = theta + (0,)
+            cells[right] = theta + (1,)
+        if any(theta is None for theta in cells):
+            raise ValueError("compiled descent-table child indices leave unreachable nodes")
+        table.cells = tuple(cells)
+        table.depth = max((len(theta) for theta in table.cells), default=0)
+        return table
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The table's persistent arrays, keyed by :meth:`from_arrays` names."""
+        return {
+            "internal": self.internal,
+            "left_index": self.left_index,
+            "right_index": self.right_index,
+            "left_count": self.left_count,
+            "leaf_count": self.leaf_count,
+            "low": self.low,
+            "high": self.high,
+        }
 
     def _compile_points(self, domain: Domain) -> None:
         if isinstance(domain, UnitInterval):

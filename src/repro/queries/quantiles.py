@@ -47,12 +47,30 @@ class QuantileEngine:
         array([0.25, 0.5 , 0.75])
     """
 
-    def __init__(self, tree: PartitionTree, domain: Domain) -> None:
+    def __init__(
+        self,
+        tree: PartitionTree,
+        domain: Domain,
+        *,
+        table: CompiledDescentTable | None = None,
+    ) -> None:
         if not isinstance(domain, (UnitInterval, IPv4Domain, DiscreteDomain)):
             raise TypeError("quantile queries require a one-dimensional ordered domain")
         self.tree = tree
         self.domain = domain
-        self._table = CompiledDescentTable(tree, domain)
+        self._table = table if table is not None else CompiledDescentTable(tree, domain)
+
+    @classmethod
+    def from_compiled(
+        cls, tree: PartitionTree, domain: Domain, table: CompiledDescentTable
+    ) -> "QuantileEngine":
+        """An engine over an already-compiled (e.g. memory-mapped) descent table.
+
+        Used by the binary cold-start path
+        (:func:`repro.io.binary.load_release_binary`) to skip the tree walk
+        entirely: the node arrays come straight from the envelope's sections.
+        """
+        return cls(tree, domain, table=table)
 
     def _cell_upper_point(self, theta: Cell):
         """The largest point of a cell (used as the quantile representative)."""

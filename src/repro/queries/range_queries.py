@@ -62,10 +62,28 @@ class RangeQueryEngine:
         array([0.5, 0.5])
     """
 
-    def __init__(self, tree: PartitionTree, domain: Domain) -> None:
+    def __init__(
+        self,
+        tree: PartitionTree,
+        domain: Domain,
+        *,
+        table: CompiledLeafTable | None = None,
+    ) -> None:
         self.tree = tree
         self.domain = domain
-        self._table = CompiledLeafTable(tree, domain)
+        self._table = table if table is not None else CompiledLeafTable(tree, domain)
+
+    @classmethod
+    def from_compiled(
+        cls, tree: PartitionTree, domain: Domain, table: CompiledLeafTable
+    ) -> "RangeQueryEngine":
+        """An engine over an already-compiled (e.g. memory-mapped) leaf table.
+
+        This is the binary cold-start path: :func:`repro.io.binary.load_release_binary`
+        reconstructs the table straight from the envelope's array sections, so
+        the engine is ready without walking the tree at all.
+        """
+        return cls(tree, domain, table=table)
 
     # ------------------------------------------------------------------ #
     # canonicalisation: raw per-query bounds -> kernel-ready arrays
@@ -134,12 +152,17 @@ class RangeQueryEngine:
         return self._table.mass_many(low, high)
 
     def count(self, lower, upper) -> float:
-        """Estimated number of stream items in the region (mass x total count)."""
-        return self.mass(lower, upper) * max(self.tree.root_count, 0.0)
+        """Estimated number of stream items in the region (mass x total count).
+
+        The total comes from the compiled table's ``root_count`` (captured at
+        compilation, identical to ``tree.root_count``) so counting never has
+        to touch the tree -- which the binary path materialises lazily.
+        """
+        return self.mass(lower, upper) * max(self._table.root_count, 0.0)
 
     def count_many(self, lowers, uppers) -> np.ndarray:
         """Batch variant of :meth:`count` (one vectorised pass)."""
-        return self.mass_many(lowers, uppers) * max(self.tree.root_count, 0.0)
+        return self.mass_many(lowers, uppers) * max(self._table.root_count, 0.0)
 
     def cdf(self, point) -> float:
         """Estimated CDF at ``point`` for one-dimensional ordered domains."""

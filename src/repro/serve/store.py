@@ -1,11 +1,14 @@
 """A directory of released summaries, loaded lazily and routed by name/domain.
 
 A :class:`ReleaseStore` is the serving layer's view of "many releases": every
-``*.json`` file in a directory that carries the ``privhp-generator`` format is
-addressable by its file stem.  Releases load lazily (first query wins the
-disk read, later queries reuse the live object and its cached engines) and
-can also be registered in-memory, which is how tests and notebooks serve
-freshly fitted releases without touching disk.
+``*.json`` or ``*.bin`` file in a directory that carries the
+``privhp-generator`` format is addressable by its file stem.  Releases load
+lazily (first query wins the disk read, later queries reuse the live object
+and its cached engines); binary envelopes take the mmap fast path of
+:mod:`repro.io.binary`, so a store over thousands of releases opens in O(1)
+and pages each release's arrays in on first query.  Releases can also be
+registered in-memory, which is how tests and notebooks serve freshly fitted
+releases without touching disk.
 
 Beyond finished releases, a store can front *live* continual summarizers
 (:meth:`ReleaseStore.register_live`): queries against a live name are
@@ -75,19 +78,25 @@ class ReleaseStore:
     # membership
     # ------------------------------------------------------------------ #
     def refresh(self) -> list[str]:
-        """Re-scan the directory for ``*.json`` release files.
+        """Re-scan the directory for ``*.json`` and ``*.bin`` release files.
 
         Returns the sorted names now addressable.  Files are not parsed here
-        (loading stays lazy); a non-release JSON surfaces a ``ValueError``
-        when it is first requested.  Already-loaded releases are kept unless
-        their file disappeared; in-memory releases from :meth:`add` and live
-        summarizers from :meth:`register_live` are always kept.
+        (loading stays lazy, and binary envelopes additionally mmap-load in
+        O(1) of their size when first queried, so opening a directory of
+        thousands of releases costs one ``listdir`` regardless of content);
+        a non-release file surfaces a ``ValueError`` when it is first
+        requested.  When a stem exists in both formats the binary file wins
+        (it is the faster-loading artefact of the same release).
+        Already-loaded releases are kept unless their file disappeared;
+        in-memory releases from :meth:`add` and live summarizers from
+        :meth:`register_live` are always kept.
         """
         if self.directory is None:
             return self.names()
         if not self.directory.is_dir():
             raise ValueError(f"release store directory {self.directory} does not exist")
         paths = {path.stem: path for path in sorted(self.directory.glob("*.json"))}
+        paths.update((path.stem, path) for path in sorted(self.directory.glob("*.bin")))
         with self._lock:
             self._paths = paths
             for name in list(self._loaded):

@@ -322,7 +322,7 @@ class TestEvictionRoundTrip:
             service.append("evictee", batches[0])
             service.append("evictee", batches[1])
             assert service.evict("evictee") is True
-            assert (tmp_path / "evictee.state.json").exists()
+            assert (tmp_path / "evictee.state.bin").exists()
             service.append("evictee", batches[2])  # transparently restored
             service.append("evictee", batches[3])
             release = service.release("evictee")
@@ -354,7 +354,7 @@ class TestEvictionRoundTrip:
             assert stats["evictions"] > 0
             assert stats["memory_words"] <= 4000
             # Evicted tenants live on disk, not in memory.
-            assert any(tmp_path.glob("*.state.json")) or stats["restores"] > 0
+            assert any(tmp_path.glob("*.state.bin")) or stats["restores"] > 0
 
     def test_release_of_evicted_tenant_restores_first(self, tmp_path):
         spec = TenantSpec("sleeper", stream_size=64, seed=2)
@@ -365,7 +365,7 @@ class TestEvictionRoundTrip:
             service.evict("sleeper")
             release = service.release("sleeper")
             # The consumed checkpoint is removed on release.
-            assert not (tmp_path / "sleeper.state.json").exists()
+            assert not (tmp_path / "sleeper.state.bin").exists()
         assert _release_bytes(release) == _control_release(spec, batches)
 
     def test_drain_on_close_checkpoints_residents(self, tmp_path):
@@ -374,7 +374,7 @@ class TestEvictionRoundTrip:
         service.register(spec)
         service.append("durable", np.linspace(0.0, 1.0, 16))
         service.close()
-        assert (tmp_path / "durable.state.json").exists()
+        assert (tmp_path / "durable.state.bin").exists()
 
 
 class TestThousandTenantFleet:

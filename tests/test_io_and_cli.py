@@ -526,13 +526,13 @@ class TestContinualCLI:
             "checkpoint", "--input", str(day1), "--state", str(state),
             "--continual", "--stream-size", "2000",
         ]) == 0
-        state_before = state.read_text()
+        state_before = state.read_bytes()
 
         snap = tmp_path / "snap.json"
         assert cli_main(["snapshot", "--state", str(state), "--output", str(snap)]) == 0
         snapshot_doc = json.loads(snap.read_text())
         assert snapshot_doc["metadata"]["items_processed"] == 1000
-        assert state.read_text() == state_before  # snapshot never consumes state
+        assert state.read_bytes() == state_before  # snapshot never consumes state
 
         assert cli_main(["checkpoint", "--input", str(day2), "--state", str(state)]) == 0
         final = tmp_path / "final.json"

@@ -1,0 +1,61 @@
+"""Regenerate the committed golden binary fixture (tests/data/golden_release_v1.bin).
+
+The fixture is a frozen version-1 binary envelope of a deterministic interval
+release.  ``tests/test_binary_io.py::TestGoldenFixture`` loads it and asserts
+its query answers, so a future schema change that can no longer read v1
+envelopes (or reads them differently) fails CI instead of silently breaking
+every checkpoint already on disk.
+
+Only rerun this when introducing a NEW envelope version -- and then commit a
+new ``golden_release_v<N>.bin`` next to the old one rather than replacing it;
+the whole point of the fixture is that old bytes stay readable.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_golden_fixture.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.api.builder import PrivHPBuilder
+from repro.io.binary import save_binary
+
+
+def build_release():
+    """The deterministic release frozen into the fixture."""
+    rng = np.random.default_rng(42)
+    data = rng.beta(2.0, 5.0, 512)
+    summarizer = (
+        PrivHPBuilder("interval")
+        .epsilon(1.0)
+        .pruning_k(4)
+        .stream_size(len(data))
+        .seed(3)
+        .build()
+    )
+    summarizer.update_batch(data)
+    return summarizer.release()
+
+
+def main() -> None:
+    release = build_release()
+    path = pathlib.Path(__file__).resolve().parent.parent / "tests" / "data" / "golden_release_v1.bin"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_binary(release.to_dict(), path, verify=True)
+    print(f"wrote {path} ({path.stat().st_size} bytes)")
+    print("expected answers for the test:")
+    print(f"  items_processed = {release.items_processed}")
+    print(f"  epsilon         = {release.epsilon!r}")
+    print(f"  mass(0.1, 0.5)  = {release.mass(0.1, 0.5)!r}")
+    print(f"  cdf(0.25)       = {release.cdf(0.25)!r}")
+    print(f"  quantile(0.5)   = {release.quantile(0.5)!r}")
+    print(f"  quantiles       = {release.quantiles([0.1, 0.9]).tolist()!r}")
+    print(f"  range_count     = {release.range_count(0.0, 0.3)!r}")
+
+
+if __name__ == "__main__":
+    main()
