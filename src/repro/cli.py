@@ -72,6 +72,7 @@ from repro.api.registry import available_domains, make_domain
 from repro.api.release import Release
 from repro.api.summarizer import DEFAULT_BATCH_SIZE, ingest_batches
 from repro.core.privhp import PrivHP
+from repro.ingest.partition import DEFAULT_REPLY_TIMEOUT
 from repro.io.serialization import load_checkpoint, save_checkpoint
 from repro.metrics.wasserstein import empirical_wasserstein
 
@@ -384,6 +385,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="binary",
         help="format for evicted-tenant checkpoints (default binary; "
         "restores autodetect either)",
+    )
+    ingest.add_argument(
+        "--flush-interval", type=float, default=0.05, metavar="SECONDS",
+        help="staging-buffer flush cadence in seconds; 0 disables the "
+        "background flusher so staged appends ship only on size thresholds "
+        "and explicit flushes (default 0.05)",
+    )
+    ingest.add_argument(
+        "--staging-items", type=int, default=2048,
+        help="ship a partition's staged appends to its worker once this "
+        "many items accumulate (default 2048)",
+    )
+    ingest.add_argument(
+        "--staging-bytes", type=int, default=1 << 20,
+        help="ship a partition's staged appends once they hold this many "
+        "bytes (default 1 MiB)",
+    )
+    ingest.add_argument(
+        "--reply-timeout", type=float, default=DEFAULT_REPLY_TIMEOUT,
+        help="seconds to wait for a worker reply (register/snapshot/"
+        f"release/stats) before failing (default {DEFAULT_REPLY_TIMEOUT:.0f})",
     )
 
     convert = subparsers.add_parser(
@@ -716,6 +738,10 @@ def _command_ingest(args: argparse.Namespace) -> int:
         memory_budget_words=args.memory_budget_words,
         store=store,
         checkpoint_format=args.checkpoint_format,
+        staging_items=args.staging_items,
+        staging_bytes=args.staging_bytes,
+        flush_interval=args.flush_interval if args.flush_interval > 0 else None,
+        reply_timeout=args.reply_timeout,
     ) as service:
         print(
             f"ingestion service: {len(service.tenants())} tenant(s) across "

@@ -180,13 +180,21 @@ class PrivHPContinual:
         the event time axis, so private snapshots remain available after
         every batch.  Returns ``self`` for chaining.
         """
+        if self._finalized:
+            raise RuntimeError(
+                "PrivHPContinual has been finalized; no further updates are allowed"
+            )
+        bits = self.domain.locate_batch(points, self.config.depth)
+        return self._apply_event(bits)
+
+    def _apply_event(self, bits) -> "PrivHPContinual":
+        """Advance all banks and sketches one event from pre-located bits."""
         with self._lock:
             if self._finalized:
                 raise RuntimeError(
                     "PrivHPContinual has been finalized; no further updates are allowed"
                 )
             depth = self.config.depth
-            bits = self.domain.locate_batch(points, depth)
             batch_size = int(bits.shape[0])
             if batch_size == 0:
                 return self
@@ -215,6 +223,38 @@ class PrivHPContinual:
             self._items_processed += batch_size
             self._events += 1
             return self
+
+    def update_segments(self, points, lengths) -> "PrivHPContinual":
+        """Apply several consecutive batches, one continual event per segment.
+
+        Byte-identical to calling :meth:`update_batch` once per segment in
+        order -- each segment is its own event on the binary-mechanism time
+        axis, so unlike the one-shot variant the counter steps cannot be
+        fused across segments without changing the noise layout.  What *is*
+        shared is the elementwise location pass: the concatenation is located
+        once and each event consumes its slice of the bit matrix (locating a
+        slice equals slicing the located whole).  This method exists so the
+        batched ingestion service can hand any summarizer a coerced
+        concatenation plus segment lengths through one uniform call.
+        """
+        lengths = [int(length) for length in lengths]
+        if any(length < 0 for length in lengths):
+            raise ValueError("segment lengths must be non-negative")
+        if sum(lengths) != len(points):
+            raise ValueError(
+                f"segment lengths sum to {sum(lengths)} but the concatenated "
+                f"batch has {len(points)} items"
+            )
+        if self._finalized:
+            raise RuntimeError(
+                "PrivHPContinual has been finalized; no further updates are allowed"
+            )
+        bits = self.domain.locate_batch(points, self.config.depth)
+        offset = 0
+        for length in lengths:
+            self._apply_event(bits[offset : offset + length])
+            offset += length
+        return self
 
     def process(self, stream: Iterable) -> "PrivHPContinual":
         """Process an iterable item by item (one event each); returns ``self``.

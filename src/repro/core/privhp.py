@@ -33,6 +33,8 @@ shards built from the same config always agree on their hash families.
 
 from __future__ import annotations
 
+import itertools
+from collections import Counter
 from collections.abc import Iterable
 from dataclasses import asdict
 
@@ -130,8 +132,20 @@ class PrivHP:
             for level in range(self.config.level_cutoff + 1):
                 sigma = self.level_budgets[level]
                 scale = 1.0 / sigma
-                for theta in tree.nodes_at_level(level):
-                    tree.set_count(theta, float(self._rng.laplace(0.0, scale)))
+                # One vectorised draw per level consumes the generator in
+                # exactly the per-cell sorted order of the historical scalar
+                # loop (itertools.product yields cells in sorted order), so
+                # the preload stays byte-identical while skipping the
+                # per-node Generator call overhead.
+                noise = self._rng.laplace(0.0, scale, size=1 << level)
+                # Write straight into the count dict: complete() just created
+                # every key, so set_count's per-node existence check (and its
+                # per-call overhead) buys nothing here.
+                counts = tree._counts
+                for theta, value in zip(
+                    itertools.product((0, 1), repeat=level), noise.tolist()
+                ):
+                    counts[theta] = value
                 self.accountant.spend(sigma, label=f"tree level {level}")
         return tree
 
@@ -239,6 +253,137 @@ class PrivHP:
 
         self._items_processed += batch_size
         return self
+
+    def update_segments(self, points, lengths) -> "PrivHP":
+        """Apply several consecutive batches in one pass over their concatenation.
+
+        ``points`` is the concatenation of the segments (already coerced like
+        any :meth:`update_batch` input) and ``lengths`` gives each segment's
+        item count in order.  The state after this call is byte-identical to
+        calling :meth:`update_batch` once per segment in order: the segment
+        boundaries are preserved, so every counter receives the same floats in
+        the same summation order, while the location and path-packing passes
+        -- the per-batch fixed costs -- are paid once for the whole
+        concatenation.  This is the fan-in primitive of the batched ingestion
+        service: a worker drains many queued appends for one tenant and lands
+        them with a single call.
+
+        Empty segments are permitted and contribute nothing (matching the
+        empty-batch early return of :meth:`update_batch`).
+        """
+        if self._finalized:
+            raise RuntimeError("PrivHP has been finalized; no further updates are allowed")
+        lengths = [int(length) for length in lengths]
+        if any(length < 0 for length in lengths):
+            raise ValueError("segment lengths must be non-negative")
+        total = sum(lengths)
+        if total != len(points):
+            raise ValueError(
+                f"segment lengths sum to {total} but the concatenated batch has "
+                f"{len(points)} items"
+            )
+        depth = self.config.depth
+        if depth > 62:  # mirror update_batch's scalar fallback per segment
+            offset = 0
+            for length in lengths:
+                self.update_batch(points[offset : offset + length])
+                offset += length
+            return self
+        if total == 0:
+            return self
+        bits = self.domain.locate_batch(points, depth)
+        full_codes = Domain.pack_paths(bits)
+
+        # Segment-major application.  Either ingest helper lands exactly one
+        # aggregated add per (level, cell) per segment with an identical
+        # float weight, so the counters see the same additions in the same
+        # segment order as sequential update_batch calls -- the two helpers
+        # (and the bincount-vs-unique pivot inside the numpy one) are pure
+        # speed dispatch with no observable effect on the state bytes.
+        start = 0
+        for length in lengths:
+            if length:
+                segment_codes = full_codes[start : start + length]
+                if length <= 512:
+                    self._ingest_codes_small(segment_codes)
+                else:
+                    self._ingest_codes_numpy(segment_codes, length)
+            start += length
+
+        self._items_processed += total
+        return self
+
+    def _ingest_codes_small(self, segment_codes) -> None:
+        """Aggregate one small segment in pure Python (no per-level numpy).
+
+        Counts the distinct full-depth codes once, rolls the *integer*
+        counts up level by level (integer sums are exact, so nothing here
+        touches float ordering), then applies one fused tree update and one
+        aggregated sketch update per deep level.  Cells are visited in
+        ascending code order per level -- the same order the numpy path's
+        ``bincount``/``unique`` produce -- so even hash-colliding sketch
+        buckets accumulate in an identical sequence.
+        """
+        depth = self.config.depth
+        cutoff = self.config.level_cutoff
+        per_level: list[dict[int, int]] = [Counter(segment_codes.tolist())] * (depth + 1)
+        for level in range(depth - 1, -1, -1):
+            parents: dict[int, int] = {}
+            get = parents.get
+            for code, count in per_level[level + 1].items():
+                parent = code >> 1
+                parents[parent] = get(parent, 0) + count
+            per_level[level] = parents
+        # Every exact-level cell exists in the complete tree (initialisation
+        # builds all of them and nothing ever removes one pre-release), so
+        # the adds can skip increment_many's per-cell existence check.  Cell
+        # visit order within a level is irrelevant to the bytes: each
+        # distinct cell receives exactly one add per segment.
+        tree_counts = self._tree._counts
+        for level in range(cutoff + 1):
+            for code, count in per_level[level].items():
+                tree_counts[_cell_of(level, code)] += float(count)
+        for level in range(cutoff + 1, depth + 1):
+            level_counts = per_level[level]
+            occupied = sorted(level_counts)
+            level_weights = np.array([float(level_counts[code]) for code in occupied])
+            sketch = self._sketches[level]
+            if level <= 59:
+                keys = np.array(occupied, dtype=np.uint64) | (np.uint64(1) << np.uint64(level))
+                sketch.update_batch(keys, level_weights)
+            else:
+                sketch.update_many(
+                    [_cell_of(level, code) for code in occupied], level_weights
+                )
+
+    def _ingest_codes_numpy(self, segment_codes, batch_size: int) -> None:
+        """One segment through exactly the per-level path of update_batch."""
+        depth = self.config.depth
+        cutoff = self.config.level_cutoff
+        for level in range(cutoff + 1):
+            codes = segment_codes >> (depth - level)
+            if (1 << level) <= max(4 * batch_size, 1024):
+                counts = np.bincount(codes, minlength=1 << level)
+                occupied = np.flatnonzero(counts)
+                weights = counts[occupied]
+            else:
+                occupied, weights = np.unique(codes, return_counts=True)
+            self._tree.increment_many(
+                [_cell_of(level, int(code)) for code in occupied],
+                weights.astype(float),
+            )
+        for level in range(cutoff + 1, depth + 1):
+            codes = segment_codes >> (depth - level)
+            occupied, weights = np.unique(codes, return_counts=True)
+            sketch = self._sketches[level]
+            if level <= 59:
+                keys = occupied.astype(np.uint64) | (np.uint64(1) << np.uint64(level))
+                sketch.update_batch(keys, weights.astype(float))
+            else:
+                sketch.update_many(
+                    [_cell_of(level, int(code)) for code in occupied],
+                    weights.astype(float),
+                )
 
     def process(self, stream: Iterable) -> "PrivHP":
         """Process an entire stream item by item (single pass).

@@ -13,6 +13,8 @@ baselines (PMM, PrivTree) can reuse it unchanged.
 
 from __future__ import annotations
 
+import functools
+import itertools
 from collections.abc import Iterator
 
 from repro.domain.base import Cell, validate_cell
@@ -20,12 +22,15 @@ from repro.domain.base import Cell, validate_cell
 __all__ = ["PartitionTree", "cell_at"]
 
 
+@functools.lru_cache(maxsize=131072)
 def cell_at(level: int, code: int) -> Cell:
     """The bit tuple of the ``code``-th cell at ``level`` (big-endian order).
 
     Inverse of :meth:`repro.domain.base.Domain.pack_paths` for a single code;
     the batched ingestion paths use it to translate ``bincount`` indices back
-    into tree cells.
+    into tree cells.  Cells are immutable and the same few cells recur on
+    every batch of every stream, so the translation is memoised (bounded)
+    rather than rebuilt tuple-by-tuple on each call.
     """
     return tuple((code >> (level - 1 - position)) & 1 for position in range(level))
 
@@ -45,15 +50,11 @@ class PartitionTree:
         if depth < 0:
             raise ValueError(f"depth must be non-negative, got {depth}")
         tree = cls()
-        tree.add_node((), initial_count)
-        frontier: list[Cell] = [()]
-        for _ in range(depth):
-            next_frontier: list[Cell] = []
-            for theta in frontier:
-                for child in (theta + (0,), theta + (1,)):
-                    tree.add_node(child, initial_count)
-                    next_frontier.append(child)
-            frontier = next_frontier
+        counts = tree._counts
+        value = float(initial_count)
+        for level in range(depth + 1):
+            for theta in itertools.product((0, 1), repeat=level):
+                counts[theta] = value
         return tree
 
     def add_node(self, theta: Cell, count: float = 0.0) -> None:

@@ -18,11 +18,17 @@ for a 100-tenant end-to-end run.
 
 from repro.ingest.accounting import MemoryLedger, TenantBudgetRegistry
 from repro.ingest.intake import RateLimiter, ingest_file, iter_append_records, watch_directory
-from repro.ingest.partition import AppendError, IngestWorker, partition_of
+from repro.ingest.partition import (
+    DEFAULT_REPLY_TIMEOUT,
+    AppendError,
+    IngestWorker,
+    partition_of,
+)
 from repro.ingest.service import IngestService, LiveTenantHandle
 from repro.ingest.spec import TenantSpec, load_tenant_specs, save_tenant_spec
 
 __all__ = [
+    "DEFAULT_REPLY_TIMEOUT",
     "AppendError",
     "IngestService",
     "IngestWorker",

@@ -11,10 +11,21 @@ Two ledgers keep the ingestion service honest:
   exists, and the summarizer's own internal accountant then guards the
   per-level split as before.
 * :class:`MemoryLedger` tracks the words each resident summarizer holds
-  (via :func:`repro.memory.accounting.measure_method`, which understands
-  both one-shot and continual summarizers) plus a recency order, which is
-  what the worker's LRU eviction of cold tenants to checkpoint files runs
-  on.  One ledger per worker -- workers share no mutable state.
+  plus a recency order, which is what the worker's eviction of cold tenants
+  to checkpoint files runs on.  Accounting is *amortized*: an exact
+  measurement (via :func:`repro.memory.accounting.measure_method`, which
+  understands both one-shot and continual summarizers) is taken when a
+  tenant first becomes resident and then only every ``measure_interval``
+  touches or on eviction decisions; between exact points the ledger
+  extrapolates with the per-touch word slope observed between the last two
+  measurements.  One-shot summarizers have constant resident size during
+  ingestion (slope 0 -- the tree only grows at release), and continual
+  banks grow by O(log horizon) words per event, so the estimate stays
+  within the tolerance contract asserted in the tests: between exact
+  measurements the per-tenant error is bounded by ``measure_interval``
+  times the change in per-touch growth rate, and it resets to zero at
+  every exact point.  One ledger per worker -- workers share no mutable
+  state.
 """
 
 from __future__ import annotations
@@ -107,61 +118,140 @@ class TenantBudgetRegistry:
             }
 
 
+#: Exact re-measure cadence: one full ``measure_method`` walk per this many
+#: touches of a tenant; every touch in between costs O(1).
+DEFAULT_MEASURE_INTERVAL = 16
+
+
 class MemoryLedger:
-    """Word counts plus recency for one worker's resident tenants.
+    """Amortized word accounting plus recency for one worker's tenants.
 
     Not thread-safe by design: exactly one worker owns a ledger, the same
     way it exclusively owns its partition of tenants.
 
+    The protocol: :meth:`touch` bumps a tenant's recency and extrapolates
+    its word estimate from the last observed per-touch slope, returning
+    ``True`` whenever an exact measurement is due (first sighting, or every
+    ``measure_interval`` touches); the caller then measures the summarizer
+    and feeds the result to :meth:`record_exact`, which re-anchors the
+    estimate and refreshes the slope.  ``total_words`` is maintained
+    incrementally, so the budget check on the append hot path is O(1)
+    instead of a sum over every resident tenant.
+
     Example:
-        >>> ledger = MemoryLedger()
-        >>> ledger.touch("a", words=100)
-        >>> ledger.touch("b", words=200)
-        >>> ledger.touch("a", words=150)
-        >>> ledger.total_words
-        350
-        >>> ledger.eviction_order(protect="a")   # coldest first, "a" protected
-        ['b']
-        >>> ledger.drop("b")
-        200
-        >>> ledger.total_words
-        150
+        >>> ledger = MemoryLedger(measure_interval=2)
+        >>> ledger.touch("a")       # unknown tenant: exact measure due
+        True
+        >>> ledger.record_exact("a", 100)
+        >>> ledger.touch("a")       # 1 touch since anchor: estimate only
+        False
+        >>> ledger.touch("a")       # interval reached: exact measure due
+        True
+        >>> ledger.record_exact("a", 140)    # slope becomes 20 words/touch
+        >>> ledger.touch("a")
+        False
+        >>> ledger.words_of("a"), ledger.total_words
+        (160, 160)
+        >>> ledger.drop("a")
+        160
     """
 
-    def __init__(self) -> None:
-        self._words: dict[str, int] = {}
+    def __init__(self, measure_interval: int = DEFAULT_MEASURE_INTERVAL) -> None:
+        if measure_interval < 1:
+            raise ValueError(f"measure_interval must be >= 1, got {measure_interval}")
+        self.measure_interval = int(measure_interval)
+        self._words: dict[str, float] = {}
+        self._exact_words: dict[str, int] = {}
+        self._slope: dict[str, float] = {}
+        self._touches_since: dict[str, int] = {}
         self._last_touch: dict[str, int] = {}
         self._clock = 0
+        self._total = 0.0
 
-    def touch(self, tenant_id: str, words: int) -> None:
-        """Record the tenant's current word count and bump its recency."""
+    def _set_estimate(self, tenant_id: str, words: float) -> None:
+        self._total += words - self._words.get(tenant_id, 0.0)
+        self._words[tenant_id] = words
+
+    def touch(self, tenant_id: str) -> bool:
+        """Bump recency, extrapolate the estimate; True when an exact
+        measurement is due from the caller (via :meth:`record_exact`)."""
         self._clock += 1
-        self._words[tenant_id] = int(words)
         self._last_touch[tenant_id] = self._clock
+        if tenant_id not in self._exact_words:
+            return True
+        touches = self._touches_since[tenant_id] + 1
+        self._touches_since[tenant_id] = touches
+        slope = self._slope.get(tenant_id, 0.0)
+        if slope:
+            self._set_estimate(tenant_id, self._words[tenant_id] + slope)
+        return touches >= self.measure_interval
+
+    def record_exact(self, tenant_id: str, words: int) -> None:
+        """Anchor a tenant at an exactly measured word count.
+
+        The per-touch slope is refreshed from the delta since the previous
+        anchor, so growth-rate changes are picked up within one interval.
+        """
+        words = int(words)
+        previous = self._exact_words.get(tenant_id)
+        touches = self._touches_since.get(tenant_id, 0)
+        if previous is not None and touches > 0:
+            self._slope[tenant_id] = max(0.0, (words - previous) / touches)
+        self._exact_words[tenant_id] = words
+        self._touches_since[tenant_id] = 0
+        self._set_estimate(tenant_id, float(words))
+        if tenant_id not in self._last_touch:
+            self._clock += 1
+            self._last_touch[tenant_id] = self._clock
 
     def drop(self, tenant_id: str) -> int:
         """Forget a tenant (evicted or released); returns the words freed."""
         self._last_touch.pop(tenant_id, None)
-        return self._words.pop(tenant_id, 0)
+        self._exact_words.pop(tenant_id, None)
+        self._slope.pop(tenant_id, None)
+        self._touches_since.pop(tenant_id, None)
+        freed = self._words.pop(tenant_id, 0.0)
+        self._total -= freed
+        return int(round(freed))
 
     @property
     def total_words(self) -> int:
-        """Words held by every resident tenant together."""
-        return int(sum(self._words.values()))
+        """Estimated words held by every resident tenant together (O(1))."""
+        return int(round(self._total))
 
     def words_of(self, tenant_id: str) -> int:
-        """Last recorded word count of one tenant (0 when not resident)."""
-        return self._words.get(tenant_id, 0)
+        """Current word estimate of one tenant (0 when not resident)."""
+        return int(round(self._words.get(tenant_id, 0.0)))
+
+    def exact_words_of(self, tenant_id: str) -> int | None:
+        """The last exactly measured word count (None before any anchor)."""
+        return self._exact_words.get(tenant_id)
+
+    def staleness_of(self, tenant_id: str) -> int:
+        """Touches of *other* tenants since this one was last touched."""
+        return self._clock - self._last_touch[tenant_id]
 
     def resident(self) -> list[str]:
         """Ids of every tenant the ledger currently tracks."""
         return list(self._words)
 
     def eviction_order(self, protect: str | None = None) -> list[str]:
-        """Tenants coldest-first, excluding ``protect`` (the one just touched).
+        """Cost-aware eviction order, best candidate first.
 
-        The eviction loop walks this order until the worker is back under
-        its word budget.
+        Candidates are ranked by ``coldness x resident words`` (descending),
+        where coldness is the number of ledger touches since the tenant was
+        last touched: one big cold tenant frees the budget in one eviction
+        where pure LRU would churn through many small warm ones.  Ties break
+        coldest-first then by tenant id, so the order is deterministic; when
+        all tenants are the same size the policy degenerates to exactly LRU.
+        ``protect`` (the tenant just touched) is excluded.
         """
         candidates = [tenant for tenant in self._words if tenant != protect]
-        return sorted(candidates, key=lambda tenant: self._last_touch[tenant])
+        return sorted(
+            candidates,
+            key=lambda tenant: (
+                -(self._clock - self._last_touch[tenant]) * self._words[tenant],
+                self._last_touch[tenant],
+                tenant,
+            ),
+        )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import threading
 import time
 
 import numpy as np
@@ -62,19 +63,23 @@ class RateLimiter:
         self._clock = clock if clock is not None else time.monotonic
         #: Per-tenant bucket state: (tokens, last refill time).
         self._buckets: dict[str, tuple[float, float]] = {}
+        self._lock = threading.Lock()
 
     def throttle(self, tenant_id: str, items: int) -> float:
         """Consume ``items`` tokens; return the wait (seconds) this incurs.
 
         The bucket may go negative -- the deficit is the wait -- so a batch
         larger than the burst is admitted after a proportional delay rather
-        than rejected.
+        than rejected.  Safe under concurrent callers: the read-modify-write
+        of a bucket is atomic, so no consumed token is ever lost to a racing
+        thread's stale read.
         """
-        now = self._clock()
-        tokens, stamp = self._buckets.get(tenant_id, (float(self.burst), now))
-        tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
-        tokens -= items
-        self._buckets[tenant_id] = (tokens, now)
+        with self._lock:
+            now = self._clock()
+            tokens, stamp = self._buckets.get(tenant_id, (float(self.burst), now))
+            tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
+            tokens -= items
+            self._buckets[tenant_id] = (tokens, now)
         if tokens >= 0:
             return 0.0
         return -tokens / self.rate

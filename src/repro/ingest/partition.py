@@ -11,14 +11,25 @@ per-tenant processing is strictly ordered and deterministic: replaying the
 same per-tenant append sequence yields byte-identical releases no matter
 how many workers the service runs or what the other tenants do.
 
-Each worker also runs its own word-budget bookkeeping: after every touch it
-re-measures the tenant (honest word counts via
-:func:`repro.memory.accounting.measure_method`) and, when its partition
-exceeds its share of the service's memory budget, evicts the
-least-recently-touched tenants to checkpoint files through the shared
-``repro.io`` envelope.  An evicted tenant is restored transparently -- and
-byte-for-byte, the checkpoint carries the exact RNG state -- on its next
-touch.
+The inbox is drained in *batches*: each wakeup takes every queued message,
+coalesces consecutive appends into one per-tenant plan (first-touch order,
+never across a non-append message, so cross-op ordering is preserved) and
+lands each tenant's run of appends with a single ``coerce_stream`` plus one
+:meth:`update_segments` call -- byte-identical to applying the appends one
+by one, because the segment boundaries (and with them the float summation
+order and the continual event axis) are preserved.
+
+Each worker also runs its own word-budget bookkeeping, amortized through
+the :class:`repro.ingest.accounting.MemoryLedger`: exact ``measure_method``
+walks happen on first residency, on snapshots, every ``measure_interval``
+touches and on eviction decisions; every other touch extrapolates in O(1).
+When its partition exceeds its share of the service's memory budget, the
+worker evicts tenants cost-aware (coldness x resident words) by handing
+the summarizer to the service's shared
+:class:`repro.io.checkpoint_writer.CheckpointWriter`, which persists it in
+the background.  An evicted tenant is restored transparently -- and
+byte-for-byte -- on its next touch, either by reclaiming the still-pending
+object from the writer or by loading the checkpoint file.
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ import threading
 
 import numpy as np
 
-from repro.ingest.accounting import MemoryLedger
+from repro.ingest.accounting import DEFAULT_MEASURE_INTERVAL, MemoryLedger
 from repro.ingest.spec import TenantSpec
 from repro.io.serialization import load_checkpoint, save_checkpoint
 from repro.memory.accounting import measure_method
@@ -157,15 +168,24 @@ class IngestWorker(threading.Thread):
         on_live_event=None,
         counters: dict | None = None,
         checkpoint_format: str = "binary",
+        checkpoint_writer=None,
+        reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+        measure_interval: int = DEFAULT_MEASURE_INTERVAL,
     ) -> None:
         super().__init__(name=f"ingest-worker-{index}", daemon=True)
         if checkpoint_format not in ("binary", "json"):
             raise ValueError(
                 f"checkpoint_format must be 'binary' or 'json', got {checkpoint_format!r}"
             )
+        if reply_timeout <= 0:
+            raise ValueError(f"reply_timeout must be positive, got {reply_timeout}")
         self.index = index
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_format = checkpoint_format
+        #: Shared service-level async writer; ``None`` falls back to
+        #: synchronous ``save_checkpoint`` on the worker thread.
+        self._writer = checkpoint_writer
+        self.reply_timeout = float(reply_timeout)
         self.memory_budget_words = memory_budget_words
         self.inbox: queue.Queue = queue.Queue(maxsize=queue_size)
         #: ``(tenant_id, kind)`` live-serving callback (kind in
@@ -177,12 +197,13 @@ class IngestWorker(threading.Thread):
         self._specs: dict[str, TenantSpec] = {}
         self._residents: dict[str, _Resident] = {}
         self._released: set[str] = set()
-        self._ledger = MemoryLedger()
+        self._ledger = MemoryLedger(measure_interval=measure_interval)
         self._failures: list[tuple[str, str]] = []
         self.evictions = 0
         self.restores = 0
         self.items_ingested = 0
         self.appends = 0
+        self.exact_measures = 0
 
     # ------------------------------------------------------------------ #
     # message API (called from the service / caller threads)
@@ -192,25 +213,61 @@ class IngestWorker(threading.Thread):
         which is the service's backpressure)."""
         self.inbox.put((op, None, payload))
 
-    def request(self, op: str, *payload, timeout: float = DEFAULT_REPLY_TIMEOUT):
+    def request(self, op: str, *payload, timeout: float | None = None):
         """Enqueue a message carrying a :class:`ReplyBox` and wait for it."""
         box = ReplyBox()
         self.inbox.put((op, box, payload))
-        return box.wait(timeout)
+        return box.wait(self.reply_timeout if timeout is None else timeout)
 
-    def stop(self, timeout: float = DEFAULT_REPLY_TIMEOUT) -> None:
+    def stop(self, timeout: float | None = None) -> None:
         """Stop the loop after the already-queued messages and join."""
         self.inbox.put(("stop", None, ()))
-        self.join(timeout)
+        self.join(self.reply_timeout if timeout is None else timeout)
 
     # ------------------------------------------------------------------ #
     # worker loop (everything below runs only on the worker thread)
     # ------------------------------------------------------------------ #
     def run(self) -> None:  # pragma: no cover - exercised via the service tests
         while True:
-            op, box, payload = self.inbox.get()
-            if op == "stop":
+            messages = [self.inbox.get()]
+            # Drain the whole inbox in one wakeup so appends queued behind
+            # each other can be coalesced per tenant.
+            while True:
+                try:
+                    messages.append(self.inbox.get_nowait())
+                except queue.Empty:
+                    break
+            if self._process(messages):
                 break
+
+    def _process(self, messages) -> bool:
+        """Handle one drained inbox batch; True when a ``stop`` was seen.
+
+        Consecutive append messages are folded into one per-tenant plan and
+        applied (in first-touch tenant order) before any other op, so every
+        message still observes exactly the state the FIFO order implies.
+        """
+        pending: dict[str, list] = {}
+
+        def apply_pending() -> None:
+            for tenant_id, arrays in pending.items():
+                try:
+                    self._apply_tenant(tenant_id, arrays)
+                except BaseException as error:  # noqa: BLE001 - surfaced at flush
+                    self._failures.append((tenant_id, f"{type(error).__name__}: {error}"))
+            pending.clear()
+
+        for op, box, payload in messages:
+            if op == "append":
+                pending.setdefault(str(payload[0]), []).append(payload[1])
+                continue
+            if op == "append_many":
+                for tenant_id, arrays in payload[0]:
+                    pending.setdefault(str(tenant_id), []).extend(arrays)
+                continue
+            apply_pending()
+            if op == "stop":
+                return True
             try:
                 result = self._dispatch(op, payload)
             except BaseException as error:  # noqa: BLE001 - forwarded, not dropped
@@ -222,10 +279,10 @@ class IngestWorker(threading.Thread):
                 continue
             if box is not None:
                 box.resolve(result)
+        apply_pending()
+        return False
 
     def _dispatch(self, op: str, payload):
-        if op == "append":
-            return self._op_append(*payload)
         if op == "register":
             return self._op_register(*payload)
         if op == "snapshot":
@@ -238,6 +295,8 @@ class IngestWorker(threading.Thread):
             return self._stats()
         if op == "drain":
             return self._op_drain()
+        if op == "audit":
+            return self._op_audit()
         raise ValueError(f"unknown worker op {op!r}")
 
     def _checkpoint_path(self, tenant_id: str):
@@ -274,19 +333,28 @@ class IngestWorker(threading.Thread):
             raise RuntimeError(
                 f"tenant {tenant_id!r} has been released; its stream is sealed"
             )
-        path = self._existing_checkpoint(tenant_id)
-        if path is not None:
-            summarizer = load_checkpoint(path)
-            self.restores += 1
-        else:
-            summarizer = spec.build_summarizer()
+        summarizer = None
+        if self._writer is not None:
+            # A pending (or in-flight) eviction write holds the newest state;
+            # reclaiming it skips both the write and the disk round trip.
+            summarizer = self._writer.take_back(tenant_id, timeout=self.reply_timeout)
+            if summarizer is not None:
+                self.restores += 1
+        if summarizer is None:
+            path = self._existing_checkpoint(tenant_id)
+            if path is not None:
+                summarizer = load_checkpoint(path)
+                self.restores += 1
+            else:
+                summarizer = spec.build_summarizer()
         state = _Resident(summarizer, spec.make_domain())
         self._residents[tenant_id] = state
-        self._measure(tenant_id, state)
+        self._measure_exact(tenant_id, state)
         return state
 
-    def _measure(self, tenant_id: str, state: _Resident) -> None:
-        self._ledger.touch(tenant_id, measure_method(state.summarizer).total_words)
+    def _measure_exact(self, tenant_id: str, state: _Resident) -> None:
+        self.exact_measures += 1
+        self._ledger.record_exact(tenant_id, measure_method(state.summarizer).total_words)
 
     def _maybe_announce(self, tenant_id: str, state: _Resident) -> None:
         if state.announced or state.summarizer.items_processed == 0:
@@ -300,17 +368,57 @@ class IngestWorker(threading.Thread):
         # first touch, so registering thousands of tenants is O(1) each.
         self._specs[spec.tenant_id] = spec
 
-    def _op_append(self, tenant_id: str, values) -> int:
+    def _apply_tenant(self, tenant_id: str, arrays) -> int:
+        """Land one drained run of appends for a tenant in a single pass.
+
+        The segment structure of the original ``append`` calls is preserved
+        (each array is one segment), so the summarizer state -- float
+        summation order, continual event axis -- is byte-identical to the
+        uncoalesced path; only the per-batch fixed costs (message, coerce,
+        locate, measure) are amortized across the run.
+        """
         state = self._resident(tenant_id)
-        stream = state.domain.coerce_stream(np.asarray(values))
-        state.summarizer.update_batch(stream)
+        segments = [np.asarray(values) for values in arrays]
+        applied_before = int(state.summarizer.items_processed)
+        try:
+            if len(segments) == 1:
+                stream = state.domain.coerce_stream(segments[0])
+                state.summarizer.update_batch(stream)
+            else:
+                # coerce_stream is elementwise, so coercing the concatenation
+                # equals concatenating the coerced segments.
+                stream = state.domain.coerce_stream(np.concatenate(segments))
+                state.summarizer.update_segments(
+                    stream, [len(segment) for segment in segments]
+                )
+            self.items_ingested += len(stream)
+            self.appends += len(segments)
+        except BaseException:
+            landed = int(state.summarizer.items_processed) - applied_before
+            if landed or len(segments) == 1:
+                # Part of the run is already in (only possible between
+                # continual segments); replaying would double-apply, so
+                # surface the whole run as one failure.
+                self.items_ingested += landed
+                raise
+            # Nothing landed (coercion/concatenation/location failed up
+            # front): replay segment by segment so the good batches go
+            # through exactly as they would have uncoalesced and only the
+            # bad ones surface at flush().
+            for segment in segments:
+                try:
+                    stream = state.domain.coerce_stream(segment)
+                    state.summarizer.update_batch(stream)
+                    self.items_ingested += len(stream)
+                    self.appends += 1
+                except BaseException as error:  # noqa: BLE001 - surfaced at flush
+                    self._failures.append((tenant_id, f"{type(error).__name__}: {error}"))
         items = int(state.summarizer.items_processed)
         counter = self._counters.get(tenant_id)
         if counter is not None:
             counter.value = items
-        self.items_ingested += len(stream)
-        self.appends += 1
-        self._measure(tenant_id, state)
+        if self._ledger.touch(tenant_id):
+            self._measure_exact(tenant_id, state)
         self._maybe_announce(tenant_id, state)
         self._enforce_memory_budget(protect=tenant_id)
         return items
@@ -323,7 +431,8 @@ class IngestWorker(threading.Thread):
                 "mid-stream snapshot; release() it instead (or register it "
                 "as continual)"
             )
-        self._measure(tenant_id, state)
+        self._ledger.touch(tenant_id)
+        self._measure_exact(tenant_id, state)
         return state.summarizer.snapshot(sampling_seed=sampling_seed)
 
     def _op_release(self, tenant_id: str):
@@ -364,7 +473,15 @@ class IngestWorker(threading.Thread):
                 "the service with checkpoint_dir=..."
             )
         state = self._residents.pop(tenant_id)
-        save_checkpoint(state.summarizer, path, format=self.checkpoint_format)
+        if self._writer is not None:
+            # Hand the summarizer to the background writer and return; the
+            # worker drops its reference, so the writer is the sole owner
+            # until the write lands or the tenant is restored via take_back.
+            self._writer.submit(
+                tenant_id, state.summarizer, path, format=self.checkpoint_format
+            )
+        else:
+            save_checkpoint(state.summarizer, path, format=self.checkpoint_format)
         self._ledger.drop(tenant_id)
         self.evictions += 1
         if self._specs[tenant_id].continual:
@@ -372,12 +489,35 @@ class IngestWorker(threading.Thread):
 
     def _enforce_memory_budget(self, protect: str) -> None:
         budget = self.memory_budget_words
-        if budget is None:
+        if budget is None or self._ledger.total_words <= budget:
             return
         for tenant_id in self._ledger.eviction_order(protect=protect):
             if self._ledger.total_words <= budget:
                 return
+            # Eviction decisions run on exact numbers: re-anchor the
+            # candidate before evicting so an over-estimate alone never
+            # pushes a tenant out.
+            state = self._residents.get(tenant_id)
+            if state is not None:
+                self._measure_exact(tenant_id, state)
+                if self._ledger.total_words <= budget:
+                    return
             self._evict(tenant_id)
+
+    def _op_audit(self) -> list:
+        """Ledger-estimate vs exact words per resident tenant (diagnostics).
+
+        Returns ``(tenant_id, estimated, exact)`` rows *before* re-anchoring
+        the ledger at the exact values, so callers (and the tolerance tests)
+        observe the drift the amortization actually produced.
+        """
+        rows = []
+        for tenant_id, state in self._residents.items():
+            estimated = self._ledger.words_of(tenant_id)
+            exact = measure_method(state.summarizer).total_words
+            rows.append((tenant_id, estimated, int(exact)))
+            self._ledger.record_exact(tenant_id, exact)
+        return rows
 
     def _stats(self) -> dict:
         failures, self._failures = self._failures, []
@@ -391,5 +531,6 @@ class IngestWorker(threading.Thread):
             "restores": self.restores,
             "items_ingested": self.items_ingested,
             "appends": self.appends,
+            "exact_measures": self.exact_measures,
             "failures": failures,
         }

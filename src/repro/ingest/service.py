@@ -10,14 +10,27 @@ identical to an in-process run of the same batches.
 
 What the service adds on top of the workers:
 
+* **append coalescing** -- :meth:`IngestService.append` stages batches in
+  per-worker buffers and ships one ``append_many`` inbox message carrying
+  many tenants' arrays once the buffer exceeds ``staging_items`` /
+  ``staging_bytes`` (or when the background flusher's ``flush_interval``
+  timer fires, or when any synchronising call -- ``flush``, ``release``,
+  ``snapshot``, ``evict``, ``stats``, ``close`` -- needs the staged data
+  applied first).  Batches keep their identity end to end: each original
+  append is one segment of the shipped message, so the owning worker lands
+  them with the segment boundaries -- and therefore the float summation
+  order and the continual event axis -- intact, and releases stay
+  byte-identical to the uncoalesced path;
 * **admission accounting** -- every tenant passes the
   :class:`~repro.ingest.accounting.TenantBudgetRegistry` before a
   summarizer exists, enforcing per-tenant ``max_epsilon`` caps and an
   optional service-wide epsilon budget on top of each summarizer's own
   per-level accountant;
 * **bounded memory** -- a service-wide word budget is split evenly across
-  workers, each evicting its least-recently-touched tenants to checkpoint
-  files (restored transparently and byte-identically on next touch);
+  workers, each evicting its coldest-by-cost tenants (coldness x resident
+  words) to checkpoint files through a shared asynchronous
+  :class:`~repro.io.checkpoint_writer.CheckpointWriter` (restored
+  transparently and byte-identically on next touch);
 * **live serving** -- given a :class:`~repro.serve.store.ReleaseStore`,
   every *continual* tenant is registered for live snapshot serving the
   moment it has data, unregistered on eviction or release (a dead
@@ -40,9 +53,17 @@ from __future__ import annotations
 import pathlib
 import threading
 
-from repro.ingest.partition import AppendError, IngestWorker, partition_of
-from repro.ingest.accounting import TenantBudgetRegistry
+import numpy as np
+
+from repro.ingest.accounting import DEFAULT_MEASURE_INTERVAL, TenantBudgetRegistry
+from repro.ingest.partition import (
+    DEFAULT_REPLY_TIMEOUT,
+    AppendError,
+    IngestWorker,
+    partition_of,
+)
 from repro.ingest.spec import TenantSpec
+from repro.io.checkpoint_writer import CheckpointWriter
 
 __all__ = ["IngestService", "LiveTenantHandle"]
 
@@ -54,6 +75,23 @@ class _ItemCounter:
 
     def __init__(self) -> None:
         self.value = 0
+
+
+class _StagingBuffer:
+    """Per-worker append staging: batches coalesce here before shipping.
+
+    Guarded by its own lock so appenders targeting different workers never
+    contend; per-tenant batch lists keep insertion order, which is exactly
+    the per-tenant append order the determinism contract preserves.
+    """
+
+    __slots__ = ("lock", "batches", "items", "nbytes")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.batches: dict[str, list] = {}
+        self.items = 0
+        self.nbytes = 0
 
 
 class LiveTenantHandle:
@@ -124,7 +162,23 @@ class IngestService:
     service_epsilon_budget:
         Optional cap on the summed epsilon across every admitted tenant.
     queue_size:
-        Inbox size per worker; a full inbox blocks ``append`` (backpressure).
+        Inbox size per worker; a full inbox blocks the staged-batch shipping
+        inside ``append`` (backpressure).
+    staging_items / staging_bytes:
+        Per-worker staging bounds: once a worker's staged batches exceed
+        either, ``append`` ships them as one coalesced inbox message.
+    flush_interval:
+        Seconds between background ships of whatever is staged (bounds the
+        latency of a trickling tenant; ``None`` disables the timer and
+        leaves shipping to the bounds and the synchronising calls).
+    reply_timeout:
+        Seconds callers wait for a worker reply (``flush``, ``release``,
+        ...) before raising ``TimeoutError``; a deep coalesced queue under
+        heavy load can legitimately need more than the default 60 s.
+    measure_interval:
+        Exact memory re-measure cadence of the amortized accounting: one
+        full ``measure_method`` walk per tenant per this many touches
+        (plus always on first residency, snapshots and eviction decisions).
 
     Example:
         >>> import numpy as np
@@ -150,6 +204,11 @@ class IngestService:
         service_epsilon_budget: float | None = None,
         queue_size: int = 4096,
         checkpoint_format: str = "binary",
+        staging_items: int = 2048,
+        staging_bytes: int = 1 << 20,
+        flush_interval: float | None = 0.05,
+        reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+        measure_interval: int = DEFAULT_MEASURE_INTERVAL,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -165,6 +224,16 @@ class IngestService:
             raise ValueError(
                 "a memory budget needs a checkpoint_dir to evict cold tenants to"
             )
+        if staging_items < 1:
+            raise ValueError(f"staging_items must be >= 1, got {staging_items}")
+        if staging_bytes < 1:
+            raise ValueError(f"staging_bytes must be >= 1, got {staging_bytes}")
+        if flush_interval is not None and flush_interval <= 0:
+            raise ValueError(
+                f"flush_interval must be positive (or None to disable), got {flush_interval}"
+            )
+        if reply_timeout <= 0:
+            raise ValueError(f"reply_timeout must be positive, got {reply_timeout}")
         self.checkpoint_dir = (
             pathlib.Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
@@ -172,10 +241,17 @@ class IngestService:
             self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         self.store = store
         self.budget_registry = TenantBudgetRegistry(service_budget=service_epsilon_budget)
+        self.staging_items = int(staging_items)
+        self.staging_bytes = int(staging_bytes)
+        self.flush_interval = flush_interval
+        self.reply_timeout = float(reply_timeout)
         self._specs: dict[str, TenantSpec] = {}
         self._counters: dict[str, _ItemCounter] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._writer = (
+            CheckpointWriter() if self.checkpoint_dir is not None else None
+        )
         per_worker_budget = (
             None if memory_budget_words is None else max(1, memory_budget_words // workers)
         )
@@ -188,11 +264,22 @@ class IngestService:
                 on_live_event=self._on_live_event,
                 counters=self._counters,
                 checkpoint_format=checkpoint_format,
+                checkpoint_writer=self._writer,
+                reply_timeout=self.reply_timeout,
+                measure_interval=measure_interval,
             )
             for index in range(workers)
         ]
+        self._stages = [_StagingBuffer() for _ in self._workers]
         for worker in self._workers:
             worker.start()
+        self._flusher_stop = threading.Event()
+        self._flusher = None
+        if self.flush_interval is not None:
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="ingest-flusher", daemon=True
+            )
+            self._flusher.start()
         if specs is not None:
             entries = specs.values() if hasattr(specs, "values") else specs
             for spec in entries:
@@ -252,32 +339,109 @@ class IngestService:
     # data path
     # ------------------------------------------------------------------ #
     def append(self, tenant_id: str, values) -> None:
-        """Route one batch of stream items to the tenant's worker.
+        """Stage one batch of stream items for the tenant's worker.
 
-        Fire-and-forget: the call returns once the batch is enqueued (it
-        blocks only when the worker's inbox is full).  Per-tenant ordering
-        is the caller's append order; failures (horizon exhausted, bad
-        values) surface on the next :meth:`flush`.
+        Fire-and-forget: the batch lands in the worker's staging buffer and
+        ships -- coalesced with other tenants' batches into one inbox
+        message -- once the buffer exceeds ``staging_items`` or
+        ``staging_bytes`` (the call blocks only when that ship hits a full
+        inbox, which is the backpressure).  Whatever stays staged is shipped
+        by the ``flush_interval`` timer or the next synchronising call.
+        Per-tenant ordering is the caller's append order; failures (horizon
+        exhausted, bad values) surface on the next :meth:`flush`.
         """
         self._check_open()
         self._require_tenant(tenant_id)
-        self._worker_for(tenant_id).send("append", tenant_id, values)
+        batch = np.asarray(values)
+        index = partition_of(tenant_id, len(self._workers))
+        stage = self._stages[index]
+        with stage.lock:
+            stage.batches.setdefault(tenant_id, []).append(batch)
+            stage.items += int(batch.shape[0]) if batch.ndim else 1
+            stage.nbytes += int(batch.nbytes)
+            if stage.items >= self.staging_items or stage.nbytes >= self.staging_bytes:
+                self._ship_locked(index, stage)
+
+    def _ship_locked(self, index: int, stage: _StagingBuffer) -> None:
+        """Ship a worker's staged batches as one message (stage.lock held).
+
+        Shipping under the lock keeps the per-tenant order airtight: no
+        append can slip between taking the staged batches and enqueueing
+        them, so the inbox sees batches in exactly the caller's order.
+        """
+        if not stage.batches:
+            return
+        message = list(stage.batches.items())
+        stage.batches = {}
+        stage.items = 0
+        stage.nbytes = 0
+        self._workers[index].send("append_many", message)
+
+    def _ship_worker(self, index: int) -> None:
+        stage = self._stages[index]
+        with stage.lock:
+            self._ship_locked(index, stage)
+
+    def _ship_all(self) -> None:
+        for index in range(len(self._workers)):
+            self._ship_worker(index)
+
+    def _flush_loop(self) -> None:  # pragma: no cover - timing-dependent
+        while not self._flusher_stop.wait(self.flush_interval):
+            try:
+                self._ship_all()
+            except Exception:
+                # A dead worker's full inbox surfaces through the
+                # synchronous paths; the timer must keep running.
+                pass
 
     def flush(self, raise_on_failure: bool = True) -> dict:
-        """Wait until every queued message is processed; surface failures.
+        """Ship and apply everything staged and queued; surface failures.
 
-        Returns the aggregated worker stats (same shape as :meth:`stats`).
-        With ``raise_on_failure`` (the default), any append that failed
-        since the last flush raises an
-        :class:`~repro.ingest.partition.AppendError` listing every
-        ``(tenant, message)`` pair.
+        Observes every staged-but-unshipped buffer (they are shipped first),
+        waits until each worker has processed its whole inbox, and returns
+        the aggregated worker stats (same shape as :meth:`stats`).  With
+        ``raise_on_failure`` (the default), any append that failed since
+        the last flush -- including background checkpoint-write failures --
+        raises an :class:`~repro.ingest.partition.AppendError` listing
+        every ``(tenant, message)`` pair.
         """
         self._check_open()
+        self._ship_all()
         rows = [worker.request("sync") for worker in self._workers]
         stats = self._combine(rows)
+        if self._writer is not None:
+            # flush() is the settlement point: every eviction the appends
+            # above triggered must be durable before the stats report it.
+            self._writer.drain(timeout=self.reply_timeout)
+            stats["failures"].extend(
+                (tenant, f"checkpoint write failed: {message}")
+                for tenant, message in self._writer.pop_errors()
+            )
+            stats["checkpoint"] = {
+                "writes": self._writer.writes,
+                "skipped_writes": self._writer.skipped_writes,
+                "take_backs": self._writer.take_backs,
+                "pending": self._writer.pending_count,
+            }
         if raise_on_failure and stats["failures"]:
             raise AppendError(stats["failures"])
         return stats
+
+    def audit_memory(self) -> list:
+        """Ledger-estimate vs exact words for every resident tenant.
+
+        Flushes first, then asks each worker to measure every resident
+        summarizer exactly; returns ``(tenant_id, estimated, exact)`` rows
+        with the estimates as they stood *before* the audit re-anchored the
+        ledgers.  This is the amortized-accounting tolerance probe used by
+        the tests and the benchmark.
+        """
+        self._check_open()
+        self._ship_all()
+        return [
+            row for worker in self._workers for row in worker.request("audit")
+        ]
 
     def snapshot(self, tenant_id: str, sampling_seed: int | None = None):
         """A mid-stream Release of a continual tenant (post-processing only).
@@ -288,7 +452,9 @@ class IngestService:
         """
         self._check_open()
         self._require_tenant(tenant_id)
-        return self._worker_for(tenant_id).request("snapshot", tenant_id, sampling_seed)
+        index = partition_of(tenant_id, len(self._workers))
+        self._ship_worker(index)
+        return self._workers[index].request("snapshot", tenant_id, sampling_seed)
 
     def release(self, tenant_id: str):
         """Seal a tenant's stream and return its final Release.
@@ -300,7 +466,9 @@ class IngestService:
         """
         self._check_open()
         self._require_tenant(tenant_id)
-        release = self._worker_for(tenant_id).request("release", tenant_id)
+        index = partition_of(tenant_id, len(self._workers))
+        self._ship_worker(index)
+        release = self._workers[index].request("release", tenant_id)
         if self.store is not None:
             self.store.add(tenant_id, release)
         return release
@@ -314,7 +482,14 @@ class IngestService:
         """
         self._check_open()
         self._require_tenant(tenant_id)
-        return bool(self._worker_for(tenant_id).request("evict", tenant_id))
+        index = partition_of(tenant_id, len(self._workers))
+        self._ship_worker(index)
+        evicted = bool(self._workers[index].request("evict", tenant_id))
+        if evicted and self._writer is not None:
+            # Explicit eviction is a durability request: don't return until
+            # the background writer has landed this tenant's checkpoint.
+            self._writer.wait_for(tenant_id, timeout=self.reply_timeout)
+        return evicted
 
     # ------------------------------------------------------------------ #
     # live serving integration
@@ -342,6 +517,7 @@ class IngestService:
             "restores": sum(row["restores"] for row in rows),
             "items_ingested": sum(row["items_ingested"] for row in rows),
             "appends": sum(row["appends"] for row in rows),
+            "exact_measures": sum(row["exact_measures"] for row in rows),
             "failures": [failure for row in rows for failure in row["failures"]],
         }
         return combined
@@ -367,10 +543,18 @@ class IngestService:
         """
         if self._closed:
             return {"workers": 0, "closed": True}
+        self._flusher_stop.set()
+        if self._flusher is not None:
+            self._flusher.join(timeout=self.reply_timeout)
+        self._ship_all()
         rows = [worker.request("drain") for worker in self._workers]
         self._closed = True
         for worker in self._workers:
             worker.stop()
+        if self._writer is not None:
+            # Land every eviction checkpoint the drain handed over before
+            # reporting the service closed.
+            self._writer.close(timeout=self.reply_timeout)
         if self.store is not None:
             for tenant_id in list(self._specs):
                 self.store.unregister_live(tenant_id)

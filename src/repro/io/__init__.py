@@ -15,6 +15,7 @@ from repro.io.binary import (
     open_envelope,
     save_binary,
 )
+from repro.io.checkpoint_writer import CheckpointWriter
 from repro.io.serialization import (
     generator_from_dict,
     generator_to_dict,
@@ -27,6 +28,7 @@ from repro.io.serialization import (
 )
 
 __all__ = [
+    "CheckpointWriter",
     "convert_file",
     "detect_format",
     "generator_from_dict",
