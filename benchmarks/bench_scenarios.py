@@ -1,0 +1,155 @@
+"""Scenario-engine throughput: items/second and epochs/second materialised.
+
+The scenario engine (``repro.stream.scenarios``) sits on the experiment
+matrix's hot path -- every trajectory cell materialises its stream through
+it -- so generation must stay cheap relative to fitting.  This benchmark
+times three representative workloads (a parameter drift, a mixture shift,
+and a composed diurnal + flash-crowd overlay) and records items/second and
+epochs/second for each, plus the multi-tenant record path feeding
+``repro.ingest``.
+
+The smoke entry point (``python benchmarks/bench_scenarios.py --smoke``)
+merges the rows into ``BENCH_performance.json`` under ``"scenarios"``
+(preserving the other benchmark families) and enforces the acceptance gate:
+single-stream generation must sustain at least ``ITEMS_GATE`` items/second.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from bench_performance import merge_benchmark_result
+from repro.stream.scenarios import multi_tenant_records, scenario_from_dict
+
+#: Acceptance gate on single-stream materialisation.  The engine routinely
+#: sustains hundreds of thousands of items/second; the gate is set an order
+#: of magnitude below that so only real regressions (e.g. per-item Python
+#: loops creeping into the epoch samplers) trip it on slow CI runners.
+ITEMS_GATE = 50_000.0
+
+#: The benchmarked workloads: one per primitive family the nightly grid uses.
+WORKLOADS = {
+    "drift": {
+        "type": "drift",
+        "epochs": 8,
+        "start": {"name": "zipf", "params": {"exponent": 0.5}},
+        "end": {"name": "zipf", "params": {"exponent": 2.5}},
+    },
+    "mixture_shift": {
+        "type": "mixture_shift",
+        "epochs": 8,
+        "components": [
+            "uniform",
+            {"name": "sparse_cluster", "params": {"num_clusters": 2}},
+        ],
+        "start_weights": [1.0, 0.0],
+        "end_weights": [0.0, 1.0],
+    },
+    "overlay": {
+        "type": "compose",
+        "mode": "overlay",
+        "parts": [
+            {"type": "diurnal", "base": "uniform", "epochs": 12},
+            {
+                "type": "flash_crowd",
+                "base": "uniform",
+                "epochs": 12,
+                "burst_start": 4,
+                "burst_epochs": 3,
+                "burst_scale": 2.0,
+            },
+        ],
+    },
+}
+
+
+def measure_scenarios(size: int = 100_000, repeats: int = 3) -> dict:
+    """Time each workload; returns ``{name: row}`` benchmark rows."""
+    rows = {}
+    for name, spec in WORKLOADS.items():
+        scenario = scenario_from_dict(spec)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            stream = scenario.sample(size, rng=0)
+            best = min(best, time.perf_counter() - start)
+        assert len(stream) == size
+        rows[name] = {
+            "size": int(size),
+            "epochs": scenario.num_epochs,
+            "items_per_second": size / best,
+            "epochs_per_second": scenario.num_epochs / best,
+        }
+    return rows
+
+
+def measure_multi_tenant(
+    size_per_tenant: int = 20_000, tenants: int = 8, repeats: int = 3
+) -> dict:
+    """Time the tenant-tagged record path that feeds ``repro ingest``."""
+    scenario = scenario_from_dict(WORKLOADS["drift"])
+    ids = [f"tenant-{index}" for index in range(tenants)]
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        records = sum(
+            1 for _record in multi_tenant_records(scenario, ids, size_per_tenant, rng=0)
+        )
+        best = min(best, time.perf_counter() - start)
+    total_items = size_per_tenant * tenants
+    return {
+        "tenants": int(tenants),
+        "size_per_tenant": int(size_per_tenant),
+        "records": int(records),
+        "items_per_second": total_items / best,
+    }
+
+
+def run_smoke(size: int = 100_000) -> dict:
+    """Measure, merge into BENCH_performance.json, return the section."""
+    section = {
+        "size": int(size),
+        "workloads": measure_scenarios(size=size),
+        "multi_tenant": measure_multi_tenant(size_per_tenant=size // 5),
+    }
+    merge_benchmark_result({"scenarios": section})
+    return section
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--size", type=int, default=1_000_000, help="items per single-stream workload"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: smaller size, merge into BENCH_performance.json, "
+        "enforce the throughput gate",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        section = run_smoke(size=min(args.size, 100_000))
+    else:
+        section = {
+            "size": args.size,
+            "workloads": measure_scenarios(size=args.size),
+            "multi_tenant": measure_multi_tenant(size_per_tenant=args.size // 5),
+        }
+    print(json.dumps(section, indent=2, sort_keys=True))
+
+    slowest = min(
+        row["items_per_second"] for row in section["workloads"].values()
+    )
+    if slowest < ITEMS_GATE:
+        raise SystemExit(
+            f"scenario generation throughput {slowest:,.0f} items/s is below "
+            f"the {ITEMS_GATE:,.0f} items/s gate"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

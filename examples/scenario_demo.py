@@ -1,0 +1,105 @@
+"""A continual summarizer tracking a drifting distribution, epoch by epoch.
+
+Builds a time-varying ``drift`` scenario (Zipf exponent 0.5 -> 2.5, so the
+stream sharpens from nearly uniform to heavily concentrated), feeds it to a
+continual-observation summarizer one epoch at a time, and measures the
+1-Wasserstein error of a snapshot at every epoch boundary -- the same
+per-epoch trajectory the experiment matrix records for scenario cells.
+
+Three things to watch in the output:
+
+* the continual snapshots *track* the drift: error stays bounded at every
+  epoch even as the distribution moves under the summarizer;
+* a one-shot PrivHP fit on the full stream is only measured at the horizon
+  -- it has no mid-stream story, which is exactly why trajectory rows carry
+  ``None`` at interior epochs for one-shot methods;
+* the scenario stream is byte-identical however it is batched: the whole
+  run re-derives from one seed.
+
+Run with::
+
+    python examples/scenario_demo.py
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro.api import PrivHPBuilder
+from repro.api.summarizer import ingest_batches
+from repro.domain.interval import UnitInterval
+from repro.metrics.wasserstein import empirical_wasserstein
+from repro.stream.scenarios import scenario_from_dict
+
+STREAM_SIZE = 20_000
+EPSILON = 1.0
+SEED = 7
+
+SCENARIO = {
+    "type": "drift",
+    "label": "zipf-sharpen",
+    "epochs": 8,
+    "start": {"name": "zipf", "params": {"exponent": 0.5}},
+    "end": {"name": "zipf", "params": {"exponent": 2.5}},
+}
+
+
+def main() -> None:
+    scenario = scenario_from_dict(SCENARIO)
+    epochs = scenario.sample_epochs(STREAM_SIZE, rng=SEED)
+    domain = UnitInterval()
+    print(f"scenario {scenario.label!r}: {scenario.num_epochs} epochs, "
+          f"{STREAM_SIZE} items total")
+
+    summarizer = (
+        PrivHPBuilder(domain)
+        .epsilon(EPSILON)
+        .stream_size(STREAM_SIZE)
+        .seed(SEED)
+        .continual()
+        .build()
+    )
+
+    rows = []
+    seen = np.empty(0)
+    eval_rng = np.random.default_rng(SEED)
+    print(f"\n{'epoch':>5} {'items':>7} {'W1(seen, snapshot)':>20}")
+    for index, epoch in enumerate(epochs):
+        ingest_batches(summarizer, epoch, batch_size=4096)
+        seen = np.concatenate([seen, epoch])
+        synthetic = summarizer.snapshot().generator.sample(len(seen))
+        error = empirical_wasserstein(seen, synthetic, domain=domain, rng=eval_rng)
+        rows.append({"epoch": index, "items": len(seen), "wasserstein": error})
+        print(f"{index:>5} {len(seen):>7} {error:>20.5f}")
+
+    # One-shot comparison: fit the whole stream at once, measure at the
+    # horizon only (the interior epochs have no one-shot counterpart).
+    one_shot = (
+        PrivHPBuilder(domain)
+        .epsilon(EPSILON)
+        .stream_size(STREAM_SIZE)
+        .seed(SEED)
+        .build()
+    )
+    ingest_batches(one_shot, np.concatenate(epochs), batch_size=4096)
+    release = one_shot.release()
+    horizon_error = empirical_wasserstein(
+        seen, release.sample(len(seen)), domain=domain, rng=eval_rng
+    )
+    print(f"\none-shot PrivHP at the horizon: W1 = {horizon_error:.5f}")
+    print(f"continual at the horizon:       W1 = {rows[-1]['wasserstein']:.5f}")
+
+    out = pathlib.Path(tempfile.gettempdir()) / "scenario_trajectory.csv"
+    with out.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["epoch", "items", "wasserstein"])
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"\nwrote the error trajectory to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,13 @@
 """Setuptools entry point.
 
-The project deliberately ships a ``setup.py`` + ``setup.cfg`` pair instead of
-a ``pyproject.toml`` build-system table so that ``pip install -e .`` works in
-fully offline environments: PEP 517 editable builds require downloading
-``wheel`` into an isolated build environment, whereas the legacy path below
-only needs the setuptools already present on the machine.
+The project deliberately keeps packaging on this legacy ``setup.py`` path --
+the repo's ``pyproject.toml`` carries lint configuration only and has no
+``[build-system]`` table -- so that ``pip install -e .`` works in fully
+offline environments: PEP 517 editable builds require downloading ``wheel``
+into an isolated build environment, whereas the path below only needs the
+setuptools already present on the machine.  If your pip still attempts an
+isolated build because ``pyproject.toml`` exists, pass
+``--no-build-isolation``.
 """
 
 from setuptools import setup

@@ -160,20 +160,40 @@ class PrivHPContinualMethod(PrivHPMethod):
         )
         self._horizon = None if horizon is None else int(horizon)
 
-    def fit(self, data, rng: np.random.Generator | int | None = None) -> SyntheticDataGenerator:
+    def _build_continual(self, stream_size: int, rng):
         from repro.continual.privhp import PrivHPContinual
 
         if self._explicit_config is not None and self._horizon is not None:
             config, horizon = self._explicit_config, self._horizon
         else:
-            stream_size = self._resolve_stream_size(data)
             config = (
                 self._explicit_config
                 if self._explicit_config is not None
                 else self.build_config(stream_size)
             )
             horizon = self._horizon if self._horizon is not None else stream_size
-        algorithm = PrivHPContinual(self.domain, config, horizon=horizon, rng=rng)
+        return PrivHPContinual(self.domain, config, horizon=horizon, rng=rng)
+
+    def fit(self, data, rng: np.random.Generator | int | None = None) -> SyntheticDataGenerator:
+        algorithm = self._build_continual(self._resolve_stream_size(data), rng)
         ingest_batches(algorithm, data, self.batch_size)
         self._last = algorithm
         return algorithm.snapshot().generator
+
+    def fit_trajectory(self, epochs, rng: np.random.Generator | int | None = None):
+        """Ingest epoch arrays in order, yielding a snapshot sampler per epoch.
+
+        This is the hook :func:`repro.metrics.evaluation.evaluate_method_trajectory`
+        dispatches on: the continual summarizer is private at every stream
+        point, so snapshotting at each epoch boundary costs no extra budget
+        and exposes how the method tracks a drifting distribution.
+        """
+        epochs = [np.asarray(epoch) for epoch in epochs]
+        total = int(sum(len(epoch) for epoch in epochs))
+        stream_size = self._stream_size if self._stream_size is not None else total
+        algorithm = self._build_continual(max(stream_size, total), rng)
+        self._last = algorithm
+        for epoch in epochs:
+            if len(epoch):
+                ingest_batches(algorithm, epoch, self.batch_size)
+            yield algorithm.snapshot().generator

@@ -1,6 +1,6 @@
 """Command-line interface for PrivHP, built on the unified ``repro.api`` surface.
 
-Eleven sub-commands cover the workflow:
+Twelve sub-commands cover the workflow:
 
 * ``summarize`` -- stream a CSV of sensitive values through PrivHP (batched,
   optionally sharded) and write the released (epsilon-DP) generator to JSON.
@@ -30,7 +30,12 @@ Eleven sub-commands cover the workflow:
 * ``matrix`` -- run a declarative experiment grid (methods x domains x
   generators x epsilon x n x trials) through the parallel, resumable matrix
   runner; ``--smoke`` runs the built-in CI grid and gates the accuracy
-  ordering.
+  ordering; ``--gate`` applies the same gate (plus its per-epoch variant for
+  scenario cells) to any grid.
+* ``scenario`` -- materialise a time-varying scenario spec
+  (``repro.stream.scenarios``) into a CSV stream, or with ``--tenants`` into
+  tenant-tagged JSONL ready for ``repro ingest --append``; prints the
+  per-epoch schedule table.
 * ``ingest`` -- run the multi-tenant ingestion service (``repro.ingest``)
   over a directory of tenant specs: append tenant-tagged JSONL/CSV files
   (one-off via ``--append`` or continuously via ``--watch``), optionally
@@ -41,6 +46,9 @@ Example::
 
     python -m repro.cli matrix spec.json --out results/ --workers 4 --resume
     python -m repro.cli matrix --smoke --out smoke-results/
+    python -m repro.cli scenario drift.json --size 10000 --out stream.csv
+    python -m repro.cli scenario drift.json --size 5000 --tenants 4 \
+        --out appends.jsonl
 
     python -m repro.cli summarize --input values.csv --epsilon 1.0 --k 8 \
         --domain auto --shards 4 --output release.json
@@ -297,7 +305,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the built-in smoke grid and fail on the accuracy-ordering gate",
     )
     matrix.add_argument(
+        "--gate", action="store_true",
+        help="fail on accuracy-ordering violations (floor <= private, PrivHP "
+        "<= Smooth) -- applied per epoch for scenario cells",
+    )
+    matrix.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="materialise a time-varying scenario spec into a stream file",
+    )
+    scenario.add_argument("spec", help="scenario spec JSON (repro.stream.scenarios)")
+    scenario.add_argument(
+        "--out", required=True,
+        help="output path: CSV stream, or tenant-tagged JSONL with --tenants",
+    )
+    scenario.add_argument(
+        "--size", type=int, default=None,
+        help="total items (per tenant with --tenants); defaults to the "
+        "spec's 'size' field",
+    )
+    scenario.add_argument(
+        "--dimension", type=int, default=1, help="point dimensionality (default 1)"
+    )
+    scenario.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; the same seed materialises byte-identical streams "
+        "for any batch size or worker count",
+    )
+    scenario.add_argument(
+        "--tenants", type=int, default=None, metavar="N",
+        help="write correlated multi-tenant JSONL append records for N "
+        "tenants (tenant-0..tenant-N-1) instead of a single CSV stream; "
+        "feed the file to 'repro ingest --append'",
+    )
+    scenario.add_argument(
+        "--quiet", action="store_true", help="suppress the per-epoch schedule table"
     )
 
     ingest = subparsers.add_parser(
@@ -652,6 +697,7 @@ def _command_query(args: argparse.Namespace) -> int:
 def _command_matrix(args: argparse.Namespace) -> int:
     from repro.experiments.harness import format_table
     from repro.experiments.runner import (
+        check_epoch_ordering,
         check_smoke_ordering,
         load_spec,
         run_matrix,
@@ -675,19 +721,68 @@ def _command_matrix(args: argparse.Namespace) -> int:
         resume=args.resume,
         progress=progress,
     )
-    print(format_table(outcome["aggregate"]))
+    # The table keeps the scalar columns; per-epoch trajectories live in the
+    # aggregate artifacts.
+    print(format_table([
+        {k: v for k, v in row.items() if not isinstance(v, list)}
+        for row in outcome["aggregate"]
+    ]))
     print(
         f"grid {spec.name!r}: {outcome['executed']} cell(s) executed, "
         f"{outcome['skipped']} resumed; artifacts in {args.out}/ "
         "(results.jsonl, aggregate.json, aggregate.csv)"
     )
-    if args.smoke:
+    if args.smoke or args.gate:
         violations = check_smoke_ordering(outcome["aggregate"])
+        violations += check_epoch_ordering(outcome["aggregate"])
         if violations:
             for violation in violations:
                 print(f"ACCURACY GATE VIOLATION: {violation}", file=sys.stderr)
             return 1
         print("accuracy ordering gate passed (floor <= private, PrivHP <= Smooth)")
+    return 0
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.harness import format_table
+    from repro.stream.scenarios import load_scenario
+
+    scenario = load_scenario(args.spec)
+    size = args.size if args.size is not None else scenario.default_size
+    if size is None:
+        raise ValueError(
+            "pass --size (the spec has no top-level 'size' field to default to)"
+        )
+    if size < 0:
+        raise ValueError(f"--size must be non-negative, got {size}")
+    if args.dimension < 1:
+        raise ValueError(f"--dimension must be at least 1, got {args.dimension}")
+    if not args.quiet:
+        print(f"scenario {scenario.label!r}: {scenario.num_epochs} epoch(s)")
+        print(format_table(scenario.describe(size)))
+    if args.tenants is not None:
+        if args.tenants < 1:
+            raise ValueError(f"--tenants must be at least 1, got {args.tenants}")
+        from repro.stream.scenarios import multi_tenant_records
+
+        tenants = [f"tenant-{index}" for index in range(args.tenants)]
+        records = 0
+        with open(args.out, "w") as handle:
+            for record in multi_tenant_records(
+                scenario, tenants, size, dimension=args.dimension, rng=args.seed
+            ):
+                handle.write(json.dumps(record) + "\n")
+                records += 1
+        print(
+            f"wrote {records} append record(s) ({args.tenants} tenant(s) x "
+            f"{scenario.num_epochs} epoch(s), {size} items/tenant) to {args.out}"
+        )
+        return 0
+    stream = scenario.sample(size, dimension=args.dimension, rng=args.seed)
+    _write_csv(args.out, stream)
+    print(f"wrote {len(stream)} items across {scenario.num_epochs} epoch(s) to {args.out}")
     return 0
 
 
@@ -837,6 +932,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _command_serve,
         "query": _command_query,
         "matrix": _command_matrix,
+        "scenario": _command_scenario,
         "ingest": _command_ingest,
         "convert": _command_convert,
     }

@@ -66,8 +66,12 @@ from repro.domain.hypercube import Hypercube
 from repro.domain.interval import UnitInterval
 from repro.domain.ipv4 import IPv4Domain
 from repro.io.serialization import write_text_atomic
-from repro.metrics.evaluation import evaluate_method
-from repro.stream.generators import available_generators, make_stream
+from repro.metrics.evaluation import evaluate_method, evaluate_method_trajectory
+from repro.stream.generators import (
+    SCENARIO_GENERATOR_NAMES,
+    available_generators,
+    make_stream,
+)
 
 __all__ = [
     "AxisEntry",
@@ -83,6 +87,7 @@ __all__ = [
     "load_spec",
     "smoke_spec",
     "check_smoke_ordering",
+    "check_epoch_ordering",
 ]
 
 
@@ -490,6 +495,29 @@ def _cell_dataset(domain, payload: dict) -> np.ndarray:
     return _materialize(domain, unit)
 
 
+def _cell_epochs(domain, payload: dict) -> list[np.ndarray]:
+    """The scenario cell's dataset split at epoch boundaries.
+
+    Byte-identical to :func:`_cell_dataset` concatenated: both routes derive
+    the same SeedSequence from the cell's grid coordinates and the scenario
+    engine's per-epoch RNGs are keyed by epoch index, never by batch layout.
+    """
+    from repro.stream.scenarios import generate_epochs
+
+    coords = tuple(int(value) for value in payload["dataset_coords"])
+    sequence = np.random.SeedSequence(
+        payload["base_seed"], spawn_key=(_DATA_STREAM, *coords)
+    )
+    units = generate_epochs(
+        payload["generator"]["name"],
+        payload["size"],
+        dimension=_domain_dimension(domain),
+        rng=np.random.default_rng(sequence),
+        **payload["generator"]["params"],
+    )
+    return [_materialize(domain, unit) for unit in units]
+
+
 def dataset_for(
     spec: MatrixSpec,
     domain_index: int = 0,
@@ -550,27 +578,41 @@ def execute_cell(payload: dict) -> dict:
     key = payload["key"]
     try:
         domain = make_domain(payload["domain"])
-        data = _cell_dataset(domain, payload)
         method = _build_method(domain, payload)
         evaluation_rng = np.random.default_rng(np.random.SeedSequence(
             payload["base_seed"], spawn_key=(_EVAL_STREAM, payload["index"])
         ))
-        result = evaluate_method(
-            method,
-            data,
-            domain,
-            synthetic_size=payload["synthetic_size"],
-            repetitions=payload["repetitions"],
-            rng=evaluation_rng,
-            parameters={
-                "method_label": payload["method"]["label"],
-                "domain": payload["domain"],
-                "generator": payload["generator"]["label"],
-                "epsilon": payload["epsilon"],
-                "n": payload["size"],
-                "trial": payload["trial"],
-            },
-        )
+        parameters = {
+            "method_label": payload["method"]["label"],
+            "domain": payload["domain"],
+            "generator": payload["generator"]["label"],
+            "epsilon": payload["epsilon"],
+            "n": payload["size"],
+            "trial": payload["trial"],
+        }
+        if payload["generator"]["name"] in SCENARIO_GENERATOR_NAMES:
+            # Time-varying workload: evaluate in trajectory mode -- continual
+            # methods are snapshotted at every epoch boundary, one-shot
+            # methods at the horizon only.
+            result = evaluate_method_trajectory(
+                method,
+                _cell_epochs(domain, payload),
+                domain,
+                synthetic_size=payload["synthetic_size"],
+                repetitions=payload["repetitions"],
+                rng=evaluation_rng,
+                parameters=parameters,
+            )
+        else:
+            result = evaluate_method(
+                method,
+                _cell_dataset(domain, payload),
+                domain,
+                synthetic_size=payload["synthetic_size"],
+                repetitions=payload["repetitions"],
+                rng=evaluation_rng,
+                parameters=parameters,
+            )
     except Exception as error:
         raise MatrixCellError(f"cell {key} failed: {error}") from error
     return {
@@ -697,13 +739,69 @@ class ResultStore:
 # --------------------------------------------------------------------------- #
 # aggregation
 # --------------------------------------------------------------------------- #
+def _aggregate_trajectories(members: list[dict], row: dict) -> None:
+    """Fold per-trial error trajectories into per-epoch mean/stderr columns.
+
+    Epochs a method never measured (one-shot interior epochs) stay ``None``
+    in the output lists; the area-under-error-curve summary is averaged over
+    the trials that produced one.
+    """
+    trajectories = [
+        member["error_trajectory"]
+        for member in members
+        if member.get("error_trajectory") is not None
+    ]
+    if not trajectories:
+        return
+    num_epochs = max(len(trajectory) for trajectory in trajectories)
+    epoch_means: list[float | None] = []
+    epoch_stderrs: list[float | None] = []
+    for index in range(num_epochs):
+        values = [
+            trajectory[index]
+            for trajectory in trajectories
+            if index < len(trajectory) and trajectory[index] is not None
+        ]
+        if values:
+            array = np.array(values, dtype=float)
+            epoch_means.append(float(array.mean()))
+            epoch_stderrs.append(float(array.std() / np.sqrt(len(values))))
+        else:
+            epoch_means.append(None)
+            epoch_stderrs.append(None)
+    row["num_epochs"] = num_epochs
+    row["epoch_wasserstein_mean"] = epoch_means
+    row["epoch_wasserstein_stderr"] = epoch_stderrs
+    items = next(
+        (
+            member["epoch_items"]
+            for member in members
+            if member.get("epoch_items") is not None
+        ),
+        None,
+    )
+    if items is not None:
+        row["epoch_items"] = [int(value) for value in items]
+    aucs = [
+        member["auc_error"]
+        for member in members
+        if member.get("auc_error") is not None
+    ]
+    if aucs:
+        auc_array = np.array(aucs, dtype=float)
+        row["auc_error"] = float(auc_array.mean())
+        row["auc_error_stderr"] = float(auc_array.std() / np.sqrt(len(aucs)))
+
+
 def aggregate_records(records: list[dict]) -> list[dict]:
     """Roll cell records up to mean/stderr-over-trials rows per grid point.
 
     Rows are grouped by (domain, generator, n, epsilon, method label) and
     sorted by that tuple, so the output is deterministic regardless of the
     records' completion order.  Timing fields are averaged when present
-    (in-memory runs) and simply absent otherwise (store reruns).
+    (in-memory runs) and simply absent otherwise (store reruns).  Records
+    carrying error trajectories (scenario cells) additionally aggregate to
+    per-epoch mean/stderr vectors plus an ``auc_error`` summary column.
     """
     groups: dict[tuple, list[dict]] = {}
     for record in records:
@@ -734,6 +832,7 @@ def aggregate_records(records: list[dict]) -> list[dict]:
             "wasserstein_stderr": float(means.std() / np.sqrt(len(members))),
             "memory_words": int(max(member["memory_words"] for member in members)),
         }
+        _aggregate_trajectories(members, row)
         for timing_field in ("fit_seconds", "sample_seconds"):
             values = [member[timing_field] for member in members if timing_field in member]
             if values:
@@ -742,8 +841,10 @@ def aggregate_records(records: list[dict]) -> list[dict]:
     return rows
 
 
-#: Column order for the aggregate CSV artifact.
-_AGGREGATE_COLUMNS = (
+#: Column order for the aggregate CSV artifact.  Trajectory columns only
+#: appear in grids that contain scenario cells; in the CSV form their list
+#: values are "|"-joined with empty slots for unmeasured epochs.
+_BASE_COLUMNS = (
     "method",
     "method_name",
     "domain",
@@ -757,6 +858,31 @@ _AGGREGATE_COLUMNS = (
     "memory_words",
 )
 
+_TRAJECTORY_COLUMNS = (
+    "num_epochs",
+    "epoch_items",
+    "epoch_wasserstein_mean",
+    "epoch_wasserstein_stderr",
+    "auc_error",
+    "auc_error_stderr",
+)
+
+_AGGREGATE_COLUMNS = _BASE_COLUMNS + _TRAJECTORY_COLUMNS
+
+#: Aggregate columns holding per-epoch lists (flattened for the CSV form).
+_TRAJECTORY_LIST_COLUMNS = (
+    "epoch_items",
+    "epoch_wasserstein_mean",
+    "epoch_wasserstein_stderr",
+)
+
+
+def _csv_value(column: str, value):
+    """Flatten per-epoch list columns into "|"-joined CSV-safe strings."""
+    if column in _TRAJECTORY_LIST_COLUMNS:
+        return "|".join("" if item is None else repr(item) for item in value)
+    return value
+
 
 def _write_aggregate(directory: pathlib.Path, rows: list[dict]) -> None:
     """Write ``aggregate.json`` and ``aggregate.csv`` artifacts atomically."""
@@ -768,11 +894,20 @@ def _write_aggregate(directory: pathlib.Path, rows: list[dict]) -> None:
         directory / "aggregate.json",
         json.dumps(deterministic, indent=2, sort_keys=True) + "\n",
     )
+    columns = list(_BASE_COLUMNS) + [
+        column
+        for column in _TRAJECTORY_COLUMNS
+        if any(column in row for row in deterministic)
+    ]
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=_AGGREGATE_COLUMNS, restval="")
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
     writer.writeheader()
     for row in deterministic:
-        writer.writerow(row)
+        writer.writerow({
+            column: _csv_value(column, row[column])
+            for column in columns
+            if column in row
+        })
     write_text_atomic(directory / "aggregate.csv", buffer.getvalue())
 
 
@@ -916,4 +1051,66 @@ def check_smoke_ordering(rows: list[dict]) -> list[str]:
                         f"{where}: non-private floor {floor:g} exceeds "
                         f"{label} error {row['wasserstein']:g}"
                     )
+    return violations
+
+
+def check_epoch_ordering(rows: list[dict]) -> list[str]:
+    """Per-epoch accuracy gate over trajectory-bearing aggregate rows.
+
+    Applies the :func:`check_smoke_ordering` comparisons at every epoch where
+    *both* methods in a pair have a measured value (one-shot methods only
+    measure the final epoch, so pairs involving them are gated at the horizon
+    only).  Rows without ``epoch_wasserstein_mean`` are ignored, so the gate
+    composes with mixed static/scenario grids.
+
+    Example:
+        >>> rows = [
+        ...     {"method": "nonprivate", "domain": "interval", "generator": "drift",
+        ...      "epsilon": 1.0, "n": 64,
+        ...      "epoch_wasserstein_mean": [None, 0.2]},
+        ...     {"method": "privhp-continual", "domain": "interval",
+        ...      "generator": "drift", "epsilon": 1.0, "n": 64,
+        ...      "epoch_wasserstein_mean": [0.3, 0.1]},
+        ... ]
+        >>> check_epoch_ordering(rows)
+        ['interval/drift/eps=1.0/n=64 epoch 1: non-private floor 0.2 exceeds privhp-continual error 0.1']
+    """
+    violations = []
+    groups: dict[tuple, dict[str, list]] = {}
+    for row in rows:
+        trajectory = row.get("epoch_wasserstein_mean")
+        if trajectory is None:
+            continue
+        point = (row["domain"], row["generator"], row["epsilon"], row["n"])
+        groups.setdefault(point, {})[row["method"]] = list(trajectory)
+
+    def compare(point, first_label, first, second_label, second) -> None:
+        where = f"{point[0]}/{point[1]}/eps={point[2]}/n={point[3]}"
+        for epoch, (low, high) in enumerate(zip(first, second)):
+            if low is None or high is None:
+                continue
+            if low > high:
+                violations.append(
+                    f"{where} epoch {epoch}: {first_label} {low:g} exceeds "
+                    f"{second_label} {high:g}"
+                )
+
+    for point in sorted(groups, key=str):
+        by_label = groups[point]
+        if "privhp" in by_label and "smooth" in by_label:
+            compare(
+                point,
+                "PrivHP error", by_label["privhp"],
+                "Smooth error", by_label["smooth"],
+            )
+        if "nonprivate" in by_label:
+            floor = by_label["nonprivate"]
+            for label in sorted(by_label):
+                if label == "nonprivate":
+                    continue
+                compare(
+                    point,
+                    "non-private floor", floor,
+                    f"{label} error", by_label[label],
+                )
     return violations

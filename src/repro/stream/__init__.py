@@ -24,16 +24,28 @@ from repro.stream.datasets import (
     ipv4_traffic_stream,
     transaction_amount_stream,
 )
+from repro.stream.scenarios import (
+    Scenario,
+    ScenarioSpecError,
+    load_scenario,
+    multi_tenant_records,
+    scenario_from_dict,
+)
 
 __all__ = [
     "DataStream",
+    "Scenario",
+    "ScenarioSpecError",
     "StreamStats",
     "available_generators",
     "beta_stream",
     "gaussian_mixture_stream",
     "geo_checkin_stream",
     "ipv4_traffic_stream",
+    "load_scenario",
     "make_stream",
+    "multi_tenant_records",
+    "scenario_from_dict",
     "sparse_cluster_stream",
     "transaction_amount_stream",
     "uniform_stream",

@@ -24,6 +24,7 @@ __all__ = [
     "zipf_cell_stream",
     "sparse_cluster_stream",
     "beta_stream",
+    "SCENARIO_GENERATOR_NAMES",
     "available_generators",
     "make_stream",
 ]
@@ -108,8 +109,6 @@ def zipf_cell_stream(
     # Decode each cell index into per-axis dyadic intervals matching the
     # hypercube's coordinate-cycling decomposition.
     points = np.empty((size, dimension))
-    bits_per_axis = [level // dimension + (1 if axis < level % dimension else 0)
-                     for axis in range(dimension)]
     for row, cell in enumerate(chosen_cells):
         remaining = int(cell)
         bits = [(remaining >> (level - 1 - position)) & 1 for position in range(level)]
@@ -121,7 +120,6 @@ def zipf_cell_stream(
             if bit:
                 lower[axis] += width[axis]
         points[row] = lower + width * generator.random(dimension)
-    del bits_per_axis  # kept for clarity of the decoding loop above
     return _shape(points, dimension)
 
 
@@ -160,6 +158,39 @@ def beta_stream(
     return generator.beta(alpha, beta, size=size)
 
 
+def _scenario_generator(kind: str):
+    """A lazily-bound wrapper turning a scenario primitive into a generator.
+
+    The scenario engine (:mod:`repro.stream.scenarios`) imports this module
+    for its static components, so the binding must be deferred to call time
+    to keep imports acyclic.
+    """
+
+    def wrapper(
+        size: int,
+        dimension: int = 1,
+        rng: np.random.Generator | int | None = None,
+        **params,
+    ) -> np.ndarray:
+        from repro.stream import scenarios
+
+        return scenarios.generate(kind, size, dimension=dimension, rng=rng, **params)
+
+    wrapper.__name__ = f"{kind}_stream"
+    wrapper.__qualname__ = f"{kind}_stream"
+    wrapper.__doc__ = (
+        f"Time-varying ``{kind}`` scenario stream (see repro.stream.scenarios)."
+    )
+    return wrapper
+
+
+#: Generator names that resolve through the scenario engine: their streams
+#: are schedules of epochs over the static generators below, and the matrix
+#: runner evaluates them in trajectory (per-epoch) mode.
+SCENARIO_GENERATOR_NAMES = frozenset(
+    {"drift", "mixture_shift", "diurnal", "flash_crowd", "scenario"}
+)
+
 #: Name -> generator mapping used by declarative workload specs (the
 #: experiment-matrix runner resolves its ``generators`` axis through this).
 _NAMED_GENERATORS = {
@@ -168,6 +199,7 @@ _NAMED_GENERATORS = {
     "zipf": zipf_cell_stream,
     "sparse_cluster": sparse_cluster_stream,
     "beta": beta_stream,
+    **{name: _scenario_generator(name) for name in sorted(SCENARIO_GENERATOR_NAMES)},
 }
 
 
@@ -175,8 +207,9 @@ def available_generators() -> list[str]:
     """Sorted names of the workload generators addressable by name.
 
     Example:
-        >>> available_generators()
-        ['beta', 'gaussian_mixture', 'sparse_cluster', 'uniform', 'zipf']
+        >>> available_generators()  # doctest: +NORMALIZE_WHITESPACE
+        ['beta', 'diurnal', 'drift', 'flash_crowd', 'gaussian_mixture',
+         'mixture_shift', 'scenario', 'sparse_cluster', 'uniform', 'zipf']
     """
     return sorted(_NAMED_GENERATORS)
 

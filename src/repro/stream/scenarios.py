@@ -1,0 +1,898 @@
+"""Composable time-varying workload scenarios for the experiment matrix.
+
+Every generator in :mod:`repro.stream.generators` is a *static* distribution;
+the paper's error guarantees, however, are governed by tail mass, and the
+interesting regime for continual observation is precisely when the tail
+*moves*.  A :class:`Scenario` is a JSON-loadable schedule of **epochs** over
+the static generators:
+
+* ``drift`` -- linear parameter interpolation between two configurations of
+  one generator (e.g. Zipf exponent 0.5 -> 2.5 over eight epochs),
+* ``mixture_shift`` -- fixed component generators whose mixing weights
+  interpolate between a start and an end profile,
+* ``diurnal`` -- cyclic modulation of the per-epoch rate (and optionally of
+  one numeric parameter) around a base generator,
+* ``flash_crowd`` -- a transient sparse-cluster burst overlaid on a base
+  stream for a window of epochs, optionally with a rate spike,
+* ``schedule`` -- an explicit piecewise schedule switching generators at
+  given epoch boundaries,
+* ``compose`` -- sequencing (``mode="sequence"``) or per-epoch overlay
+  (``mode="overlay"``) of sub-scenarios.
+
+Determinism contract: every epoch (and every mixture component within an
+epoch) draws from its own :class:`numpy.random.SeedSequence` child keyed by
+``(epoch_index, component_index)``, so a scenario materialises byte-identical
+streams for any worker count, batch size, or evaluation order -- the same
+discipline the matrix runner uses for its cells.
+
+Example:
+    >>> scenario = scenario_from_dict({
+    ...     "type": "drift", "epochs": 4,
+    ...     "start": {"name": "zipf", "params": {"exponent": 0.5}},
+    ...     "end": {"name": "zipf", "params": {"exponent": 2.5}},
+    ... })
+    >>> scenario.num_epochs
+    4
+    >>> scenario.epoch_sizes(10)
+    [3, 3, 2, 2]
+    >>> stream = scenario.sample(100, rng=0)
+    >>> stream.shape
+    (100,)
+    >>> import numpy as np
+    >>> bool(np.array_equal(stream, np.concatenate(scenario.sample_epochs(100, rng=0))))
+    True
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stream import generators as _generators
+
+__all__ = [
+    "ScenarioSpecError",
+    "ScenarioComponent",
+    "ScenarioEpoch",
+    "Scenario",
+    "scenario_from_dict",
+    "load_scenario",
+    "scenario_generator_names",
+    "generate",
+    "generate_epochs",
+    "multi_tenant_epochs",
+    "multi_tenant_records",
+]
+
+
+class ScenarioSpecError(ValueError):
+    """A scenario spec document is malformed; the message names the field."""
+
+
+#: The static generators scenario components may reference.  Scenario
+#: primitives cannot nest as components (use ``compose`` for that), so the
+#: engine can never recurse through :func:`repro.stream.generators.make_stream`.
+_STATIC_GENERATORS = ("beta", "gaussian_mixture", "sparse_cluster", "uniform", "zipf")
+
+#: Generator-registry names resolved through this module (the time-varying
+#: axis of ``available_generators``/``make_stream``).
+_SCENARIO_KINDS = ("diurnal", "drift", "flash_crowd", "mixture_shift", "scenario")
+
+#: SeedSequence spawn-key stream tags.  Component streams within an epoch use
+#: ``(epoch, 1 + component)``; the mixture assignment uses ``(epoch, 0)``;
+#: multi-tenant variants prepend a tenant tag so tenants are correlated in
+#: *schedule* but independent in noise.
+_ASSIGN_STREAM = 0
+_TENANT_STREAM = 1
+
+
+def scenario_generator_names() -> frozenset:
+    """The generator-registry names served by the scenario engine.
+
+    Example:
+        >>> sorted(scenario_generator_names())
+        ['diurnal', 'drift', 'flash_crowd', 'mixture_shift', 'scenario']
+    """
+    return frozenset(_SCENARIO_KINDS)
+
+
+# --------------------------------------------------------------------------- #
+# compiled form
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioComponent:
+    """One mixture component of an epoch: a static generator + weight."""
+
+    generator: str
+    params: dict = field(default_factory=dict)
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class ScenarioEpoch:
+    """One epoch: a relative size share and its component mixture."""
+
+    index: int
+    weight: float
+    components: tuple
+
+
+class Scenario:
+    """A compiled schedule of epochs, sampled with per-epoch spawned RNGs.
+
+    Build one from a JSON document with :func:`scenario_from_dict` (or
+    :func:`load_scenario` for a file).  ``sample`` materialises the whole
+    stream; ``sample_epochs`` returns the identical bytes split at epoch
+    boundaries, which is what the matrix runner's trajectory mode consumes.
+
+    Example:
+        >>> scenario = scenario_from_dict({
+        ...     "type": "mixture_shift", "epochs": 3,
+        ...     "components": ["uniform", {"name": "sparse_cluster",
+        ...                                "params": {"num_clusters": 2}}],
+        ...     "start_weights": [1.0, 0.0], "end_weights": [0.0, 1.0],
+        ... })
+        >>> [len(epoch.components) for epoch in scenario.epochs]
+        [1, 2, 1]
+    """
+
+    def __init__(self, epochs, label: str = "scenario", default_size: int | None = None):
+        epochs = tuple(epochs)
+        if not epochs:
+            raise ScenarioSpecError("a scenario needs at least one epoch")
+        for epoch in epochs:
+            if epoch.weight <= 0 or not math.isfinite(epoch.weight):
+                raise ScenarioSpecError(
+                    f"epoch {epoch.index}: weight must be positive and finite, "
+                    f"got {epoch.weight!r}"
+                )
+            if not epoch.components:
+                raise ScenarioSpecError(f"epoch {epoch.index}: has no components")
+        self.epochs = epochs
+        self.label = str(label)
+        self.default_size = default_size
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of epochs in the schedule."""
+        return len(self.epochs)
+
+    # -------------------------------------------------------------- #
+    def epoch_sizes(self, size: int) -> list[int]:
+        """Split ``size`` items over the epochs by weight (largest remainder).
+
+        Deterministic: fractional leftovers go to the largest remainders,
+        ties broken by epoch order.
+        """
+        if size < 0:
+            raise ScenarioSpecError(f"size must be non-negative, got {size}")
+        weights = np.array([epoch.weight for epoch in self.epochs], dtype=float)
+        ideal = size * weights / weights.sum()
+        base = np.floor(ideal).astype(int)
+        shortfall = size - int(base.sum())
+        if shortfall:
+            remainders = ideal - base
+            # argsort is stable, so equal remainders resolve by epoch order.
+            for index in np.argsort(-remainders, kind="stable")[:shortfall]:
+                base[index] += 1
+        return [int(value) for value in base]
+
+    def sample_epochs(
+        self,
+        size: int,
+        dimension: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[np.ndarray]:
+        """Materialise the scenario as one array per epoch (byte-stable)."""
+        sizes = self.epoch_sizes(size)
+        entropy = _root_entropy(rng)
+        return [
+            _sample_epoch(epoch, count, dimension, entropy)
+            for epoch, count in zip(self.epochs, sizes)
+        ]
+
+    def sample(
+        self,
+        size: int,
+        dimension: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Materialise the whole stream (the concatenated epoch arrays)."""
+        return np.concatenate(self.sample_epochs(size, dimension=dimension, rng=rng))
+
+    def describe(self, size: int | None = None) -> list[dict]:
+        """Per-epoch summary rows (for the CLI's inspection table)."""
+        sizes = self.epoch_sizes(size) if size is not None else [None] * self.num_epochs
+        rows = []
+        for epoch, count in zip(self.epochs, sizes):
+            total = sum(component.weight for component in epoch.components)
+            mixture = " + ".join(
+                f"{component.weight / total:.2f}*{component.generator}"
+                f"{_format_params(component.params)}"
+                for component in epoch.components
+            )
+            row = {"epoch": epoch.index, "weight": round(epoch.weight, 6), "mixture": mixture}
+            if count is not None:
+                row["items"] = count
+            rows.append(row)
+        return rows
+
+
+def _format_params(params: dict) -> str:
+    if not params:
+        return ""
+    inner = ",".join(f"{key}={params[key]}" for key in sorted(params))
+    return f"({inner})"
+
+
+def _root_entropy(rng: np.random.Generator | np.random.SeedSequence | int | None) -> int:
+    """One root integer all epoch/component SeedSequence children key off."""
+    if isinstance(rng, np.random.SeedSequence):
+        return int(rng.generate_state(1, np.uint64)[0])
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(0, 2**63 - 1))
+    if rng is None:
+        return int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+    return int(rng)
+
+
+def _empty(dimension: int) -> np.ndarray:
+    return np.empty(0) if dimension == 1 else np.empty((0, dimension))
+
+
+def _component_points(
+    component: ScenarioComponent,
+    count: int,
+    dimension: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    # Component names are validated against _STATIC_GENERATORS at compile
+    # time, so this can never re-enter the scenario wrappers.
+    return _generators.make_stream(
+        component.generator, count, dimension=dimension, rng=rng, **component.params
+    )
+
+
+def _sample_epoch(
+    epoch: ScenarioEpoch, count: int, dimension: int, entropy: int
+) -> np.ndarray:
+    if count == 0:
+        return _empty(dimension)
+    components = epoch.components
+    if len(components) == 1:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy, spawn_key=(epoch.index, 1))
+        )
+        return _component_points(components[0], count, dimension, rng)
+    weights = np.array([component.weight for component in components], dtype=float)
+    weights /= weights.sum()
+    assign_rng = np.random.default_rng(
+        np.random.SeedSequence(entropy, spawn_key=(epoch.index, _ASSIGN_STREAM))
+    )
+    assignment = assign_rng.choice(len(components), size=count, p=weights)
+    out = np.empty(count) if dimension == 1 else np.empty((count, dimension))
+    for ci, component in enumerate(components):
+        mask = assignment == ci
+        members = int(mask.sum())
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy, spawn_key=(epoch.index, 1 + ci))
+        )
+        out[mask] = _component_points(component, members, dimension, rng)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# spec compilation
+# --------------------------------------------------------------------------- #
+def _require_fields(spec: dict, required: tuple, optional: tuple, kind: str) -> None:
+    unknown = sorted(set(spec) - set(required) - set(optional) - {"type"})
+    if unknown:
+        raise ScenarioSpecError(
+            f"{kind} spec has unknown field(s): {', '.join(unknown)}; known "
+            f"fields: {', '.join(sorted(set(required) | set(optional)))}"
+        )
+    missing = sorted(set(required) - set(spec))
+    if missing:
+        raise ScenarioSpecError(
+            f"{kind} spec is missing required field(s): {', '.join(missing)}"
+        )
+
+
+def _positive_int(spec: dict, name: str, kind: str, minimum: int = 1) -> int:
+    value = spec[name]
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError):
+        raise ScenarioSpecError(
+            f"{kind} field {name!r} must be an integer, got {value!r}"
+        ) from None
+    if as_int != value or as_int < minimum:
+        raise ScenarioSpecError(
+            f"{kind} field {name!r} must be an integer >= {minimum}, got {value!r}"
+        )
+    return as_int
+
+
+def _finite_float(value, name: str, kind: str) -> float:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ScenarioSpecError(
+            f"{kind} field {name!r} must be a number, got {value!r}"
+        ) from None
+    if not math.isfinite(value):
+        raise ScenarioSpecError(f"{kind} field {name!r} must be finite, got {value!r}")
+    return value
+
+
+def _parse_generator(value, field_name: str, kind: str) -> tuple[str, dict]:
+    """Normalise a component reference (name string or {name, params})."""
+    if isinstance(value, str):
+        name, params = value.strip().lower(), {}
+    elif isinstance(value, dict):
+        unknown = sorted(set(value) - {"name", "params"})
+        if unknown:
+            raise ScenarioSpecError(
+                f"{kind} field {field_name!r} has unknown key(s): "
+                f"{', '.join(unknown)}; expected name, params"
+            )
+        if "name" not in value or not str(value["name"]).strip():
+            raise ScenarioSpecError(f"{kind} field {field_name!r} is missing its 'name'")
+        name = str(value["name"]).strip().lower()
+        params = value.get("params", {})
+        if not isinstance(params, dict):
+            raise ScenarioSpecError(
+                f"{kind} field {field_name!r}: 'params' must be an object, "
+                f"got {type(params).__name__}"
+            )
+    else:
+        raise ScenarioSpecError(
+            f"{kind} field {field_name!r} must be a generator name or "
+            f"{{name, params}} object, got {type(value).__name__}"
+        )
+    if name not in _STATIC_GENERATORS:
+        raise ScenarioSpecError(
+            f"{kind} field {field_name!r}: unknown generator {name!r}; scenario "
+            f"components must be one of the static generators: "
+            f"{', '.join(_STATIC_GENERATORS)} (nest scenarios with 'compose')"
+        )
+    return name, dict(params)
+
+
+def _lerp_params(start: dict, end: dict, fraction: float, kind: str) -> dict:
+    """Interpolate numeric parameters; non-numeric ones must agree."""
+    result = {}
+    for key in sorted(set(start) | set(end)):
+        if key not in start or key not in end:
+            raise ScenarioSpecError(
+                f"{kind}: parameter {key!r} must appear in both 'start' and "
+                "'end' params to be interpolated"
+            )
+        a, b = start[key], end[key]
+        numeric = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in (a, b)
+        )
+        if not numeric:
+            if a != b:
+                raise ScenarioSpecError(
+                    f"{kind}: non-numeric parameter {key!r} differs between "
+                    f"'start' ({a!r}) and 'end' ({b!r}); only numbers drift"
+                )
+            result[key] = a
+            continue
+        value = a + (b - a) * fraction
+        # Integer-integer pairs stay integers (e.g. num_components 2 -> 6).
+        if isinstance(a, int) and isinstance(b, int):
+            value = int(round(value))
+        result[key] = value
+    return result
+
+
+def _compile_drift(spec: dict) -> tuple:
+    _require_fields(spec, ("start", "end", "epochs"), (), "drift")
+    epochs = _positive_int(spec, "epochs", "drift")
+    start_name, start_params = _parse_generator(spec["start"], "start", "drift")
+    end_name, end_params = _parse_generator(spec["end"], "end", "drift")
+    if start_name != end_name:
+        raise ScenarioSpecError(
+            f"drift interpolates the parameters of one generator, but 'start' "
+            f"names {start_name!r} and 'end' names {end_name!r}; use "
+            "'mixture_shift' to move mass between different generators"
+        )
+    compiled = []
+    for index in range(epochs):
+        fraction = index / (epochs - 1) if epochs > 1 else 0.0
+        params = _lerp_params(start_params, end_params, fraction, "drift")
+        compiled.append(ScenarioEpoch(
+            index=index,
+            weight=1.0,
+            components=(ScenarioComponent(start_name, params),),
+        ))
+    return tuple(compiled)
+
+
+def _compile_mixture_shift(spec: dict) -> tuple:
+    _require_fields(
+        spec, ("components", "start_weights", "end_weights", "epochs"), (), "mixture_shift"
+    )
+    epochs = _positive_int(spec, "epochs", "mixture_shift")
+    raw = spec["components"]
+    if not isinstance(raw, list) or not raw:
+        raise ScenarioSpecError(
+            "mixture_shift field 'components' must be a non-empty list"
+        )
+    components = [
+        _parse_generator(value, f"components[{ci}]", "mixture_shift")
+        for ci, value in enumerate(raw)
+    ]
+    profiles = {}
+    for name in ("start_weights", "end_weights"):
+        values = spec[name]
+        if not isinstance(values, list) or len(values) != len(components):
+            raise ScenarioSpecError(
+                f"mixture_shift field {name!r} must list one weight per "
+                f"component ({len(components)}), got {values!r}"
+            )
+        weights = [_finite_float(v, name, "mixture_shift") for v in values]
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ScenarioSpecError(
+                f"mixture_shift field {name!r} must be non-negative with a "
+                f"positive sum, got {values!r}"
+            )
+        profiles[name] = weights
+    compiled = []
+    for index in range(epochs):
+        fraction = index / (epochs - 1) if epochs > 1 else 0.0
+        mixed = [
+            a + (b - a) * fraction
+            for a, b in zip(profiles["start_weights"], profiles["end_weights"])
+        ]
+        present = tuple(
+            ScenarioComponent(name, params, weight)
+            for (name, params), weight in zip(components, mixed)
+            if weight > 0
+        )
+        compiled.append(ScenarioEpoch(index=index, weight=1.0, components=present))
+    return tuple(compiled)
+
+
+def _compile_diurnal(spec: dict) -> tuple:
+    _require_fields(
+        spec,
+        ("base", "epochs"),
+        ("period", "rate_amplitude", "param", "param_amplitude", "phase"),
+        "diurnal",
+    )
+    epochs = _positive_int(spec, "epochs", "diurnal")
+    name, params = _parse_generator(spec["base"], "base", "diurnal")
+    period = _finite_float(spec.get("period", epochs), "period", "diurnal")
+    if period <= 0:
+        raise ScenarioSpecError(f"diurnal field 'period' must be positive, got {period!r}")
+    phase = _finite_float(spec.get("phase", 0.0), "phase", "diurnal")
+    rate_amplitude = _finite_float(spec.get("rate_amplitude", 0.5), "rate_amplitude", "diurnal")
+    if not 0 <= rate_amplitude < 1:
+        raise ScenarioSpecError(
+            f"diurnal field 'rate_amplitude' must be in [0, 1) so every epoch "
+            f"keeps positive rate, got {rate_amplitude!r}"
+        )
+    param = spec.get("param")
+    param_amplitude = _finite_float(
+        spec.get("param_amplitude", 0.0), "param_amplitude", "diurnal"
+    )
+    if param is not None:
+        if param not in params:
+            raise ScenarioSpecError(
+                f"diurnal field 'param' names {param!r}, which is not in the "
+                f"base generator's params ({', '.join(sorted(params)) or 'none'})"
+            )
+        if not isinstance(params[param], (int, float)) or isinstance(params[param], bool):
+            raise ScenarioSpecError(
+                f"diurnal field 'param' must name a numeric parameter, but "
+                f"{param!r} is {params[param]!r}"
+            )
+    elif param_amplitude:
+        raise ScenarioSpecError(
+            "diurnal field 'param_amplitude' needs 'param' to name the "
+            "modulated parameter"
+        )
+    compiled = []
+    for index in range(epochs):
+        cycle = math.sin(2.0 * math.pi * (index + phase) / period)
+        epoch_params = dict(params)
+        if param is not None and param_amplitude:
+            epoch_params[param] = params[param] * (1.0 + param_amplitude * cycle)
+        compiled.append(ScenarioEpoch(
+            index=index,
+            weight=1.0 + rate_amplitude * cycle,
+            components=(ScenarioComponent(name, epoch_params),),
+        ))
+    return tuple(compiled)
+
+
+#: Default flash-crowd burst: a single very tight cluster, the sparsest
+#: (near-zero-tail) shape the generators offer.
+_DEFAULT_BURST = {"name": "sparse_cluster", "params": {"num_clusters": 1, "cluster_width": 0.005}}
+
+
+def _compile_flash_crowd(spec: dict) -> tuple:
+    _require_fields(
+        spec,
+        ("base", "epochs", "burst_start", "burst_epochs"),
+        ("burst", "burst_fraction", "burst_scale"),
+        "flash_crowd",
+    )
+    epochs = _positive_int(spec, "epochs", "flash_crowd")
+    base_name, base_params = _parse_generator(spec["base"], "base", "flash_crowd")
+    burst_name, burst_params = _parse_generator(
+        spec.get("burst", _DEFAULT_BURST), "burst", "flash_crowd"
+    )
+    burst_start = _positive_int(spec, "burst_start", "flash_crowd", minimum=0)
+    burst_epochs = _positive_int(spec, "burst_epochs", "flash_crowd")
+    if burst_start >= epochs:
+        raise ScenarioSpecError(
+            f"flash_crowd field 'burst_start' must be < 'epochs' ({epochs}), "
+            f"got {burst_start}"
+        )
+    if burst_start + burst_epochs > epochs:
+        raise ScenarioSpecError(
+            f"flash_crowd burst window [{burst_start}, {burst_start + burst_epochs}) "
+            f"runs past the last epoch ({epochs})"
+        )
+    burst_fraction = _finite_float(
+        spec.get("burst_fraction", 0.8), "burst_fraction", "flash_crowd"
+    )
+    if not 0 < burst_fraction <= 1:
+        raise ScenarioSpecError(
+            f"flash_crowd field 'burst_fraction' must be in (0, 1], got {burst_fraction!r}"
+        )
+    burst_scale = _finite_float(spec.get("burst_scale", 1.0), "burst_scale", "flash_crowd")
+    if burst_scale < 1:
+        raise ScenarioSpecError(
+            f"flash_crowd field 'burst_scale' must be >= 1 (the burst adds "
+            f"traffic, never removes it), got {burst_scale!r}"
+        )
+    base = ScenarioComponent(base_name, base_params, 1.0)
+    compiled = []
+    for index in range(epochs):
+        in_burst = burst_start <= index < burst_start + burst_epochs
+        if in_burst:
+            components = (
+                ScenarioComponent(base_name, base_params, 1.0 - burst_fraction),
+                ScenarioComponent(burst_name, burst_params, burst_fraction),
+            )
+            if burst_fraction == 1.0:
+                components = components[1:]
+            compiled.append(ScenarioEpoch(index, burst_scale, components))
+        else:
+            compiled.append(ScenarioEpoch(index, 1.0, (base,)))
+    return tuple(compiled)
+
+
+def _compile_schedule(spec: dict) -> tuple:
+    _require_fields(spec, ("epochs", "num_epochs"), (), "schedule")
+    num_epochs = _positive_int(spec, "num_epochs", "schedule")
+    entries = spec["epochs"]
+    if not isinstance(entries, list) or not entries:
+        raise ScenarioSpecError(
+            "schedule field 'epochs' must be a non-empty list of "
+            "{at, generator} entries"
+        )
+    boundaries = []
+    for ei, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ScenarioSpecError(
+                f"schedule field 'epochs[{ei}]' must be an object with "
+                f"'at' and 'generator', got {type(entry).__name__}"
+            )
+        _require_fields(entry, ("at", "generator"), (), f"schedule epochs[{ei}]")
+        at = _positive_int(entry, "at", f"schedule epochs[{ei}]", minimum=0)
+        if at >= num_epochs:
+            raise ScenarioSpecError(
+                f"schedule epochs[{ei}] field 'at' ({at}) must be < "
+                f"num_epochs ({num_epochs})"
+            )
+        name, params = _parse_generator(entry["generator"], "generator", f"schedule epochs[{ei}]")
+        boundaries.append((at, ScenarioComponent(name, params)))
+    ats = [at for at, _component in boundaries]
+    if ats[0] != 0:
+        raise ScenarioSpecError(
+            f"schedule epochs must start at 'at' 0 (every epoch needs an "
+            f"active generator), got first boundary at {ats[0]}"
+        )
+    if any(b <= a for a, b in zip(ats, ats[1:])):
+        raise ScenarioSpecError(
+            f"schedule epoch boundaries must be strictly increasing "
+            f"('at' values {ats} are non-monotone)"
+        )
+    compiled = []
+    active = 0
+    for index in range(num_epochs):
+        if active + 1 < len(boundaries) and index >= boundaries[active + 1][0]:
+            active += 1
+        compiled.append(ScenarioEpoch(index, 1.0, (boundaries[active][1],)))
+    return tuple(compiled)
+
+
+def _compile_compose(spec: dict) -> tuple:
+    _require_fields(spec, ("mode", "parts"), ("weights",), "compose")
+    mode = str(spec["mode"]).strip().lower()
+    if mode not in ("sequence", "overlay"):
+        raise ScenarioSpecError(
+            f"compose field 'mode' must be 'sequence' or 'overlay', got {spec['mode']!r}"
+        )
+    parts = spec["parts"]
+    if not isinstance(parts, list) or not parts:
+        raise ScenarioSpecError("compose field 'parts' must be a non-empty list of scenario specs")
+    compiled_parts = [_compile(part, top_level=False) for part in parts]
+    if "weights" in spec:
+        weights = spec["weights"]
+        if not isinstance(weights, list) or len(weights) != len(parts):
+            raise ScenarioSpecError(
+                f"compose field 'weights' must list one weight per part "
+                f"({len(parts)}), got {weights!r}"
+            )
+        weights = [_finite_float(value, "weights", "compose") for value in weights]
+        if any(w <= 0 for w in weights):
+            raise ScenarioSpecError(
+                f"compose field 'weights' must be positive, got {spec['weights']!r}"
+            )
+    else:
+        weights = [1.0] * len(parts)
+
+    if mode == "sequence":
+        compiled = []
+        for part, weight in zip(compiled_parts, weights):
+            # Scale each part's share of the stream while preserving its
+            # internal epoch-to-epoch shape (diurnal modulation survives).
+            for epoch in part:
+                compiled.append(ScenarioEpoch(
+                    index=len(compiled),
+                    weight=epoch.weight * weight,
+                    components=epoch.components,
+                ))
+        return tuple(compiled)
+
+    lengths = {len(part) for part in compiled_parts}
+    if len(lengths) > 1:
+        raise ScenarioSpecError(
+            f"compose mode 'overlay' needs every part to have the same number "
+            f"of epochs, got {sorted(len(part) for part in compiled_parts)}"
+        )
+    compiled = []
+    for index in range(lengths.pop()):
+        merged_weight = 0.0
+        merged_components = []
+        for part, weight in zip(compiled_parts, weights):
+            epoch = part[index]
+            share = epoch.weight * weight
+            merged_weight += share
+            total = sum(component.weight for component in epoch.components)
+            for component in epoch.components:
+                merged_components.append(ScenarioComponent(
+                    component.generator,
+                    component.params,
+                    share * component.weight / total,
+                ))
+        compiled.append(ScenarioEpoch(index, merged_weight, tuple(merged_components)))
+    return tuple(compiled)
+
+
+_COMPILERS = {
+    "drift": _compile_drift,
+    "mixture_shift": _compile_mixture_shift,
+    "diurnal": _compile_diurnal,
+    "flash_crowd": _compile_flash_crowd,
+    "schedule": _compile_schedule,
+    "compose": _compile_compose,
+}
+
+#: Fields allowed only on the top-level spec (not on compose parts).
+_TOP_LEVEL_FIELDS = ("label", "size")
+
+
+def _compile(spec, top_level: bool) -> tuple:
+    if not isinstance(spec, dict):
+        raise ScenarioSpecError(
+            f"a scenario spec must be a JSON object, got {type(spec).__name__}"
+        )
+    if "type" not in spec:
+        raise ScenarioSpecError(
+            f"scenario spec is missing its 'type'; known primitives: "
+            f"{', '.join(sorted(_COMPILERS))}"
+        )
+    kind = str(spec["type"]).strip().lower()
+    if kind not in _COMPILERS:
+        raise ScenarioSpecError(
+            f"scenario spec field 'type': unknown primitive {spec['type']!r}; "
+            f"known primitives: {', '.join(sorted(_COMPILERS))}"
+        )
+    body = dict(spec)
+    for name in _TOP_LEVEL_FIELDS:
+        if name in body:
+            if not top_level:
+                raise ScenarioSpecError(
+                    f"field {name!r} is only valid on the top-level scenario "
+                    f"spec, not inside compose parts"
+                )
+            del body[name]
+    return _COMPILERS[kind](body)
+
+
+def scenario_from_dict(spec: dict) -> Scenario:
+    """Compile a scenario spec document into a :class:`Scenario`.
+
+    Example:
+        >>> scenario_from_dict({
+        ...     "type": "flash_crowd", "base": "uniform", "epochs": 6,
+        ...     "burst_start": 2, "burst_epochs": 2, "burst_scale": 2.0,
+        ... }).epoch_sizes(80)
+        [10, 10, 20, 20, 10, 10]
+    """
+    epochs = _compile(spec, top_level=True)
+    label = str(spec.get("label", spec["type"])).strip() or str(spec["type"])
+    size = spec.get("size")
+    if size is not None:
+        size = _positive_int(spec, "size", "scenario")
+    return Scenario(epochs, label=label, default_size=size)
+
+
+def load_scenario(path: str | pathlib.Path) -> Scenario:
+    """Load and compile a scenario spec from a JSON file."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ScenarioSpecError(f"cannot read scenario file {path}: {error}") from error
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ScenarioSpecError(f"scenario file {path} is not valid JSON: {error}") from error
+    return scenario_from_dict(document)
+
+
+# --------------------------------------------------------------------------- #
+# generator-registry entry points
+# --------------------------------------------------------------------------- #
+def _spec_for(kind: str, params: dict) -> dict:
+    if kind == "scenario":
+        spec = params.get("spec")
+        if spec is None:
+            raise ScenarioSpecError(
+                "generator 'scenario' needs a 'spec' parameter holding the "
+                "scenario document (e.g. {\"spec\": {\"type\": \"drift\", ...}})"
+            )
+        extras = sorted(set(params) - {"spec"})
+        if extras:
+            raise ScenarioSpecError(
+                f"generator 'scenario' takes only 'spec'; unknown parameter(s): "
+                f"{', '.join(extras)}"
+            )
+        return spec
+    return {"type": kind, **params}
+
+
+def generate(
+    kind: str,
+    size: int,
+    dimension: int = 1,
+    rng: np.random.Generator | int | None = None,
+    **params,
+) -> np.ndarray:
+    """Materialise a scenario stream by primitive name (``make_stream`` hook).
+
+    Example:
+        >>> generate("drift", 16, rng=0, epochs=4,
+        ...          start={"name": "zipf", "params": {"exponent": 0.5}},
+        ...          end={"name": "zipf", "params": {"exponent": 2.5}}).shape
+        (16,)
+    """
+    return scenario_from_dict(_spec_for(kind, params)).sample(
+        size, dimension=dimension, rng=rng
+    )
+
+
+def generate_epochs(
+    kind: str,
+    size: int,
+    dimension: int = 1,
+    rng: np.random.Generator | int | None = None,
+    **params,
+) -> list[np.ndarray]:
+    """Like :func:`generate` but split at epoch boundaries (identical bytes)."""
+    return scenario_from_dict(_spec_for(kind, params)).sample_epochs(
+        size, dimension=dimension, rng=rng
+    )
+
+
+# --------------------------------------------------------------------------- #
+# correlated multi-tenant variants (feeding repro.ingest)
+# --------------------------------------------------------------------------- #
+def multi_tenant_epochs(
+    scenario: Scenario,
+    tenants,
+    size_per_tenant: int,
+    dimension: int = 1,
+    rng: np.random.Generator | int | None = None,
+):
+    """Yield ``(epoch_index, {tenant_id: points})`` for a shared schedule.
+
+    Every tenant follows the *same* epoch schedule (correlated drift, bursts
+    hitting the whole fleet at once) but draws from its own spawned RNG
+    stream, so tenants are statistically independent given the schedule and
+    the output is byte-stable for any iteration order.
+
+    Example:
+        >>> scenario = scenario_from_dict({
+        ...     "type": "drift", "epochs": 2,
+        ...     "start": {"name": "zipf", "params": {"exponent": 0.5}},
+        ...     "end": {"name": "zipf", "params": {"exponent": 2.0}},
+        ... })
+        >>> epochs = list(multi_tenant_epochs(scenario, ["a", "b"], 10, rng=0))
+        >>> [(index, sorted(points)) for index, points in epochs][0][0]
+        0
+        >>> sorted(epochs[0][1])
+        ['a', 'b']
+    """
+    tenants = [str(tenant) for tenant in tenants]
+    if not tenants:
+        raise ScenarioSpecError("multi_tenant_epochs needs at least one tenant")
+    if len(set(tenants)) != len(tenants):
+        raise ScenarioSpecError("tenant ids must be unique")
+    entropy = _root_entropy(rng)
+    sizes = scenario.epoch_sizes(size_per_tenant)
+    for epoch, count in zip(scenario.epochs, sizes):
+        yield epoch.index, {
+            tenant: _sample_epoch(
+                epoch,
+                count,
+                dimension,
+                # Tenant-tagged child entropy: same schedule, independent noise.
+                int(np.random.SeedSequence(
+                    entropy, spawn_key=(_TENANT_STREAM, ti)
+                ).generate_state(1, np.uint64)[0]),
+            )
+            for ti, tenant in enumerate(tenants)
+        }
+
+
+def multi_tenant_records(
+    scenario: Scenario,
+    tenants,
+    size_per_tenant: int,
+    dimension: int = 1,
+    rng: np.random.Generator | int | None = None,
+):
+    """Flatten :func:`multi_tenant_epochs` into intake-ready append records.
+
+    Yields ``{"tenant": id, "epoch": index, "values": [...]}`` dicts, one per
+    tenant per epoch, in deterministic (epoch, tenant) order -- exactly the
+    JSONL shape ``repro.ingest.intake.iter_append_records`` consumes, so a
+    scenario can drive the multi-tenant ingestion service end to end.
+
+    Example:
+        >>> scenario = scenario_from_dict({
+        ...     "type": "flash_crowd", "base": "uniform", "epochs": 2,
+        ...     "burst_start": 1, "burst_epochs": 1,
+        ... })
+        >>> records = list(multi_tenant_records(scenario, ["acme"], 8, rng=0))
+        >>> [record["epoch"] for record in records]
+        [0, 1]
+        >>> records[0]["tenant"]
+        'acme'
+    """
+    for index, points in multi_tenant_epochs(
+        scenario, tenants, size_per_tenant, dimension=dimension, rng=rng
+    ):
+        for tenant in sorted(points):
+            values = np.asarray(points[tenant])
+            yield {
+                "tenant": tenant,
+                "epoch": index,
+                "values": values.reshape(len(values), -1).tolist()
+                if values.ndim > 1
+                else values.tolist(),
+            }

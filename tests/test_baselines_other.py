@@ -8,7 +8,6 @@ from repro.baselines.nonprivate import NonPrivateHistogramMethod
 from repro.baselines.privtree import PrivTreeMethod
 from repro.baselines.quantile import QuantileMethod
 from repro.core.config import PrivHPConfig
-from repro.domain.discrete import DiscreteDomain
 from repro.domain.hypercube import Hypercube
 from repro.metrics.wasserstein import wasserstein1_1d
 

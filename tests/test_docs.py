@@ -24,22 +24,26 @@ if str(REPO_ROOT / "tools") not in sys.path:
 
 import check_links  # noqa: E402
 
-#: The packages whose public surface must be documented (repro.api,
-#: repro.queries and repro.serve from the serving PR; repro.continual from
-#: the continual-observation PR).
+#: The packages (or plain modules) whose public surface must be documented
+#: (repro.api, repro.queries and repro.serve from the serving PR;
+#: repro.continual from the continual-observation PR; repro.stream.scenarios
+#: from the scenario-engine PR).
 DOCUMENTED_PACKAGES = (
     "repro.api",
     "repro.queries",
     "repro.serve",
     "repro.continual",
     "repro.ingest",
+    "repro.stream.scenarios",
 )
 
 
 def _iter_modules(package_name: str):
     package = importlib.import_module(package_name)
     yield package
-    for info in pkgutil.iter_modules(package.__path__, prefix=package_name + "."):
+    # Plain modules (e.g. repro.stream.scenarios) have no __path__ to walk.
+    for info in pkgutil.iter_modules(getattr(package, "__path__", ()),
+                                     prefix=package_name + "."):
         yield importlib.import_module(info.name)
 
 
@@ -96,7 +100,9 @@ class TestPublicSurfaceIsDocumented:
         finder = doctest.DocTestFinder(exclude_empty=True)
         missing = []
         for module in _iter_modules(package_name):
-            if module.__name__ == package_name:  # the package __init__ re-exports
+            # Package __init__ modules only re-export; plain modules must
+            # still carry their own examples.
+            if module.__name__ == package_name and hasattr(module, "__path__"):
                 continue
             examples = [test for test in finder.find(module) if test.examples]
             if not examples:
@@ -112,6 +118,7 @@ class TestPublicSurfaceIsDocumented:
             "repro.serve.batch",
             "repro.experiments.runner",
             "repro.stream.generators",
+            "repro.stream.scenarios",
         ):
             module = importlib.import_module(module_name)
             result = doctest.testmod(module, verbose=False)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.domain.hypercube import Hypercube
-from repro.domain.interval import UnitInterval
 
 
 class TestGeometry:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.domain.ipv4 import ADDRESS_SPACE, IPv4Domain
+from repro.domain.ipv4 import ADDRESS_SPACE
 
 
 class TestAddressConversion:

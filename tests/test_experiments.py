@@ -5,7 +5,6 @@ tests only assert structural correctness and the cheapest qualitative claims,
 so the suite stays fast.
 """
 
-import pytest
 
 from repro.experiments.ablations import budget_ablation, consistency_ablation, sketch_ablation
 from repro.experiments.harness import format_table, run_methods

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import contextlib
 import json
-import pathlib
 import threading
 import urllib.error
 import urllib.request
@@ -163,7 +162,6 @@ class TestTenantBudgetRegistry:
             registry.admit(TenantSpec("a"))
 
     def test_epsilon_above_max_epsilon_rejected(self):
-        registry = TenantBudgetRegistry()
         with pytest.raises(ValueError):
             TenantSpec("greedy", epsilon=2.0, max_epsilon=1.0)
 

@@ -7,7 +7,6 @@ uniform ceiling, bounded memory, skew sensitivity, epsilon monotonicity).
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     Hypercube,

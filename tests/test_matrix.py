@@ -187,7 +187,7 @@ class TestResume:
     def test_resume_skips_completed_and_reproduces_identical_output(self, tmp_path):
         spec = small_spec()
         full_dir = tmp_path / "full"
-        full = run_matrix(spec, out_dir=full_dir, workers=1)
+        run_matrix(spec, out_dir=full_dir, workers=1)
         full_bytes = (full_dir / "results.jsonl").read_bytes()
 
         partial_dir = tmp_path / "partial"

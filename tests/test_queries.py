@@ -7,10 +7,6 @@ from repro.baselines.pmm import build_exact_tree
 from repro.core.config import PrivHPConfig
 from repro.core.privhp import PrivHP
 from repro.core.tree import PartitionTree
-from repro.domain.discrete import DiscreteDomain
-from repro.domain.hypercube import Hypercube
-from repro.domain.interval import UnitInterval
-from repro.domain.ipv4 import IPv4Domain
 from repro.queries.quantiles import QuantileEngine
 from repro.queries.range_queries import RangeQueryEngine
 from repro.queries.workload import (

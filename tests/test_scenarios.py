@@ -1,0 +1,484 @@
+"""Tests for the time-varying scenario engine and its matrix integration.
+
+The contracts pinned here are the ones the nightly drift-grid CI relies on:
+
+* scenario streams are byte-identical for any worker count, batch split or
+  consumption order (per-epoch SeedSequence spawning);
+* ``sample`` equals the concatenation of ``sample_epochs`` exactly;
+* malformed scenario specs fail with clean errors naming the bad field;
+* size-0 requests return empty arrays across every generator (static and
+  scenario) instead of crashing;
+* matrix cells over scenario generators record per-epoch error trajectories
+  (full for continual methods, horizon-only for one-shot ones) and the
+  per-epoch accuracy gate sees them;
+* multi-tenant scenario records flow through the ingestion intake format.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.runner import (
+    MatrixSpec,
+    aggregate_records,
+    check_epoch_ordering,
+    run_matrix,
+)
+from repro.stream.generators import (
+    SCENARIO_GENERATOR_NAMES,
+    available_generators,
+    make_stream,
+)
+from repro.stream.scenarios import (
+    Scenario,
+    ScenarioSpecError,
+    generate_epochs,
+    load_scenario,
+    multi_tenant_records,
+    scenario_from_dict,
+)
+
+DRIFT_SPEC = {
+    "type": "drift",
+    "epochs": 4,
+    "start": {"name": "zipf", "params": {"exponent": 0.5}},
+    "end": {"name": "zipf", "params": {"exponent": 2.5}},
+}
+
+MIXTURE_SPEC = {
+    "type": "mixture_shift",
+    "epochs": 3,
+    "components": ["uniform", {"name": "sparse_cluster", "params": {"num_clusters": 2}}],
+    "start_weights": [1.0, 0.0],
+    "end_weights": [0.0, 1.0],
+}
+
+FLASH_SPEC = {
+    "type": "flash_crowd",
+    "base": "uniform",
+    "epochs": 6,
+    "burst_start": 2,
+    "burst_epochs": 2,
+    "burst_scale": 2.0,
+}
+
+
+class TestScenarioSampling:
+    def test_registered_in_available_generators(self):
+        names = set(available_generators())
+        assert SCENARIO_GENERATOR_NAMES <= names
+        assert {"uniform", "zipf", "beta", "gaussian_mixture", "sparse_cluster"} <= names
+
+    def test_sample_equals_concatenated_epochs(self):
+        scenario = scenario_from_dict(DRIFT_SPEC)
+        whole = scenario.sample(257, rng=42)
+        parts = scenario.sample_epochs(257, rng=42)
+        np.testing.assert_array_equal(whole, np.concatenate(parts))
+
+    def test_same_seed_is_byte_identical(self):
+        scenario = scenario_from_dict(MIXTURE_SPEC)
+        np.testing.assert_array_equal(
+            scenario.sample(300, rng=7), scenario.sample(300, rng=7)
+        )
+        assert not np.array_equal(scenario.sample(300, rng=7), scenario.sample(300, rng=8))
+
+    def test_make_stream_matches_engine_output(self):
+        via_registry = make_stream("drift", 200, rng=3, **{
+            "epochs": DRIFT_SPEC["epochs"],
+            "start": DRIFT_SPEC["start"],
+            "end": DRIFT_SPEC["end"],
+        })
+        direct = scenario_from_dict(DRIFT_SPEC).sample(200, rng=3)
+        np.testing.assert_array_equal(via_registry, direct)
+
+    def test_generate_epochs_matches_make_stream(self):
+        params = {"epochs": 4, "start": DRIFT_SPEC["start"], "end": DRIFT_SPEC["end"]}
+        epochs = generate_epochs("drift", 150, rng=5, **params)
+        assert len(epochs) == 4
+        np.testing.assert_array_equal(
+            np.concatenate(epochs), make_stream("drift", 150, rng=5, **params)
+        )
+
+    def test_multidimensional_points(self):
+        stream = scenario_from_dict(MIXTURE_SPEC).sample(90, dimension=2, rng=0)
+        assert stream.shape == (90, 2)
+        assert np.all((stream >= 0) & (stream <= 1))
+
+    def test_epoch_sizes_follow_weights(self):
+        scenario = scenario_from_dict(FLASH_SPEC)
+        sizes = scenario.epoch_sizes(80)
+        assert sizes == [10, 10, 20, 20, 10, 10]
+        assert sum(scenario.epoch_sizes(83)) == 83
+
+    def test_diurnal_weights_cycle(self):
+        scenario = scenario_from_dict({
+            "type": "diurnal", "base": "uniform", "epochs": 8,
+            "period": 8, "rate_amplitude": 0.5,
+        })
+        weights = [epoch.weight for epoch in scenario.epochs]
+        assert max(weights) > 1.4 and min(weights) < 0.6
+        assert scenario.sample(100, rng=0).shape == (100,)
+
+    def test_schedule_switches_generators_at_boundaries(self):
+        scenario = scenario_from_dict({
+            "type": "schedule", "num_epochs": 4,
+            "epochs": [
+                {"at": 0, "generator": "uniform"},
+                {"at": 2, "generator": {"name": "sparse_cluster",
+                                        "params": {"num_clusters": 1}}},
+            ],
+        })
+        assert [e.components[0].generator for e in scenario.epochs] == [
+            "uniform", "uniform", "sparse_cluster", "sparse_cluster",
+        ]
+
+    def test_compose_sequence_and_overlay(self):
+        sequence = scenario_from_dict({
+            "type": "compose", "mode": "sequence",
+            "parts": [DRIFT_SPEC, FLASH_SPEC],
+        })
+        assert sequence.num_epochs == 4 + 6
+        overlay = scenario_from_dict({
+            "type": "compose", "mode": "overlay",
+            "parts": [
+                {"type": "diurnal", "base": "uniform", "epochs": 6},
+                FLASH_SPEC,
+            ],
+        })
+        assert overlay.num_epochs == 6
+        assert overlay.sample(120, rng=1).shape == (120,)
+
+    def test_load_scenario_round_trips_through_file(self, tmp_path):
+        path = tmp_path / "drift.json"
+        path.write_text(json.dumps({**DRIFT_SPEC, "label": "named", "size": 64}))
+        scenario = load_scenario(path)
+        assert scenario.label == "named"
+        assert scenario.default_size == 64
+        np.testing.assert_array_equal(
+            scenario.sample(64, rng=0), scenario_from_dict(DRIFT_SPEC).sample(64, rng=0)
+        )
+
+
+class TestSizeZero:
+    """Every generator must return an empty array for size=0, not crash."""
+
+    @pytest.mark.parametrize("name", sorted(
+        set(available_generators()) - SCENARIO_GENERATOR_NAMES
+    ))
+    def test_static_generators(self, name):
+        assert make_stream(name, 0, rng=0).shape == (0,)
+
+    @pytest.mark.parametrize("name,params", [
+        ("drift", {"epochs": 3, "start": DRIFT_SPEC["start"], "end": DRIFT_SPEC["end"]}),
+        ("mixture_shift", {k: v for k, v in MIXTURE_SPEC.items() if k != "type"}),
+        ("diurnal", {"base": "uniform", "epochs": 4}),
+        ("flash_crowd", {k: v for k, v in FLASH_SPEC.items() if k != "type"}),
+        ("scenario", {"spec": DRIFT_SPEC}),
+    ])
+    def test_scenario_generators(self, name, params):
+        assert make_stream(name, 0, rng=0, **params).shape == (0,)
+        epochs = generate_epochs(name, 0, rng=0, **params)
+        assert all(epoch.shape == (0,) for epoch in epochs)
+
+    def test_size_zero_multidimensional(self):
+        assert make_stream("uniform", 0, dimension=3, rng=0).shape == (0, 3)
+        assert scenario_from_dict(MIXTURE_SPEC).sample(0, dimension=2, rng=0).shape == (0, 2)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("spec,needle", [
+        ({"type": "driftt"}, "unknown primitive 'driftt'"),
+        ({"epochs": 2}, "missing its 'type'"),
+        ({"type": "drift", "epochs": -2, "start": "zipf", "end": "zipf"},
+         "'epochs' must be an integer >= 1, got -2"),
+        ({"type": "drift", "epochs": 2, "start": "zipf", "end": "uniform"},
+         "'start' names 'zipf' and 'end' names 'uniform'"),
+        ({"type": "drift", "epochs": 2, "start": "zipf", "end": "zipf", "bogus": 1},
+         "unknown field"),
+        ({"type": "drift", "epochs": 2, "start": "drift", "end": "drift"},
+         "unknown generator 'drift'"),
+        ({"type": "mixture_shift", "epochs": 2, "components": ["uniform"],
+          "start_weights": [-1.0], "end_weights": [1.0]}, "start_weights"),
+        ({"type": "mixture_shift", "epochs": 2, "components": ["uniform"],
+          "start_weights": [1.0, 2.0], "end_weights": [1.0]},
+         "one weight per component"),
+        ({"type": "diurnal", "base": "uniform", "epochs": 4, "rate_amplitude": 1.5},
+         "rate_amplitude"),
+        ({"type": "diurnal", "base": "uniform", "epochs": 4, "param_amplitude": 0.5},
+         "needs 'param'"),
+        ({"type": "flash_crowd", "base": "uniform", "epochs": 4,
+          "burst_start": 5, "burst_epochs": 1}, "burst_start"),
+        ({"type": "flash_crowd", "base": "uniform", "epochs": 4,
+          "burst_start": 2, "burst_epochs": 5}, "runs past the last epoch"),
+        ({"type": "flash_crowd", "base": "uniform", "epochs": 4,
+          "burst_start": 1, "burst_epochs": 1, "burst_scale": 0.5}, "burst_scale"),
+        ({"type": "schedule", "num_epochs": 4, "epochs": [
+            {"at": 1, "generator": "uniform"}]}, "must start at 'at' 0"),
+        ({"type": "schedule", "num_epochs": 4, "epochs": [
+            {"at": 0, "generator": "uniform"},
+            {"at": 2, "generator": "zipf"},
+            {"at": 1, "generator": "beta"}]}, "non-monotone"),
+        ({"type": "compose", "mode": "sideways", "parts": [DRIFT_SPEC]}, "mode"),
+        ({"type": "compose", "mode": "overlay",
+          "parts": [DRIFT_SPEC, FLASH_SPEC]}, "same number"),
+        ({"type": "compose", "mode": "sequence",
+          "parts": [{**DRIFT_SPEC, "size": 10}]}, "only valid on the top-level"),
+    ])
+    def test_bad_specs_name_the_field(self, spec, needle):
+        with pytest.raises(ScenarioSpecError, match=needle):
+            scenario_from_dict(spec)
+
+    def test_spec_errors_are_value_errors(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"type": "nope"})
+
+    def test_negative_sample_size_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="non-negative"):
+            scenario_from_dict(DRIFT_SPEC).sample(-1, rng=0)
+
+    def test_scenario_generator_requires_spec_param(self):
+        with pytest.raises(ScenarioSpecError, match="'spec'"):
+            make_stream("scenario", 10, rng=0)
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="at least one epoch"):
+            Scenario(())
+
+
+class TestMatrixTrajectories:
+    def drift_grid(self, **overrides) -> MatrixSpec:
+        base = dict(
+            name="drift-grid",
+            methods=("nonprivate", "privhp-continual"),
+            domains=("interval",),
+            generators=({
+                "name": "drift",
+                "label": "drift-zipf",
+                "params": DRIFT_SPEC | {},
+            },),
+            epsilons=(1.0,),
+            stream_sizes=(384,),
+            trials=2,
+            base_seed=11,
+        )
+        # MatrixSpec generator params must not carry the 'type' key (the
+        # generator name already selects the primitive).
+        base["generators"][0]["params"] = {
+            k: v for k, v in DRIFT_SPEC.items() if k != "type"
+        }
+        base.update(overrides)
+        return MatrixSpec(**base)
+
+    def test_records_carry_trajectories(self):
+        outcome = run_matrix(self.drift_grid(), workers=1)
+        by_method = {}
+        for record in outcome["records"]:
+            by_method.setdefault(record["method_label"], []).append(record)
+        continual = by_method["privhp-continual"][0]
+        assert continual["num_epochs"] == 4
+        assert len(continual["error_trajectory"]) == 4
+        assert all(value is not None for value in continual["error_trajectory"])
+        assert continual["auc_error"] is not None
+        assert continual["epoch_items"][-1] == 384
+        oneshot = by_method["nonprivate"][0]
+        assert oneshot["error_trajectory"][:-1] == [None, None, None]
+        assert oneshot["error_trajectory"][-1] == oneshot["wasserstein"]
+        assert oneshot["auc_error"] is None
+
+    def test_aggregate_has_epoch_columns(self):
+        outcome = run_matrix(self.drift_grid(), workers=1)
+        rows = {row["method"]: row for row in outcome["aggregate"]}
+        continual = rows["privhp-continual"]
+        assert continual["num_epochs"] == 4
+        assert len(continual["epoch_wasserstein_mean"]) == 4
+        assert len(continual["epoch_wasserstein_stderr"]) == 4
+        assert continual["auc_error"] is not None
+        oneshot = rows["nonprivate"]
+        assert oneshot["epoch_wasserstein_mean"][:-1] == [None, None, None]
+        assert "auc_error" not in oneshot
+
+    def test_static_rows_stay_free_of_trajectory_fields(self):
+        spec = self.drift_grid(generators=("gaussian_mixture",), name="static")
+        outcome = run_matrix(spec, workers=1)
+        for record in outcome["records"]:
+            assert "error_trajectory" not in record
+        for row in outcome["aggregate"]:
+            assert "epoch_wasserstein_mean" not in row
+
+    def test_results_byte_identical_across_worker_counts(self, tmp_path):
+        one = tmp_path / "w1"
+        four = tmp_path / "w4"
+        run_matrix(self.drift_grid(), out_dir=one, workers=1)
+        run_matrix(self.drift_grid(), out_dir=four, workers=4)
+        assert (one / "results.jsonl").read_bytes() == (four / "results.jsonl").read_bytes()
+        assert (one / "aggregate.csv").read_bytes() == (four / "aggregate.csv").read_bytes()
+
+    def test_aggregate_csv_flattens_epoch_lists(self, tmp_path):
+        run_matrix(self.drift_grid(), out_dir=tmp_path, workers=1)
+        header, *lines = (tmp_path / "aggregate.csv").read_text().splitlines()
+        assert "epoch_wasserstein_mean" in header
+        assert "auc_error" in header
+        continual_line = next(line for line in lines if "privhp-continual" in line)
+        field = continual_line.split(",")[header.split(",").index("epoch_items")]
+        items = [int(value) for value in field.split("|")]
+        assert len(items) == 4 and items[-1] == 384  # cumulative item counts
+
+    def test_check_epoch_ordering_flags_violations(self):
+        rows = [
+            {"method": "nonprivate", "domain": "interval", "generator": "drift",
+             "epsilon": 1.0, "n": 64,
+             "epoch_wasserstein_mean": [None, None, 0.2]},
+            {"method": "privhp-continual", "domain": "interval", "generator": "drift",
+             "epsilon": 1.0, "n": 64,
+             "epoch_wasserstein_mean": [0.5, 0.4, 0.1]},
+        ]
+        violations = check_epoch_ordering(rows)
+        assert len(violations) == 1
+        assert "epoch 2" in violations[0] and "non-private floor" in violations[0]
+        # Only epochs where both methods measured are compared.
+        rows[1]["epoch_wasserstein_mean"] = [0.5, 0.4, 0.3]
+        assert check_epoch_ordering(rows) == []
+
+    def test_check_epoch_ordering_compares_privhp_to_smooth(self):
+        rows = [
+            {"method": "privhp", "domain": "interval", "generator": "drift",
+             "epsilon": 1.0, "n": 64, "epoch_wasserstein_mean": [None, 0.5]},
+            {"method": "smooth", "domain": "interval", "generator": "drift",
+             "epsilon": 1.0, "n": 64, "epoch_wasserstein_mean": [None, 0.4]},
+        ]
+        violations = check_epoch_ordering(rows)
+        assert len(violations) == 1 and "PrivHP" in violations[0]
+
+    def test_check_epoch_ordering_ignores_static_rows(self):
+        assert check_epoch_ordering([
+            {"method": "privhp", "domain": "interval", "generator": "g",
+             "epsilon": 1.0, "n": 64, "wasserstein": 0.5},
+        ]) == []
+
+    def test_aggregate_records_tolerates_mixed_grids(self):
+        records = [
+            {"domain": "interval", "generator": "drift", "n": 64, "epsilon": 1.0,
+             "method_label": "m", "method": "M", "trial": 0, "wasserstein": 0.2,
+             "memory_words": 10, "error_trajectory": [0.4, 0.2],
+             "epoch_items": [32, 64], "auc_error": 0.3},
+            {"domain": "interval", "generator": "static", "n": 64, "epsilon": 1.0,
+             "method_label": "m", "method": "M", "trial": 0, "wasserstein": 0.1,
+             "memory_words": 10},
+        ]
+        rows = aggregate_records(records)
+        traj = next(row for row in rows if row["generator"] == "drift")
+        static = next(row for row in rows if row["generator"] == "static")
+        assert traj["epoch_wasserstein_mean"] == [0.4, 0.2]
+        assert traj["epoch_items"] == [32, 64]
+        assert traj["auc_error"] == 0.3
+        assert "epoch_wasserstein_mean" not in static
+
+
+class TestMultiTenant:
+    def test_records_parse_through_intake(self, tmp_path):
+        from repro.ingest.intake import iter_append_records
+
+        scenario = scenario_from_dict(DRIFT_SPEC)
+        path = tmp_path / "appends.jsonl"
+        with path.open("w") as handle:
+            for record in multi_tenant_records(scenario, ["a", "b"], 40, rng=0):
+                handle.write(json.dumps(record) + "\n")
+        parsed = list(iter_append_records(path))
+        assert {tenant for tenant, _values in parsed} == {"a", "b"}
+        assert sum(len(values) for tenant, values in parsed if tenant == "a") == 40
+
+    def test_tenants_share_schedule_but_not_noise(self):
+        scenario = scenario_from_dict(DRIFT_SPEC)
+        records = list(multi_tenant_records(scenario, ["a", "b"], 50, rng=9))
+        by_tenant = {}
+        for record in records:
+            by_tenant.setdefault(record["tenant"], []).append(record["values"])
+        assert [len(v) for v in by_tenant["a"]] == [len(v) for v in by_tenant["b"]]
+        assert by_tenant["a"] != by_tenant["b"]
+
+    def test_deterministic_for_same_seed(self):
+        scenario = scenario_from_dict(FLASH_SPEC)
+        first = list(multi_tenant_records(scenario, ["x"], 30, rng=4))
+        second = list(multi_tenant_records(scenario, ["x"], 30, rng=4))
+        assert first == second
+
+    def test_duplicate_tenants_rejected(self):
+        scenario = scenario_from_dict(DRIFT_SPEC)
+        with pytest.raises(ScenarioSpecError, match="unique"):
+            list(multi_tenant_records(scenario, ["a", "a"], 10, rng=0))
+
+
+class TestScenarioCLI:
+    def write_spec(self, tmp_path, extra=None):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({**DRIFT_SPEC, **(extra or {})}))
+        return path
+
+    def test_writes_csv_stream(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        out = tmp_path / "stream.csv"
+        assert cli_main([
+            "scenario", str(spec), "--size", "120", "--out", str(out), "--seed", "3",
+        ]) == 0
+        data = np.loadtxt(out, delimiter=",")
+        assert data.shape == (120,)
+        np.testing.assert_allclose(
+            data, scenario_from_dict(DRIFT_SPEC).sample(120, rng=3), atol=1e-9
+        )
+        assert "4 epoch(s)" in capsys.readouterr().out
+
+    def test_size_defaults_to_spec_field(self, tmp_path):
+        spec = self.write_spec(tmp_path, {"size": 50})
+        out = tmp_path / "stream.csv"
+        assert cli_main(["scenario", str(spec), "--out", str(out), "--quiet"]) == 0
+        assert np.loadtxt(out, delimiter=",").shape == (50,)
+
+    def test_missing_size_is_usage_error(self, tmp_path):
+        spec = self.write_spec(tmp_path)
+        with pytest.raises(SystemExit):
+            cli_main(["scenario", str(spec), "--out", str(tmp_path / "x.csv")])
+
+    def test_writes_tenant_jsonl(self, tmp_path):
+        spec = self.write_spec(tmp_path)
+        out = tmp_path / "appends.jsonl"
+        assert cli_main([
+            "scenario", str(spec), "--size", "40", "--tenants", "3",
+            "--out", str(out), "--quiet",
+        ]) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(records) == 3 * 4  # tenants x epochs
+        assert {record["tenant"] for record in records} == {
+            "tenant-0", "tenant-1", "tenant-2",
+        }
+
+    def test_bad_spec_is_usage_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"type": "driftt"}))
+        with pytest.raises(SystemExit):
+            cli_main(["scenario", str(path), "--size", "10",
+                      "--out", str(tmp_path / "x.csv")])
+
+    def test_matrix_gate_flag_passes_on_clean_grid(self, tmp_path, capsys):
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(json.dumps({
+            "name": "gate-grid",
+            "methods": ["nonprivate", "privhp-continual"],
+            "domains": ["interval"],
+            "generators": [{"name": "drift", "label": "drift-zipf", "params": {
+                k: v for k, v in DRIFT_SPEC.items() if k != "type"
+            }}],
+            "epsilons": [1.0],
+            "stream_sizes": [256],
+            "trials": 1,
+        }))
+        code = cli_main([
+            "matrix", str(spec_path), "--out", str(tmp_path / "results"),
+            "--gate", "--quiet",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "gate passed" in captured.out

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Compare two BENCH_performance.json files and fail on throughput regressions.
+
+CI's bench job re-runs every benchmark family and writes a fresh
+``BENCH_performance.json``; this tool diffs the fresh file against the
+committed one, key by key, over every throughput metric (any numeric leaf
+whose name ends in ``_per_second``).  A fresh value more than
+``--max-regression`` (default 30%) below the committed value fails the check;
+new keys, removed keys and improvements are reported but never fail.
+
+Usage::
+
+    python tools/check_bench_regression.py committed.json fresh.json
+    python tools/check_bench_regression.py committed.json fresh.json \
+        --max-regression 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Fail when a fresh throughput drops more than this fraction below committed.
+DEFAULT_MAX_REGRESSION = 0.30
+
+
+def collect_throughputs(document, prefix: str = "") -> dict:
+    """Flatten nested dicts to ``{dotted.path: value}`` for *_per_second leaves."""
+    found = {}
+    if isinstance(document, dict):
+        for key in sorted(document):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            value = document[key]
+            if (
+                str(key).endswith("_per_second")
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            ):
+                found[path] = float(value)
+            else:
+                found.update(collect_throughputs(value, path))
+    return found
+
+
+def compare(
+    committed: dict, fresh: dict, max_regression: float = DEFAULT_MAX_REGRESSION
+) -> tuple[list[dict], list[str]]:
+    """Diff throughput keys; returns (per-key comparison rows, failures)."""
+    committed_keys = collect_throughputs(committed)
+    fresh_keys = collect_throughputs(fresh)
+    rows = []
+    failures = []
+    for key in sorted(set(committed_keys) | set(fresh_keys)):
+        old = committed_keys.get(key)
+        new = fresh_keys.get(key)
+        if old is None:
+            rows.append({"key": key, "old": None, "new": new, "status": "new"})
+            continue
+        if new is None:
+            rows.append({"key": key, "old": old, "new": None, "status": "missing"})
+            continue
+        change = (new - old) / old if old else 0.0
+        if old and new < old * (1.0 - max_regression):
+            status = "REGRESSION"
+            failures.append(
+                f"{key}: {new:,.0f}/s is {-change:.0%} below committed "
+                f"{old:,.0f}/s (limit {max_regression:.0%})"
+            )
+        else:
+            status = "ok"
+        rows.append({"key": key, "old": old, "new": new,
+                     "change": change, "status": status})
+    return rows, failures
+
+
+def format_rows(rows: list[dict]) -> str:
+    """Render the per-key comparison table."""
+    lines = [f"{'key':<60} {'committed':>14} {'fresh':>14} {'change':>8}  status"]
+    for row in rows:
+        old = f"{row['old']:,.0f}" if row["old"] is not None else "-"
+        new = f"{row['new']:,.0f}" if row["new"] is not None else "-"
+        change = f"{row['change']:+.0%}" if "change" in row else "-"
+        lines.append(f"{row['key']:<60} {old:>14} {new:>14} {change:>8}  {row['status']}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("committed", help="committed BENCH_performance.json (baseline)")
+    parser.add_argument("fresh", help="freshly produced BENCH_performance.json")
+    parser.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help="maximum tolerated fractional throughput drop "
+        f"(default {DEFAULT_MAX_REGRESSION:.0%})",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.max_regression < 1:
+        parser.error(f"--max-regression must be in (0, 1), got {args.max_regression}")
+
+    documents = []
+    for path in (args.committed, args.fresh):
+        try:
+            documents.append(json.loads(pathlib.Path(path).read_text()))
+        except (OSError, json.JSONDecodeError) as error:
+            parser.error(f"cannot load {path}: {error}")
+    rows, failures = compare(
+        documents[0], documents[1], max_regression=args.max_regression
+    )
+    if not rows:
+        print("no *_per_second throughput keys found in either file", file=sys.stderr)
+        return 1
+    print(format_rows(rows))
+    if failures:
+        print(f"\n{len(failures)} throughput regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} throughput key(s) within the regression limit")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
